@@ -1,0 +1,322 @@
+// Ablation micro-benchmarks (google-benchmark) for the design decisions
+// DESIGN.md calls out:
+//
+//   1. Encoded byte trees vs pointer ASTs (heap and arena) for evaluation —
+//      the paper's §3.3 encoding choice.
+//   2. Child reordering at encode time (cheapest-first) — the paper's
+//      "reordering subscription trees" future-work optimisation.
+//   3. Predicate sharing: phase-2 cost as the workload moves away from the
+//      paper's unique-predicate regime.
+//   4. B+ tree stab vs linear scan for range-predicate matching — the
+//      phase-1 index choice.
+//   5. Registration cost: DNF-transforming registration vs direct encoding.
+#include <benchmark/benchmark.h>
+
+#include "common/arena.h"
+#include "engine/counting_engine.h"
+#include "engine/non_canonical_engine.h"
+#include "index/bplus_tree.h"
+#include "subscription/dnf.h"
+#include "subscription/encoded_tree.h"
+#include "subscription/encoded_tree_v2.h"
+#include "workload/paper_workload.h"
+#include "workload/random_workload.h"
+
+namespace {
+
+using namespace ncps;
+
+// ---- 1. Evaluation representation -----------------------------------------
+
+/// Pointer-free arena node for the flattest fair pointer-AST comparison.
+struct ArenaNode {
+  ast::NodeKind kind;
+  PredicateId pred;
+  ArenaNode** children;
+  std::uint32_t child_count;
+};
+
+ArenaNode* build_arena_tree(const ast::Node& node, Arena& arena) {
+  auto* n = arena.create<ArenaNode>();
+  n->kind = node.kind;
+  n->pred = node.pred;
+  n->child_count = static_cast<std::uint32_t>(node.children.size());
+  n->children = static_cast<ArenaNode**>(
+      arena.allocate(sizeof(ArenaNode*) * node.children.size(),
+                     alignof(ArenaNode*)));
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    n->children[i] = build_arena_tree(*node.children[i], arena);
+  }
+  return n;
+}
+
+template <typename TruthFn>
+bool eval_arena(const ArenaNode& node, TruthFn&& truth) {
+  switch (node.kind) {
+    case ast::NodeKind::Leaf:
+      return truth(node.pred);
+    case ast::NodeKind::And:
+      for (std::uint32_t i = 0; i < node.child_count; ++i) {
+        if (!eval_arena(*node.children[i], truth)) return false;
+      }
+      return true;
+    case ast::NodeKind::Or:
+      for (std::uint32_t i = 0; i < node.child_count; ++i) {
+        if (eval_arena(*node.children[i], truth)) return true;
+      }
+      return false;
+    case ast::NodeKind::Not:
+      return !eval_arena(*node.children[0], truth);
+  }
+  return false;
+}
+
+struct EvalFixture {
+  EvalFixture() : workload(make_config(), attrs, table) {
+    for (int i = 0; i < kTrees; ++i) {
+      exprs.push_back(workload.next_subscription());
+      offsets.push_back(encoded.size());
+      widths.push_back(encode_tree(exprs.back().root(), encoded));
+      reordered_offsets.push_back(reordered.size());
+      (void)encode_tree(exprs.back().root(), reordered,
+                        ReorderPolicy::kCheapestFirst);
+      v2_offsets.push_back(encoded_v2.size());
+      v2_widths.push_back(encode_tree_v2(exprs.back().root(), encoded_v2));
+      arena_roots.push_back(build_arena_tree(exprs.back().root(), arena));
+    }
+  }
+
+  static PaperWorkloadConfig make_config() {
+    PaperWorkloadConfig config;
+    config.predicates_per_subscription = 10;
+    config.seed = 555;
+    return config;
+  }
+
+  static constexpr int kTrees = 256;
+  AttributeRegistry attrs;
+  PredicateTable table;
+  PaperWorkload workload;
+  std::vector<ast::Expr> exprs;
+  std::vector<std::byte> encoded;
+  std::vector<std::byte> reordered;
+  std::vector<std::byte> encoded_v2;
+  std::vector<std::size_t> v2_offsets;
+  std::vector<std::size_t> v2_widths;
+  std::vector<std::size_t> offsets;
+  std::vector<std::size_t> reordered_offsets;
+  std::vector<std::size_t> widths;
+  Arena arena;
+  std::vector<ArenaNode*> arena_roots;
+};
+
+EvalFixture& eval_fixture() {
+  static EvalFixture fixture;
+  return fixture;
+}
+
+// A cheap deterministic pseudo-truth: ~1/3 of predicates true.
+bool truth_of(PredicateId id, std::uint32_t salt) {
+  return ((id.value() * 0x9e3779b9u) ^ salt) % 3 == 0;
+}
+
+void BM_EvalEncoded(benchmark::State& state) {
+  EvalFixture& f = eval_fixture();
+  std::uint32_t salt = 0;
+  for (auto _ : state) {
+    ++salt;
+    bool acc = false;
+    for (int i = 0; i < EvalFixture::kTrees; ++i) {
+      const std::span<const std::byte> tree(f.encoded.data() + f.offsets[i],
+                                            f.widths[i]);
+      acc ^= evaluate_encoded(
+          tree, [&](PredicateId id) { return truth_of(id, salt); });
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
+}
+BENCHMARK(BM_EvalEncoded);
+
+void BM_EvalEncodedReordered(benchmark::State& state) {
+  EvalFixture& f = eval_fixture();
+  std::uint32_t salt = 0;
+  for (auto _ : state) {
+    ++salt;
+    bool acc = false;
+    for (int i = 0; i < EvalFixture::kTrees; ++i) {
+      const std::span<const std::byte> tree(
+          f.reordered.data() + f.reordered_offsets[i], f.widths[i]);
+      acc ^= evaluate_encoded(
+          tree, [&](PredicateId id) { return truth_of(id, salt); });
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
+}
+BENCHMARK(BM_EvalEncodedReordered);
+
+void BM_EvalEncodedV2(benchmark::State& state) {
+  EvalFixture& f = eval_fixture();
+  std::uint32_t salt = 0;
+  for (auto _ : state) {
+    ++salt;
+    bool acc = false;
+    for (int i = 0; i < EvalFixture::kTrees; ++i) {
+      const std::span<const std::byte> tree(
+          f.encoded_v2.data() + f.v2_offsets[i], f.v2_widths[i]);
+      acc ^= evaluate_encoded_v2(
+          tree, [&](PredicateId id) { return truth_of(id, salt); });
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
+  state.counters["bytes_v1"] = static_cast<double>(f.encoded.size());
+  state.counters["bytes_v2"] = static_cast<double>(f.encoded_v2.size());
+}
+BENCHMARK(BM_EvalEncodedV2);
+
+void BM_EvalPointerAst(benchmark::State& state) {
+  EvalFixture& f = eval_fixture();
+  std::uint32_t salt = 0;
+  for (auto _ : state) {
+    ++salt;
+    bool acc = false;
+    for (int i = 0; i < EvalFixture::kTrees; ++i) {
+      acc ^= ast::evaluate(f.exprs[i].root(), [&](PredicateId id) {
+        return truth_of(id, salt);
+      });
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
+}
+BENCHMARK(BM_EvalPointerAst);
+
+void BM_EvalArenaAst(benchmark::State& state) {
+  EvalFixture& f = eval_fixture();
+  std::uint32_t salt = 0;
+  for (auto _ : state) {
+    ++salt;
+    bool acc = false;
+    for (int i = 0; i < EvalFixture::kTrees; ++i) {
+      acc ^= eval_arena(*f.arena_roots[i], [&](PredicateId id) {
+        return truth_of(id, salt);
+      });
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
+}
+BENCHMARK(BM_EvalArenaAst);
+
+// ---- 3. Predicate sharing --------------------------------------------------
+
+void BM_Phase2_Sharing(benchmark::State& state) {
+  const double sharing = static_cast<double>(state.range(0)) / 100.0;
+  AttributeRegistry attrs;
+  PredicateTable table;
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 6;
+  config.sharing_probability = sharing;
+  config.domain_size = 200000;
+  config.seed = 777;
+  PaperWorkload workload(config, attrs, table);
+  NonCanonicalEngine engine(table);
+  for (int i = 0; i < 20000; ++i) {
+    const ast::Expr expr = workload.next_subscription();
+    engine.add(expr.root());
+  }
+  const std::vector<PredicateId> fulfilled = workload.sample_fulfilled(
+      std::min<std::size_t>(2000, workload.predicate_pool().size()));
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    out.clear();
+    engine.match_predicates(fulfilled, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["matches"] = static_cast<double>(out.size());
+  state.counters["sharing_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Phase2_Sharing)->Arg(0)->Arg(50)->Arg(90);
+
+// ---- 4. Range index vs linear scan ----------------------------------------
+
+void BM_RangeStab_BPlusTree(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  BPlusTree<double, std::uint32_t> tree;
+  Pcg32 rng(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.try_emplace(static_cast<double>(rng.range(0, 1000000)),
+                     static_cast<std::uint32_t>(i));
+  }
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    // Stab: predicates `a < c` with c > v, v in the top 1% of the domain —
+    // output-bound work, like phase 1.
+    const double v = 990000.0 + static_cast<double>(rng.bounded(10000));
+    for (auto it = tree.lower_bound(v); it != tree.end(); ++it) ++hits;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetLabel("n=" + std::to_string(n));
+}
+BENCHMARK(BM_RangeStab_BPlusTree)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_RangeStab_LinearScan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> thresholds(n);
+  Pcg32 rng(1);
+  for (auto& t : thresholds) {
+    t = static_cast<double>(rng.range(0, 1000000));
+  }
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    const double v = 990000.0 + static_cast<double>(rng.bounded(10000));
+    for (const double t : thresholds) {
+      if (t > v) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetLabel("n=" + std::to_string(n));
+}
+BENCHMARK(BM_RangeStab_LinearScan)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// ---- 5. Registration cost ---------------------------------------------------
+
+void BM_Register_NonCanonical(benchmark::State& state) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 10;
+  config.seed = 888;
+  PaperWorkload workload(config, attrs, table);
+  NonCanonicalEngine engine(table);
+  for (auto _ : state) {
+    const ast::Expr expr = workload.next_subscription();
+    const SubscriptionId id = engine.add(expr.root());
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Register_NonCanonical);
+
+void BM_Register_CountingWithDnf(benchmark::State& state) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 10;
+  config.seed = 888;
+  PaperWorkload workload(config, attrs, table);
+  CountingEngine engine(table);
+  for (auto _ : state) {
+    const ast::Expr expr = workload.next_subscription();
+    const SubscriptionId id = engine.add(expr.root());
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Register_CountingWithDnf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

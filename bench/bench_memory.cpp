@@ -1,0 +1,178 @@
+// Reproduces the paper's memory/scalability analysis: the "sharp bends" in
+// Fig. 3 mark the subscription count where the 512 MB machine starts
+// swapping. Instead of thrashing the host, this bench measures exact
+// resident bytes per engine (every structure self-reports) and solves for
+// the subscription count that exhausts a 512 MB budget.
+//
+// Memory splits into two parts:
+//   - SHARED, algorithm-independent: the predicate store and the phase-1
+//     indexes. Identical across engines ("the first phases use the same
+//     indexes in the same way"), so it shifts every engine's wall equally.
+//   - PHASE-2, algorithm-dependent: what the paper's comparison is about.
+//     Counting family: hit/required/owner vectors + predicate→tid
+//     association over the DNF-multiplied population. Non-canonical:
+//     encoded trees + location table + predicate→subscription association.
+//
+// Three capacity models are reported per engine:
+//   (a) phase-2 only — the pure algorithmic comparison;
+//   (b) phase-2 + compact predicate model (24 B per unique predicate:
+//       attr 2 + op 1 + operand 8 + one-dimensional index entry ≈ 13) —
+//       approximates the paper's byte-frugal 2005 prototype;
+//   (c) the full measured implementation (this library's richer predicate
+//       table: typed Values, interning map, string support).
+//
+// The paper's headline ("in case of 10 predicates it easily handles more
+// than 4 times as many subscriptions") is checked against model (a)/(b).
+// Counting engines run in the paper's no-unsubscription configuration; the
+// unsub-support delta is reported separately.
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ncps;
+using namespace ncps::bench;
+
+constexpr double kBudgetBytes = 512.0 * 1024 * 1024;
+constexpr double kCompactPredicateBytes = 24.0;  // model (b), see header
+
+/// Matching-only bytes: excludes the phase-1 index (identical across
+/// engines) and unsubscription-support bookkeeping (the paper's counting
+/// baseline runs without it, so the like-for-like comparison must too; the
+/// unsub delta is reported separately below).
+std::size_t phase2_bytes(const FilterEngine& engine) {
+  std::size_t sum = 0;
+  const MemoryBreakdown mem = engine.memory();
+  for (const auto& [name, bytes] : mem.components()) {
+    const std::string_view n(name);
+    if (n.starts_with("index/") || n.starts_with("unsub_support/")) continue;
+    sum += bytes;
+  }
+  return sum;
+}
+
+std::size_t index_bytes(const FilterEngine& engine) {
+  std::size_t sum = 0;
+  const MemoryBreakdown mem = engine.memory();
+  for (const auto& [name, bytes] : mem.components()) {
+    if (std::string_view(name).starts_with("index/")) sum += bytes;
+  }
+  return sum;
+}
+
+struct Sample {
+  std::size_t non_canonical = 0;
+  std::size_t counting = 0;
+  std::size_t counting_variant = 0;
+  std::size_t counting_full = 0;  // with unsubscription support
+  std::size_t shared = 0;         // predicate table + one phase-1 index
+};
+
+Sample measure_at(std::size_t n, std::size_t predicates) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = predicates;
+  config.seed = 0xbeef + predicates;
+  PaperWorkload workload(config, attrs, table);
+  EngineTrio engines(table);
+  CountingEngine counting_full(table);  // unsub-support configuration
+  for (std::size_t i = 0; i < n; ++i) {
+    const ast::Expr expr = workload.next_subscription();
+    engines.add(expr.root());
+    counting_full.add(expr.root());
+  }
+  // Steady-state footprint: release allocator growth slack before measuring.
+  engines.non_canonical.compact_storage();
+  engines.counting.compact_storage();
+  engines.counting_variant.compact_storage();
+  counting_full.compact_storage();
+  Sample s;
+  s.non_canonical = phase2_bytes(engines.non_canonical);
+  s.counting = phase2_bytes(engines.counting);
+  s.counting_variant = phase2_bytes(engines.counting_variant);
+  // The full configuration is reported *with* its unsubscription support —
+  // that is the point of the row.
+  std::size_t full_bytes = 0;
+  {
+    const MemoryBreakdown mem = counting_full.memory();
+    for (const auto& [name, bytes] : mem.components()) {
+      if (!std::string_view(name).starts_with("index/")) full_bytes += bytes;
+    }
+  }
+  s.counting_full = full_bytes;
+  s.shared = table.memory().total() + index_bytes(engines.non_canonical);
+  return s;
+}
+
+double slope(std::size_t small, std::size_t big, std::size_t n1,
+             std::size_t n2) {
+  return static_cast<double>(big - small) / static_cast<double>(n2 - n1);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Memory scalability analysis against the paper's 512 MB machine\n"
+      "# models: (a) phase-2 structures only; (b) + %.0f B per unique\n"
+      "# predicate (compact 2005-prototype storage); (c) full measured\n"
+      "# implementation including this library's predicate table/indexes\n\n",
+      kCompactPredicateBytes);
+
+  bool claim_holds = false;
+  for (const std::size_t predicates : {6u, 8u, 10u}) {
+    const std::size_t n1 = 5000;
+    const std::size_t n2 = 20000;
+    const Sample s1 = measure_at(n1, predicates);
+    const Sample s2 = measure_at(n2, predicates);
+
+    const double shared_rate = slope(s1.shared, s2.shared, n1, n2);
+    const double compact_shared =
+        static_cast<double>(predicates) * kCompactPredicateBytes;
+    const std::uint64_t transformed = std::uint64_t{1} << (predicates / 2);
+
+    std::printf("== |p| = %zu (DNF: %" PRIu64 " conjunctions x %zu literals = %" PRIu64
+                " literal entries per subscription)\n",
+                predicates, transformed, predicates / 2,
+                transformed * (predicates / 2));
+    std::printf(
+        "engine,phase2_B_per_sub,maxN_model_a,maxN_model_b,maxN_model_c\n");
+
+    const auto report = [&](const char* name, std::size_t b1, std::size_t b2) {
+      const double rate = slope(b1, b2, n1, n2);
+      std::printf("%s,%.1f,%.0f,%.0f,%.0f\n", name, rate, kBudgetBytes / rate,
+                  kBudgetBytes / (rate + compact_shared),
+                  kBudgetBytes / (rate + shared_rate));
+      return rate;
+    };
+    const double nc =
+        report("non-canonical", s1.non_canonical, s2.non_canonical);
+    report("counting-variant(paper-mode)", s1.counting_variant,
+           s2.counting_variant);
+    const double cnt = report("counting(paper-mode)", s1.counting, s2.counting);
+    const double cnt_full =
+        report("counting(full,unsub-support)", s1.counting_full,
+               s2.counting_full);
+
+    const double ratio_a = cnt / nc;
+    const double ratio_b = (cnt + compact_shared) / (nc + compact_shared);
+    std::printf("# shared (table+index) B/sub measured here: %.1f\n",
+                shared_rate);
+    std::printf("# capacity ratio non-canonical vs counting: %.2fx (model a), "
+                "%.2fx (model b)\n",
+                ratio_a, ratio_b);
+    std::printf("# unsub support costs counting %.1f B/sub extra\n\n",
+                cnt_full - cnt);
+    if (predicates == 10) claim_holds = ratio_a >= 4.0;
+  }
+
+  std::printf("# paper claim at |p|=10: non-canonical handles >4x the "
+              "subscriptions of the counting approach (phase-2 model): %s\n",
+              claim_holds ? "HOLDS" : "FAILS");
+  std::printf("# verification: %s\n", claim_holds ? "PASS" : "FAIL");
+  return claim_holds ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+// Shared harness pieces for the figure/table reproduction benches.
+//
+// Scale: the paper sweeps to 5 M subscriptions on 2005 hardware and lets the
+// OS swap; the default sweeps here finish in minutes on a laptop while
+// preserving the curve shapes. Set REPRO_SCALE=big for a longer sweep or
+// REPRO_SCALE=paper for the full subscription counts (hours, gigabytes).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/counting_engine.h"
+#include "engine/counting_variant_engine.h"
+#include "engine/non_canonical_engine.h"
+#include "workload/paper_workload.h"
+
+namespace ncps::bench {
+
+enum class Scale { kQuick, kBig, kPaper };
+
+inline Scale scale_from_env() {
+  const char* env = std::getenv("REPRO_SCALE");
+  if (env == nullptr) return Scale::kQuick;
+  const std::string_view s(env);
+  if (s == "big") return Scale::kBig;
+  if (s == "paper") return Scale::kPaper;
+  return Scale::kQuick;
+}
+
+inline const char* to_string(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick: return "quick";
+    case Scale::kBig: return "big";
+    case Scale::kPaper: return "paper";
+  }
+  return "?";
+}
+
+/// Subscription-count sweep for one figure panel. The paper's panels stop
+/// earlier for larger |p| (5 M at 6 predicates, 4 M at 8, 2.5 M at 10);
+/// the scaled sweeps keep that proportionality.
+inline std::vector<std::size_t> sweep_points(std::size_t predicates,
+                                             Scale scale) {
+  double factor = 1.0;
+  if (predicates == 8) factor = 0.8;
+  if (predicates == 10) factor = 0.5;
+  std::vector<std::size_t> base;
+  switch (scale) {
+    case Scale::kQuick:
+      base = {2000, 5000, 10000, 20000, 50000, 100000, 200000};
+      break;
+    case Scale::kBig:
+      base = {2000, 10000, 50000, 100000, 200000, 500000, 1000000};
+      break;
+    case Scale::kPaper:
+      base = {2000,    100000,  500000,  1000000, 1500000, 2000000,
+              2500000, 3000000, 3500000, 4000000, 4500000, 5000000};
+      break;
+  }
+  for (auto& n : base) {
+    n = static_cast<std::size_t>(static_cast<double>(n) * factor);
+  }
+  return base;
+}
+
+/// Wall-clock seconds of one phase-2 run, repeated; returns the minimum
+/// (least-noise estimator for a deterministic computation).
+template <typename Fn>
+double time_seconds(Fn&& fn, int repetitions = 5) {
+  double best = 1e300;
+  for (int r = 0; r < repetitions; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+            .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// The three engines of the paper's comparison over one shared predicate
+/// table, counting engines in the paper's no-unsubscription configuration.
+struct EngineTrio {
+  explicit EngineTrio(PredicateTable& table)
+      : non_canonical(table),
+        counting(table, DnfOptions{}, /*support_unsubscription=*/false),
+        counting_variant(table, DnfOptions{},
+                         /*support_unsubscription=*/false) {}
+
+  void add(const ast::Node& root) {
+    non_canonical.add(root);
+    counting.add(root);
+    counting_variant.add(root);
+  }
+
+  NonCanonicalEngine non_canonical;
+  CountingEngine counting;
+  CountingVariantEngine counting_variant;
+};
+
+}  // namespace ncps::bench

@@ -1,0 +1,71 @@
+// Quickstart: the smallest complete use of the library.
+//
+// A broker, two subscribers, a handful of arbitrary Boolean subscriptions
+// (no DNF, no restrictions), and a few published events.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "broker/broker.h"
+
+int main() {
+  using namespace ncps;
+
+  // The attribute registry is the shared schema; the broker owns the
+  // predicate table and the filtering engine (non-canonical by default).
+  AttributeRegistry attrs;
+  Broker broker(attrs);
+
+  // Subscribers receive notifications through callbacks.
+  const SubscriberId alice =
+      broker.register_subscriber([&](const Notification& n) {
+        std::printf("[alice] sub %u matched %s\n", n.subscription.value(),
+                    n.event->to_display_string(attrs).c_str());
+      });
+  const SubscriberId bob =
+      broker.register_subscriber([&](const Notification& n) {
+        std::printf("[bob]   sub %u matched %s\n", n.subscription.value(),
+                    n.event->to_display_string(attrs).c_str());
+      });
+
+  // Subscriptions are arbitrary Boolean expressions — the exact shape the
+  // paper's Fig. 1 uses, plus negation, which conjunctive-only systems
+  // cannot register at all without transformation.
+  broker.subscribe(alice, "price > 100 and symbol == \"ACME\"");
+  broker.subscribe(alice,
+                   "(price > 10 or price <= 5 or volume == 1) and "
+                   "(change <= 20 or change == 30)");
+  const SubscriptionId bobs_sub = broker.subscribe(
+      bob, "symbol prefix \"AC\" and not (price between 40 and 60)");
+
+  // Publish events; matching subscribers are notified synchronously.
+  std::puts("-- publishing three events --");
+  broker.publish(EventBuilder(attrs)
+                     .set("symbol", "ACME")
+                     .set("price", 150)
+                     .set("volume", 9000)
+                     .set("change", 12)
+                     .build());
+  broker.publish(EventBuilder(attrs)
+                     .set("symbol", "ACDC")
+                     .set("price", 50)  // inside bob's excluded band
+                     .set("volume", 1)
+                     .set("change", 30)
+                     .build());
+
+  // Unsubscription is first-class (the paper stresses this is hard for
+  // engines that do not store subscriptions).
+  broker.unsubscribe(bobs_sub);
+  std::puts("-- bob unsubscribed; republishing the first event --");
+  broker.publish(EventBuilder(attrs)
+                     .set("symbol", "ACME")
+                     .set("price", 150)
+                     .set("volume", 9000)
+                     .set("change", 12)
+                     .build());
+
+  std::printf("subscriptions live: %zu, engine: %s\n",
+              broker.subscription_count(),
+              std::string(broker.engine().name()).c_str());
+  return 0;
+}

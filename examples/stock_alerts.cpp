@@ -1,0 +1,107 @@
+// Stock alerting: a realistic single-broker deployment comparing all three
+// engines on the same subscription set and tick stream.
+//
+// Traders register alert rules (arbitrary Boolean expressions over symbol,
+// price, volume, change). A Zipf-hot tick stream is published; the example
+// reports notification counts (identical across engines — the correctness
+// premise), phase-2 work counters, and memory, making the paper's trade-off
+// tangible on a small live workload.
+//
+//   $ ./examples/stock_alerts
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/random.h"
+#include "workload/zipf.h"
+
+namespace {
+
+constexpr const char* kSymbols[] = {"ACME", "GLOBO", "INITECH", "HOOLI",
+                                    "UMBRL", "STARK", "WAYNE", "WONKA"};
+constexpr std::size_t kSymbolCount = sizeof(kSymbols) / sizeof(kSymbols[0]);
+
+std::vector<std::string> make_rules(ncps::Pcg32& rng, std::size_t count) {
+  std::vector<std::string> rules;
+  rules.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string sym = kSymbols[rng.bounded(kSymbolCount)];
+    const std::string sym2 = kSymbols[rng.bounded(kSymbolCount)];
+    const long lo = rng.range(10, 150);
+    switch (rng.bounded(4)) {
+      case 0:  // breakout alert
+        rules.push_back("symbol == \"" + sym + "\" and price > " +
+                        std::to_string(lo + 30));
+        break;
+      case 1:  // band-with-volume alert, disjunctive
+        rules.push_back("(symbol == \"" + sym + "\" or symbol == \"" + sym2 +
+                        "\") and (price between " + std::to_string(lo) +
+                        " and " + std::to_string(lo + 40) +
+                        " or volume > 15000)");
+        break;
+      case 2:  // movement alert
+        rules.push_back("change > 5 or change < -5");
+        break;
+      default:  // negative clause: anything but this symbol, big volume
+        rules.push_back("not symbol == \"" + sym + "\" and volume > 18000");
+        break;
+    }
+  }
+  return rules;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ncps;
+
+  Pcg32 rule_rng(2005);
+  const std::vector<std::string> rules = make_rules(rule_rng, 400);
+
+  std::printf("%-18s %12s %12s %14s %14s\n", "engine", "notifications",
+              "candidates", "phase2 work", "engine bytes");
+
+  for (const EngineKind kind : kAllEngineKinds) {
+    AttributeRegistry attrs;
+    Broker broker(attrs, kind);
+    std::size_t notifications = 0;
+    const SubscriberId trader = broker.register_subscriber(
+        [&](const Notification&) { ++notifications; });
+    for (const std::string& rule : rules) {
+      broker.subscribe(trader, rule);
+    }
+
+    // One shared deterministic tick stream.
+    Pcg32 rng(99);
+    ZipfSampler zipf(kSymbolCount, 1.2);
+    std::uint64_t candidates = 0;
+    std::uint64_t work = 0;
+    for (int tick = 0; tick < 5000; ++tick) {
+      const Event e =
+          EventBuilder(attrs)
+              .set("symbol", kSymbols[zipf.sample(rng)])
+              .set("price", rng.range(1, 200))
+              .set("volume", rng.range(100, 20000))
+              .set("change",
+                   static_cast<double>(rng.range(-100, 100)) / 10.0)
+              .build();
+      broker.publish(e);
+      const MatchStats& stats = broker.engine().last_stats();
+      candidates += stats.candidates;
+      work += stats.tree_evaluations + stats.hit_increments +
+              stats.counter_comparisons;
+    }
+
+    std::printf("%-18s %12zu %12llu %14llu %14zu\n",
+                std::string(to_string(kind)).c_str(), notifications,
+                static_cast<unsigned long long>(candidates),
+                static_cast<unsigned long long>(work),
+                broker.memory().total());
+  }
+
+  std::puts(
+      "\nAll engines deliver identical notification counts; they differ in\n"
+      "phase-2 work and memory — the trade-off the paper quantifies.");
+  return 0;
+}

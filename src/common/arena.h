@@ -1,0 +1,86 @@
+// Bump-pointer arena allocator.
+//
+// The pointer-AST evaluation ablation (bench_ablation) and the subscription
+// front-end allocate many small, same-lifetime nodes; an arena keeps them
+// contiguous (cache locality) and frees them in O(1). Individual deallocation
+// is intentionally unsupported — reset() releases everything at once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_size = 64 * 1024)
+      : block_size_(block_size) {
+    NCPS_EXPECTS(block_size >= 256);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Allocate `size` bytes aligned to `align`. Never returns nullptr.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    NCPS_DASSERT((align & (align - 1)) == 0);
+    std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (blocks_.empty() || offset + size > blocks_.back().size) {
+      const std::size_t want = size + align;
+      new_block(want > block_size_ ? want : block_size_);
+      offset = (cursor_ + align - 1) & ~(align - 1);
+    }
+    void* p = blocks_.back().data.get() + offset;
+    cursor_ = offset + size;
+    allocated_ += size;
+    return p;
+  }
+
+  /// Construct a T in the arena. T must be trivially destructible or the
+  /// caller must accept that ~T never runs.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(static_cast<Args&&>(args)...);
+  }
+
+  /// Release all allocations, keeping the first block for reuse.
+  void reset() {
+    if (blocks_.size() > 1) blocks_.resize(1);
+    cursor_ = 0;
+    allocated_ = 0;
+  }
+
+  [[nodiscard]] std::size_t allocated_bytes() const { return allocated_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t sum = blocks_.capacity() * sizeof(Block);
+    for (const auto& b : blocks_) sum += b.size;
+    return sum;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void new_block(std::size_t size) {
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    cursor_ = 0;
+  }
+
+  std::size_t block_size_;
+  std::vector<Block> blocks_;
+  std::size_t cursor_ = 0;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace ncps

@@ -1,0 +1,18 @@
+#include "common/contracts.h"
+
+namespace ncps {
+
+void contract_fail(const char* kind, const char* condition, const char* file,
+                   int line) {
+  std::string msg;
+  msg += kind;
+  msg += " failed: ";
+  msg += condition;
+  msg += " at ";
+  msg += file;
+  msg += ':';
+  msg += std::to_string(line);
+  throw ContractViolation(msg);
+}
+
+}  // namespace ncps

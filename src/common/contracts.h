@@ -1,0 +1,45 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.5/I.6: state and check preconditions; I.7/I.8: postconditions).
+//
+// NCPS_EXPECTS / NCPS_ENSURES are always on: the checks used here are cheap
+// (index bounds, non-null, non-empty) and the library is the reference
+// implementation of a paper, where a loud failure beats silent corruption.
+// NCPS_DASSERT compiles away in release builds and may be used on hot paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ncps {
+
+/// Thrown when a contract (precondition, postcondition, invariant) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                const char* file, int line);
+
+}  // namespace ncps
+
+#define NCPS_EXPECTS(cond)                                             \
+  do {                                                                 \
+    if (!(cond)) ::ncps::contract_fail("Precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define NCPS_ENSURES(cond)                                             \
+  do {                                                                 \
+    if (!(cond)) ::ncps::contract_fail("Postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define NCPS_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::ncps::contract_fail("Invariant", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#ifdef NDEBUG
+#define NCPS_DASSERT(cond) ((void)0)
+#else
+#define NCPS_DASSERT(cond) NCPS_ASSERT(cond)
+#endif

@@ -1,0 +1,59 @@
+// Strongly typed identifiers (Core Guidelines I.4: make interfaces precisely
+// and strongly typed). A PredicateId handed where a SubscriptionId is
+// expected must not compile; both are raw uint32 under the hood so they can
+// index dense arrays on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ncps {
+
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr StrongId invalid() { return StrongId(kInvalidValue); }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+ private:
+  static constexpr underlying_type kInvalidValue =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type value_ = kInvalidValue;
+};
+
+struct PredicateIdTag {};
+struct SubscriptionIdTag {};
+struct SubscriberIdTag {};
+struct AttributeIdTag {};
+struct BrokerIdTag {};
+
+/// Identifies an interned attribute-operator-value triple — id(p) in the paper.
+using PredicateId = StrongId<PredicateIdTag>;
+/// Identifies a registered subscription — id(s) in the paper.
+using SubscriptionId = StrongId<SubscriptionIdTag>;
+/// Identifies a subscriber session at a broker.
+using SubscriberId = StrongId<SubscriberIdTag>;
+/// Identifies an interned attribute name.
+using AttributeId = StrongId<AttributeIdTag>;
+/// Identifies a broker node in the overlay.
+using BrokerId = StrongId<BrokerIdTag>;
+
+}  // namespace ncps
+
+template <typename Tag>
+struct std::hash<ncps::StrongId<Tag>> {
+  std::size_t operator()(ncps::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

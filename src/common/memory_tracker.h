@@ -1,0 +1,67 @@
+// Exact byte accounting for the data structures of each matching engine.
+//
+// The paper's scalability argument is a memory argument: the engine whose
+// structures fit in RAM for the largest subscription count wins. Instead of
+// reproducing the 2005 machine's page-swapping "sharp bends" by thrashing the
+// host, every structure in this library reports its resident heap bytes, and
+// bench_memory solves for the subscription count at which a 512 MB budget
+// (the paper's machine) would be exhausted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ncps {
+
+/// A named breakdown of heap bytes owned by a component.
+class MemoryBreakdown {
+ public:
+  void add(std::string component, std::size_t bytes) {
+    components_.emplace_back(std::move(component), bytes);
+  }
+
+  /// Merge another breakdown under a prefix, e.g. "index/".
+  void add_nested(const std::string& prefix, const MemoryBreakdown& other) {
+    for (const auto& [name, bytes] : other.components_) {
+      components_.emplace_back(prefix + name, bytes);
+    }
+  }
+
+  [[nodiscard]] std::size_t total() const {
+    std::size_t sum = 0;
+    for (const auto& [name, bytes] : components_) sum += bytes;
+    return sum;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::size_t>>&
+  components() const {
+    return components_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::size_t>> components_;
+};
+
+/// Heap bytes held by a std::vector (capacity, not size — what the allocator
+/// actually reserved).
+template <typename T>
+std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Heap bytes of a vector of vectors, including inner buffers.
+template <typename T>
+std::size_t nested_vector_bytes(const std::vector<std::vector<T>>& v) {
+  std::size_t sum = v.capacity() * sizeof(std::vector<T>);
+  for (const auto& inner : v) sum += inner.capacity() * sizeof(T);
+  return sum;
+}
+
+/// Heap bytes of a std::string (0 when the small-string optimisation holds).
+inline std::size_t string_bytes(const std::string& s) {
+  return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+}
+
+}  // namespace ncps

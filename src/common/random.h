@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in this library (workload generation, property
+// tests, simulated network jitter) flows through these generators so that
+// every experiment is reproducible from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+/// SplitMix64: used to expand a user seed into well-distributed stream seeds.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (XSH-RR variant): small, fast, statistically solid generator.
+/// Reference: O'Neill, "PCG: A Family of Simple Fast Space-Efficient
+/// Statistically Good Algorithms for Random Number Generation" (2014).
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 1u) noexcept {
+    inc_ = (stream << 1u) | 1u;
+    state_ = 0;
+    (void)next();
+    state_ += seed;
+    (void)next();
+  }
+
+  std::uint32_t next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+  /// Unbiased integer in [0, bound). Lemire's multiply-then-reject method.
+  std::uint32_t bounded(std::uint32_t bound) noexcept {
+    NCPS_DASSERT(bound > 0);
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    auto low = static_cast<std::uint32_t>(m);
+    if (low < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        low = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    NCPS_DASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1u;
+    if (span == 0) return static_cast<std::int64_t>(next64());  // full range
+    if (span <= std::numeric_limits<std::uint32_t>::max()) {
+      return lo + static_cast<std::int64_t>(
+                      bounded(static_cast<std::uint32_t>(span)));
+    }
+    // Rejection sampling on 64 bits for very large spans.
+    const std::uint64_t limit = span * (UINT64_MAX / span);
+    std::uint64_t v = next64();
+    while (v >= limit) v = next64();
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+  // Satisfy UniformRandomBitGenerator so std::shuffle can use this engine.
+  std::uint32_t operator()() noexcept { return next(); }
+  static constexpr std::uint32_t min() noexcept { return 0; }
+  static constexpr std::uint32_t max() noexcept {
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 1;
+};
+
+}  // namespace ncps

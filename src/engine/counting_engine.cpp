@@ -1,0 +1,40 @@
+#include "engine/counting_engine.h"
+
+#include <algorithm>
+
+namespace ncps {
+
+void CountingEngine::match_predicates(std::span<const PredicateId> fulfilled,
+                                      std::vector<SubscriptionId>& out) {
+  stats_.reset();
+  matched_subs_.clear();
+
+  // Step 1: increment hit counters along the association lists.
+  for (const PredicateId pid : fulfilled) {
+    if (pid.value() >= assoc_.list_count()) continue;
+    assoc_.for_each(pid.value(), [&](Tid tid) {
+      ++hits_[tid];
+      ++stats_.hit_increments;
+    });
+  }
+
+  // Step 2: the defining full scan — compare every registered transformed
+  // subscription's hit count against its required count.
+  const std::size_t tid_count = required_.size();
+  for (Tid tid = 0; tid < tid_count; ++tid) {
+    ++stats_.counter_comparisons;
+    if (required_[tid] != kDeadTid && hits_[tid] == required_[tid]) {
+      if (matched_subs_.insert(owner_[tid])) {
+        out.push_back(SubscriptionId(owner_[tid]));
+        ++stats_.matches;
+      }
+    }
+  }
+  stats_.candidates = tid_count;
+
+  // Reset the hit vector for the next event (also linear — part of why the
+  // original algorithm cannot escape O(total transformed subscriptions)).
+  std::fill(hits_.begin(), hits_.end(), std::uint8_t{0});
+}
+
+}  // namespace ncps

@@ -1,0 +1,26 @@
+// The original counting algorithm (paper §3.3 baseline; [15, 17]).
+//
+// Phase 2: bump a hit counter for every transformed subscription containing
+// a fulfilled predicate, then scan *all* transformed subscriptions comparing
+// hits to required counts — the full-scan step whose cost is linear in the
+// (transformation-multiplied) subscription count, which is exactly the
+// scaling behaviour Fig. 3 shows.
+#pragma once
+
+#include "engine/counting_base.h"
+
+namespace ncps {
+
+class CountingEngine final : public CountingBase {
+ public:
+  explicit CountingEngine(PredicateTable& table, DnfOptions options = {},
+                          bool support_unsubscription = true)
+      : CountingBase(table, options, support_unsubscription) {}
+
+  void match_predicates(std::span<const PredicateId> fulfilled,
+                        std::vector<SubscriptionId>& out) override;
+
+  [[nodiscard]] std::string_view name() const override { return "counting"; }
+};
+
+}  // namespace ncps

@@ -1,0 +1,40 @@
+#include "engine/counting_variant_engine.h"
+
+namespace ncps {
+
+void CountingVariantEngine::match_predicates(
+    std::span<const PredicateId> fulfilled, std::vector<SubscriptionId>& out) {
+  stats_.reset();
+  matched_subs_.clear();
+  touched_.clear();
+  if (touched_set_.capacity() < required_.size()) {
+    touched_set_.resize(required_.size());
+  }
+  touched_set_.clear();
+
+  // Step 1: increment hit counters, recording each touched transformed
+  // subscription once — the candidate list.
+  for (const PredicateId pid : fulfilled) {
+    if (pid.value() >= assoc_.list_count()) continue;
+    assoc_.for_each(pid.value(), [&](Tid tid) {
+      ++hits_[tid];
+      ++stats_.hit_increments;
+      if (touched_set_.insert(tid)) touched_.push_back(tid);
+    });
+  }
+
+  // Step 2: compare candidates only; reset exactly what was touched.
+  for (const Tid tid : touched_) {
+    ++stats_.counter_comparisons;
+    if (hits_[tid] == required_[tid]) {
+      if (matched_subs_.insert(owner_[tid])) {
+        out.push_back(SubscriptionId(owner_[tid]));
+        ++stats_.matches;
+      }
+    }
+    hits_[tid] = 0;
+  }
+  stats_.candidates = touched_.size();
+}
+
+}  // namespace ncps

@@ -1,0 +1,43 @@
+// The paper's improved counting variant (§3.3).
+//
+// "In subscription matching we do not compare the whole hit vector and
+// subscription-predicate count vector. Instead, in the beginning of step two
+// for matching predicates we record all subscriptions they belong to.
+// Afterwards, we only compare the entries of these subscriptions" — i.e.
+// candidate-only comparison, making the cost depend on the number of
+// fulfilled predicates (and their association fan-out) rather than the total
+// subscription count. Scalability is unchanged: the transformed subscription
+// state still has to fit in memory.
+#pragma once
+
+#include "engine/counting_base.h"
+
+namespace ncps {
+
+class CountingVariantEngine final : public CountingBase {
+ public:
+  explicit CountingVariantEngine(PredicateTable& table,
+                                 DnfOptions options = {},
+                                 bool support_unsubscription = true)
+      : CountingBase(table, options, support_unsubscription) {}
+
+  void match_predicates(std::span<const PredicateId> fulfilled,
+                        std::vector<SubscriptionId>& out) override;
+
+  [[nodiscard]] std::string_view name() const override {
+    return "counting-variant";
+  }
+
+  [[nodiscard]] MemoryBreakdown memory() const override {
+    MemoryBreakdown mem = CountingBase::memory();
+    mem.add("scratch/touched_list", vector_bytes(touched_));
+    mem.add("scratch/touched_set", touched_set_.memory_bytes());
+    return mem;
+  }
+
+ private:
+  std::vector<Tid> touched_;  // tids whose counters were bumped this event
+  EpochSet touched_set_;
+};
+
+}  // namespace ncps

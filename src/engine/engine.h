@@ -1,0 +1,127 @@
+// The filtering engine interface shared by the paper's three algorithms.
+//
+// All engines implement the same two-phase pipeline (paper §3.2):
+//   phase 1 (predicate matching): event → {id(p)} via the one-dimensional
+//     PredicateIndex — identical machinery for every engine ("the first
+//     phases use the same indexes in the same way in both approaches");
+//   phase 2 (subscription matching): {id(p)} → {id(s)} — where the
+//     algorithms differ and where the paper measures.
+//
+// match(event) runs both phases; match_predicates(fulfilled) enters at
+// phase 2 with an externally supplied fulfilled-predicate set, which is how
+// the figure benchmarks reproduce the paper's methodology (fulfilled counts
+// of 5 000/10 000 are workload parameters there, not event outcomes).
+//
+// Engines own their predicate references: add() takes one PredicateTable
+// reference per unique predicate stored, remove() releases them, and index
+// registration follows the 0→1/1→0 refcount transitions. Engines are
+// single-threaded by design (the paper's prototype is too); the broker layer
+// serialises access.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/memory_tracker.h"
+#include "event/event.h"
+#include "index/predicate_index.h"
+#include "predicate/predicate_table.h"
+#include "subscription/ast.h"
+
+namespace ncps {
+
+/// Phase-2 work counters, reset per call; cumulative totals kept separately.
+struct MatchStats {
+  std::uint64_t candidates = 0;           ///< candidate subscriptions considered
+  std::uint64_t tree_evaluations = 0;     ///< Boolean trees evaluated (non-canonical)
+  std::uint64_t truth_lookups = 0;        ///< per-leaf truth probes during tree evaluation
+  std::uint64_t hit_increments = 0;       ///< counter bumps (counting family)
+  std::uint64_t counter_comparisons = 0;  ///< hits-vs-required comparisons
+  std::uint64_t matches = 0;              ///< subscriptions reported
+
+  void reset() { *this = MatchStats{}; }
+};
+
+class FilterEngine {
+ public:
+  explicit FilterEngine(PredicateTable& table) : table_(&table) {}
+  virtual ~FilterEngine() = default;
+
+  FilterEngine(const FilterEngine&) = delete;
+  FilterEngine& operator=(const FilterEngine&) = delete;
+
+  /// Register a subscription; the engine copies what it needs from the
+  /// expression (the caller keeps ownership of `expression`).
+  virtual SubscriptionId add(const ast::Node& expression) = 0;
+
+  /// Unregister. Returns false if the id is unknown or already removed.
+  virtual bool remove(SubscriptionId id) = 0;
+
+  /// Phase 2 only: report subscriptions satisfied when exactly the given
+  /// predicates are fulfilled. Appends matching ids to `out` (each once, in
+  /// unspecified order).
+  virtual void match_predicates(std::span<const PredicateId> fulfilled,
+                                std::vector<SubscriptionId>& out) = 0;
+
+  /// Full pipeline: phase 1 through this engine's index, then phase 2.
+  void match(const Event& event, std::vector<SubscriptionId>& out) {
+    fulfilled_scratch_.clear();
+    index_.match(event, *table_, fulfilled_scratch_);
+    match_predicates(fulfilled_scratch_, out);
+  }
+
+  [[nodiscard]] virtual std::size_t subscription_count() const = 0;
+  [[nodiscard]] virtual MemoryBreakdown memory() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Release allocator growth slack so memory() reflects the steady-state
+  /// footprint (what a long-running broker converges to, and what the
+  /// memory benchmarks measure). Matching behaviour is unchanged.
+  virtual void compact_storage() { use_count_.shrink_to_fit(); }
+
+  [[nodiscard]] const MatchStats& last_stats() const { return stats_; }
+  [[nodiscard]] PredicateTable& predicate_table() { return *table_; }
+  [[nodiscard]] const PredicateIndex& predicate_index() const { return index_; }
+
+ protected:
+  /// Take an engine-owned reference to a live predicate; the first
+  /// engine-local use registers it with the phase-1 index. Index membership
+  /// is driven by the engine's own use count, NOT the table's global
+  /// refcount: other owners (parsed expressions, other engines sharing the
+  /// table) may acquire and release the same predicate on their own
+  /// schedule without corrupting this engine's index.
+  void acquire_predicate(PredicateId id) {
+    table_->add_ref(id);
+    if (id.value() >= use_count_.size()) use_count_.resize(id.value() + 1, 0);
+    if (use_count_[id.value()]++ == 0) {
+      index_.add(id, table_->get(id));
+    }
+  }
+
+  /// Release an engine-owned reference; the last engine-local use
+  /// deregisters from the index (while the predicate is still resolvable).
+  void release_predicate(PredicateId id) {
+    NCPS_ASSERT(id.value() < use_count_.size() && use_count_[id.value()] > 0);
+    if (--use_count_[id.value()] == 0) {
+      index_.remove(id, table_->get(id));
+    }
+    table_->release(id);
+  }
+
+  [[nodiscard]] std::size_t use_count_bytes() const {
+    return use_count_.capacity() * sizeof(std::uint32_t);
+  }
+
+  PredicateTable* table_;
+  PredicateIndex index_;
+  MatchStats stats_;
+  std::vector<std::uint32_t> use_count_;  // engine-local uses per predicate id
+
+ private:
+  std::vector<PredicateId> fulfilled_scratch_;
+};
+
+}  // namespace ncps

@@ -1,0 +1,48 @@
+// Uniform construction of the three engines the paper compares, used by the
+// parameterized test suites and the benchmark harness.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "engine/counting_engine.h"
+#include "engine/counting_variant_engine.h"
+#include "engine/non_canonical_engine.h"
+
+namespace ncps {
+
+enum class EngineKind : std::uint8_t {
+  NonCanonical,
+  Counting,
+  CountingVariant,
+};
+
+inline constexpr EngineKind kAllEngineKinds[] = {
+    EngineKind::NonCanonical,
+    EngineKind::Counting,
+    EngineKind::CountingVariant,
+};
+
+[[nodiscard]] inline std::string_view to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::NonCanonical: return "non-canonical";
+    case EngineKind::Counting: return "counting";
+    case EngineKind::CountingVariant: return "counting-variant";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::unique_ptr<FilterEngine> make_engine(
+    EngineKind kind, PredicateTable& table) {
+  switch (kind) {
+    case EngineKind::NonCanonical:
+      return std::make_unique<NonCanonicalEngine>(table);
+    case EngineKind::Counting:
+      return std::make_unique<CountingEngine>(table);
+    case EngineKind::CountingVariant:
+      return std::make_unique<CountingVariantEngine>(table);
+  }
+  return nullptr;
+}
+
+}  // namespace ncps

@@ -1,0 +1,179 @@
+// Compact posting lists for the predicate→subscription association tables.
+//
+// The paper's baseline implementation stresses compactness: "we choose an
+// implementation similar to the list-based one in [2] to require as little
+// memory as possible ... we use arrays instead of a subscription list"
+// (§3.3, footnote 2). A std::vector per predicate costs a 24-byte header
+// plus a malloc block even for the one-entry lists that dominate the
+// unique-predicate workload — enough overhead to bury the engines' actual
+// memory difference.
+//
+// PostingStore packs all lists into two flat arrays:
+//   - a 12-byte head per list: count, the first item inline (most lists in
+//     the paper's workload have exactly one entry — no chunk needed at all),
+//     and the head of an overflow chain;
+//   - a pool of fixed-size chunks (8 items + next, 36 bytes) shared by all
+//     lists, recycled through a free list on removal.
+//
+// Supports the three operations the engines need: append, unordered remove
+// (swap with last), and iteration. Not thread-safe, like the engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+class PostingStore {
+ public:
+  /// Grow the universe of list ids to [0, count). Existing lists keep their
+  /// contents.
+  void ensure_lists(std::size_t count) {
+    if (heads_.size() < count) heads_.resize(count);
+  }
+
+  [[nodiscard]] std::size_t list_count() const { return heads_.size(); }
+
+  [[nodiscard]] std::uint32_t size(std::uint32_t list) const {
+    NCPS_DASSERT(list < heads_.size());
+    return heads_[list].count;
+  }
+
+  void add(std::uint32_t list, std::uint32_t item) {
+    NCPS_DASSERT(list < heads_.size());
+    Head& head = heads_[list];
+    if (head.count == 0) {
+      head.first = item;
+      head.count = 1;
+      return;
+    }
+    const std::uint32_t position = head.count - 1;  // index among chunk items
+    const std::uint32_t chunk_slot = position % kChunkItems;
+    if (chunk_slot == 0) {
+      // A fresh chunk is needed at the front of the chain; chains grow at
+      // the head so append never walks the list.
+      const std::uint32_t chunk = allocate_chunk();
+      pool_[chunk].next = head.overflow;
+      head.overflow = chunk;
+    }
+    pool_[head.overflow].items[chunk_slot] = item;
+    ++head.count;
+  }
+
+  /// Remove one occurrence of `item` (order not preserved). Returns false if
+  /// absent.
+  bool remove(std::uint32_t list, std::uint32_t item) {
+    NCPS_DASSERT(list < heads_.size());
+    Head& head = heads_[list];
+    if (head.count == 0) return false;
+
+    // Locate the item: inline slot, then the overflow chain (newest first).
+    std::uint32_t* found = nullptr;
+    if (head.first == item) {
+      found = &head.first;
+    } else {
+      const std::uint32_t newest_count = (head.count - 1) % kChunkItems == 0
+                                             ? kChunkItems
+                                             : (head.count - 1) % kChunkItems;
+      std::uint32_t chunk = head.overflow;
+      std::uint32_t in_chunk = newest_count;
+      while (chunk != kNone && found == nullptr) {
+        for (std::uint32_t i = 0; i < in_chunk; ++i) {
+          if (pool_[chunk].items[i] == item) {
+            found = &pool_[chunk].items[i];
+            break;
+          }
+        }
+        chunk = pool_[chunk].next;
+        in_chunk = kChunkItems;  // all older chunks are full
+      }
+    }
+    if (found == nullptr) return false;
+
+    // Swap the last item in, then shrink.
+    *found = last_item(head);
+    --head.count;
+    if (head.count > 0 && (head.count - 1) % kChunkItems == 0) {
+      // The newest chunk just emptied: unlink and recycle it.
+      const std::uint32_t chunk = head.overflow;
+      head.overflow = pool_[chunk].next;
+      free_chunk(chunk);
+    }
+    return true;
+  }
+
+  /// Invoke fn(item) for every posting in the list.
+  template <typename Fn>
+  void for_each(std::uint32_t list, Fn&& fn) const {
+    NCPS_DASSERT(list < heads_.size());
+    const Head& head = heads_[list];
+    if (head.count == 0) return;
+    fn(head.first);
+    std::uint32_t remaining = head.count - 1;
+    std::uint32_t in_chunk = remaining % kChunkItems == 0
+                                 ? kChunkItems
+                                 : remaining % kChunkItems;
+    std::uint32_t chunk = head.overflow;
+    while (remaining > 0) {
+      NCPS_DASSERT(chunk != kNone);
+      for (std::uint32_t i = 0; i < in_chunk; ++i) fn(pool_[chunk].items[i]);
+      remaining -= in_chunk;
+      chunk = pool_[chunk].next;
+      in_chunk = kChunkItems;
+    }
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return heads_.capacity() * sizeof(Head) + pool_.capacity() * sizeof(Chunk) +
+           free_chunks_.capacity() * sizeof(std::uint32_t);
+  }
+
+  /// Release growth slack (steady-state footprint after a bulk load).
+  void shrink_to_fit() {
+    heads_.shrink_to_fit();
+    pool_.shrink_to_fit();
+    free_chunks_.shrink_to_fit();
+  }
+
+ private:
+  static constexpr std::uint32_t kChunkItems = 8;
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+
+  struct Head {
+    std::uint32_t count = 0;
+    std::uint32_t first = 0;
+    std::uint32_t overflow = kNone;
+  };
+
+  struct Chunk {
+    std::uint32_t items[kChunkItems];
+    std::uint32_t next = kNone;
+  };
+
+  [[nodiscard]] std::uint32_t last_item(const Head& head) const {
+    if (head.count == 1) return head.first;
+    const std::uint32_t slot = (head.count - 2) % kChunkItems;
+    return pool_[head.overflow].items[slot];
+  }
+
+  std::uint32_t allocate_chunk() {
+    if (!free_chunks_.empty()) {
+      const std::uint32_t chunk = free_chunks_.back();
+      free_chunks_.pop_back();
+      pool_[chunk].next = kNone;
+      return chunk;
+    }
+    pool_.emplace_back();
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+
+  void free_chunk(std::uint32_t chunk) { free_chunks_.push_back(chunk); }
+
+  std::vector<Head> heads_;
+  std::vector<Chunk> pool_;
+  std::vector<std::uint32_t> free_chunks_;
+};
+
+}  // namespace ncps

@@ -1,0 +1,40 @@
+#include "event/event.h"
+
+#include <algorithm>
+
+namespace ncps {
+
+void Event::set(AttributeId attribute, Value value) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), attribute,
+      [](const Entry& e, AttributeId id) { return e.attribute < id; });
+  if (it != entries_.end() && it->attribute == attribute) {
+    it->value = std::move(value);
+    return;
+  }
+  entries_.insert(it, Entry{attribute, std::move(value)});
+}
+
+const Value* Event::find(AttributeId attribute) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), attribute,
+      [](const Entry& e, AttributeId id) { return e.attribute < id; });
+  if (it != entries_.end() && it->attribute == attribute) return &it->value;
+  return nullptr;
+}
+
+std::string Event::to_display_string(const AttributeRegistry& attrs) const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& entry : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += attrs.name(entry.attribute);
+    out += '=';
+    out += entry.value.to_display_string();
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace ncps

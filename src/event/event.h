@@ -1,0 +1,68 @@
+// Event messages: the data published into the system.
+//
+// An event is a set of attribute→value pairs, stored as a flat vector sorted
+// by AttributeId so lookup is a binary search and iteration is cache-linear
+// (phase 1 of matching walks every attribute of the event exactly once,
+// mirroring the paper's "evaluate each attribute only once").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "event/schema.h"
+#include "event/value.h"
+
+namespace ncps {
+
+class Event {
+ public:
+  struct Entry {
+    AttributeId attribute;
+    Value value;
+  };
+
+  Event() = default;
+
+  /// Add or overwrite an attribute.
+  void set(AttributeId attribute, Value value);
+
+  [[nodiscard]] const Value* find(AttributeId attribute) const;
+  [[nodiscard]] bool has(AttributeId attribute) const {
+    return find(attribute) != nullptr;
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  [[nodiscard]] std::string to_display_string(const AttributeRegistry& attrs) const;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by attribute id
+};
+
+/// Fluent construction of events against a registry:
+///   Event e = EventBuilder(attrs).set("price", 41.5).set("symbol", "ACME").build();
+class EventBuilder {
+ public:
+  explicit EventBuilder(AttributeRegistry& attrs) : attrs_(&attrs) {}
+
+  EventBuilder& set(std::string_view attribute, Value value) {
+    event_.set(attrs_->intern(attribute), std::move(value));
+    return *this;
+  }
+
+  /// Consumes the builder's event; the builder is empty afterwards.
+  [[nodiscard]] Event build() { return std::move(event_); }
+  [[nodiscard]] const Event& peek() const { return event_; }
+
+ private:
+  AttributeRegistry* attrs_;
+  Event event_;
+};
+
+}  // namespace ncps

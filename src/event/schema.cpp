@@ -1,0 +1,42 @@
+#include "event/schema.h"
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+AttributeId AttributeRegistry::intern(std::string_view name) {
+  NCPS_EXPECTS(!name.empty());
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
+    return it->second;
+  }
+  const AttributeId id(static_cast<std::uint32_t>(names_.size()));
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+AttributeId AttributeRegistry::find(std::string_view name) const {
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
+    return it->second;
+  }
+  return AttributeId::invalid();
+}
+
+const std::string& AttributeRegistry::name(AttributeId id) const {
+  NCPS_EXPECTS(id.valid() && id.value() < names_.size());
+  return names_[id.value()];
+}
+
+MemoryBreakdown AttributeRegistry::memory() const {
+  MemoryBreakdown mem;
+  std::size_t name_bytes = names_.capacity() * sizeof(std::string);
+  for (const auto& n : names_) name_bytes += string_bytes(n);
+  mem.add("attribute_names", name_bytes);
+  mem.add("attribute_id_map",
+          ids_.bucket_count() * sizeof(void*) +
+              ids_.size() * (sizeof(std::string) + sizeof(AttributeId) +
+                             2 * sizeof(void*)));
+  return mem;
+}
+
+}  // namespace ncps

@@ -1,0 +1,38 @@
+// Attribute name interning.
+//
+// Attributes are referenced millions of times (every predicate and every
+// event names one); interning maps each distinct name to a dense AttributeId
+// so the hot path works on integers and per-attribute index arrays, never on
+// strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/memory_tracker.h"
+
+namespace ncps {
+
+class AttributeRegistry {
+ public:
+  /// Intern a name, returning its stable id (allocating one if new).
+  AttributeId intern(std::string_view name);
+
+  /// Look up an existing name; invalid() if never interned.
+  [[nodiscard]] AttributeId find(std::string_view name) const;
+
+  [[nodiscard]] const std::string& name(AttributeId id) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  [[nodiscard]] MemoryBreakdown memory() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttributeId> ids_;
+};
+
+}  // namespace ncps

@@ -1,0 +1,95 @@
+#include "event/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace ncps {
+
+std::string_view to_string(ValueType type) {
+  switch (type) {
+    case ValueType::Int64: return "int64";
+    case ValueType::Float64: return "float64";
+    case ValueType::String: return "string";
+    case ValueType::Bool: return "bool";
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type() == b.type()) return a.data_ == b.data_;
+  if (a.is_numeric() && b.is_numeric()) return a.numeric() == b.numeric();
+  return false;
+}
+
+std::optional<std::strong_ordering> compare(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = a.numeric();
+    const double y = b.numeric();
+    if (std::isnan(x) || std::isnan(y)) return std::nullopt;
+    if (x < y) return std::strong_ordering::less;
+    if (x > y) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  if (a.type() != b.type()) return std::nullopt;
+  switch (a.type()) {
+    case ValueType::String: {
+      const int c = a.as_string().compare(b.as_string());
+      if (c < 0) return std::strong_ordering::less;
+      if (c > 0) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    case ValueType::Bool:
+      // Booleans are equality-only; ordering a bool is a modelling error.
+      return a.as_bool() == b.as_bool() ? std::optional(std::strong_ordering::equal)
+                                        : std::nullopt;
+    default:
+      return std::nullopt;  // unreachable: numeric handled above
+  }
+}
+
+std::string Value::to_display_string() const {
+  switch (type()) {
+    case ValueType::Int64: return std::to_string(as_int());
+    case ValueType::Float64: {
+      // %.17g survives a parse round-trip for every finite double.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", as_double());
+      std::string s(buf);
+      // Ensure the token re-lexes as a float, not an integer.
+      if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+      return s;
+    }
+    case ValueType::String: return '"' + as_string() + '"';
+    case ValueType::Bool: return as_bool() ? "true" : "false";
+  }
+  return "?";
+}
+
+std::size_t Value::heap_bytes() const {
+  if (type() != ValueType::String) return 0;
+  const std::string& s = as_string();
+  return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+}
+
+std::size_t Value::hash() const {
+  switch (type()) {
+    case ValueType::Int64: {
+      // Hash integral values through double when they are exactly
+      // representable so that Value(2) and Value(2.0) hash identically,
+      // matching operator==.
+      const auto i = as_int();
+      const auto d = static_cast<double>(i);
+      if (static_cast<std::int64_t>(d) == i) {
+        return std::hash<double>{}(d);
+      }
+      return std::hash<std::int64_t>{}(i);
+    }
+    case ValueType::Float64: return std::hash<double>{}(as_double());
+    case ValueType::String: return std::hash<std::string>{}(as_string());
+    case ValueType::Bool: return std::hash<bool>{}(as_bool());
+  }
+  return 0;
+}
+
+}  // namespace ncps

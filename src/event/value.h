@@ -1,0 +1,78 @@
+// Typed attribute values.
+//
+// Events and predicate operands carry values of one of four primitive types.
+// Comparisons are only defined within a type family (Int64 and Float64
+// cross-compare numerically; everything else requires an exact type match) —
+// a predicate comparing a string against an integer is simply false, never
+// an implicit coercion.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace ncps {
+
+enum class ValueType : std::uint8_t { Int64, Float64, String, Bool };
+
+[[nodiscard]] std::string_view to_string(ValueType type);
+
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+  Value(std::int64_t v) : data_(v) {}        // NOLINT(google-explicit-constructor)
+  Value(int v) : data_(std::int64_t{v}) {}   // NOLINT(google-explicit-constructor)
+  Value(double v) : data_(v) {}              // NOLINT(google-explicit-constructor)
+  Value(bool v) : data_(v) {}                // NOLINT(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT
+  Value(std::string_view v) : data_(std::string(v)) {}  // NOLINT
+
+  [[nodiscard]] ValueType type() const {
+    switch (data_.index()) {
+      case 0: return ValueType::Int64;
+      case 1: return ValueType::Float64;
+      case 2: return ValueType::String;
+      default: return ValueType::Bool;
+    }
+  }
+
+  [[nodiscard]] bool is_numeric() const {
+    return type() == ValueType::Int64 || type() == ValueType::Float64;
+  }
+
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
+  [[nodiscard]] double as_double() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(data_); }
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+
+  /// Numeric view: Int64 widened to double. Precondition: is_numeric().
+  [[nodiscard]] double numeric() const {
+    if (type() == ValueType::Int64) return static_cast<double>(as_int());
+    return as_double();
+  }
+
+  friend bool operator==(const Value& a, const Value& b);
+
+  [[nodiscard]] std::string to_display_string() const;
+
+  /// Bytes held on the heap beyond sizeof(Value) (long strings only).
+  [[nodiscard]] std::size_t heap_bytes() const;
+
+  /// Stable hash, consistent with operator== (numeric Int64/Float64 that
+  /// compare equal hash equal).
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  std::variant<std::int64_t, double, std::string, bool> data_;
+};
+
+/// Three-way comparison. Returns nullopt when the two values are not
+/// comparable (different non-numeric families, or bool vs anything).
+[[nodiscard]] std::optional<std::strong_ordering> compare(const Value& a,
+                                                          const Value& b);
+
+}  // namespace ncps

@@ -1,0 +1,230 @@
+#include "index/attribute_index.h"
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+namespace {
+
+/// Which structure a predicate belongs to.
+enum class Slot { Eq, Upper, Lower, Between, Prefix, Exists, Scan };
+
+Slot classify(const Predicate& p) {
+  switch (p.op) {
+    case Operator::Eq:
+      return Slot::Eq;
+    case Operator::Lt:
+    case Operator::Le:
+      return p.lo.is_numeric() ? Slot::Upper : Slot::Scan;
+    case Operator::Gt:
+    case Operator::Ge:
+      return p.lo.is_numeric() ? Slot::Lower : Slot::Scan;
+    case Operator::Between:
+      return p.lo.is_numeric() && p.hi.is_numeric() ? Slot::Between
+                                                    : Slot::Scan;
+    case Operator::Prefix:
+      return p.lo.type() == ValueType::String ? Slot::Prefix : Slot::Scan;
+    case Operator::Exists:
+      return Slot::Exists;
+    default:
+      return Slot::Scan;  // Ne, NotBetween, Suffix, Contains, negatives, ...
+  }
+}
+
+}  // namespace
+
+bool AttributeIndex::erase_from(std::vector<PredicateId>& list,
+                                PredicateId id) {
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == id) {
+      list[i] = list.back();
+      list.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void AttributeIndex::add(PredicateId id, const Predicate& p) {
+  switch (classify(p)) {
+    case Slot::Eq:
+      eq_.add(p.lo, id);
+      ++indexed_count_;
+      return;
+    case Slot::Upper: {
+      RangePostings* postings = upper_bounds_.try_emplace(p.lo.numeric()).first;
+      (p.op == Operator::Lt ? postings->strict : postings->inclusive)
+          .push_back(id);
+      ++indexed_count_;
+      return;
+    }
+    case Slot::Lower: {
+      RangePostings* postings = lower_bounds_.try_emplace(p.lo.numeric()).first;
+      (p.op == Operator::Gt ? postings->strict : postings->inclusive)
+          .push_back(id);
+      ++indexed_count_;
+      return;
+    }
+    case Slot::Between: {
+      auto* list = between_.try_emplace(p.lo.numeric()).first;
+      list->push_back(IntervalPosting{p.hi.numeric(), id});
+      ++indexed_count_;
+      return;
+    }
+    case Slot::Prefix:
+      prefix_[p.lo.as_string()].push_back(id);
+      ++indexed_count_;
+      return;
+    case Slot::Exists:
+      exists_.push_back(id);
+      ++indexed_count_;
+      return;
+    case Slot::Scan:
+      scan_.push_back(id);
+      return;
+  }
+}
+
+bool AttributeIndex::remove(PredicateId id, const Predicate& p) {
+  switch (classify(p)) {
+    case Slot::Eq:
+      if (!eq_.remove(p.lo, id)) return false;
+      --indexed_count_;
+      return true;
+    case Slot::Upper:
+    case Slot::Lower: {
+      RangeTree& tree =
+          classify(p) == Slot::Upper ? upper_bounds_ : lower_bounds_;
+      RangePostings* postings = tree.find(p.lo.numeric());
+      if (postings == nullptr) return false;
+      const bool strict = p.op == Operator::Lt || p.op == Operator::Gt;
+      if (!erase_from(strict ? postings->strict : postings->inclusive, id)) {
+        return false;
+      }
+      if (postings->empty()) tree.erase(p.lo.numeric());
+      --indexed_count_;
+      return true;
+    }
+    case Slot::Between: {
+      auto* list = between_.find(p.lo.numeric());
+      if (list == nullptr) return false;
+      for (std::size_t i = 0; i < list->size(); ++i) {
+        if ((*list)[i].id == id) {
+          (*list)[i] = list->back();
+          list->pop_back();
+          if (list->empty()) between_.erase(p.lo.numeric());
+          --indexed_count_;
+          return true;
+        }
+      }
+      return false;
+    }
+    case Slot::Prefix: {
+      auto it = prefix_.find(p.lo.as_string());
+      if (it == prefix_.end() || !erase_from(it->second, id)) return false;
+      if (it->second.empty()) prefix_.erase(it);
+      --indexed_count_;
+      return true;
+    }
+    case Slot::Exists:
+      if (!erase_from(exists_, id)) return false;
+      --indexed_count_;
+      return true;
+    case Slot::Scan:
+      return erase_from(scan_, id);
+  }
+  return false;
+}
+
+void AttributeIndex::stab(const Value& value, const PredicateTable& table,
+                          std::vector<PredicateId>& out) const {
+  // Point predicates.
+  eq_.stab(value, out);
+
+  if (value.is_numeric()) {
+    const double v = value.numeric();
+
+    // Upper bounds (a < c, a <= c): every key >= v matches; at key == v only
+    // the inclusive flavour does.
+    for (auto it = upper_bounds_.lower_bound(v); it != upper_bounds_.end();
+         ++it) {
+      const RangePostings& p = it.value();
+      out.insert(out.end(), p.inclusive.begin(), p.inclusive.end());
+      if (it.key() > v) {
+        out.insert(out.end(), p.strict.begin(), p.strict.end());
+      }
+    }
+
+    // Lower bounds (a > c, a >= c): every key < v matches; at key == v only
+    // the inclusive flavour does.
+    for (auto it = lower_bounds_.begin(); it != lower_bounds_.end(); ++it) {
+      if (it.key() > v) break;
+      const RangePostings& p = it.value();
+      out.insert(out.end(), p.inclusive.begin(), p.inclusive.end());
+      if (it.key() < v) {
+        out.insert(out.end(), p.strict.begin(), p.strict.end());
+      }
+    }
+
+    // Intervals: keys (lo) <= v, filtered by hi >= v.
+    for (auto it = between_.begin(); it != between_.end(); ++it) {
+      if (it.key() > v) break;
+      for (const IntervalPosting& posting : it.value()) {
+        if (posting.hi >= v) out.push_back(posting.id);
+      }
+    }
+  }
+
+  if (value.type() == ValueType::String && !prefix_.empty()) {
+    const std::string& s = value.as_string();
+    std::string probe;
+    probe.reserve(s.size());
+    // Probe every prefix of the event value, including the empty prefix.
+    for (std::size_t len = 0; len <= s.size(); ++len) {
+      probe.assign(s, 0, len);
+      if (const auto it = prefix_.find(probe); it != prefix_.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+
+  // Presence predicates match any value.
+  out.insert(out.end(), exists_.begin(), exists_.end());
+
+  // Scan list: evaluate non-indexable predicates directly.
+  for (PredicateId id : scan_) {
+    const Predicate& p = table.get(id);
+    if (eval_operator(p.op, value, p.lo, p.hi)) out.push_back(id);
+  }
+}
+
+bool AttributeIndex::empty() const {
+  return indexed_count_ == 0 && scan_.empty();
+}
+
+std::size_t AttributeIndex::memory_bytes() const {
+  std::size_t bytes = eq_.memory_bytes();
+  bytes += upper_bounds_.memory_bytes();
+  bytes += lower_bounds_.memory_bytes();
+  bytes += between_.memory_bytes();
+  // Range-posting vectors live outside the B+ tree node footprint.
+  for (auto it = upper_bounds_.begin(); it != upper_bounds_.end(); ++it) {
+    bytes += it.value().memory_bytes();
+  }
+  for (auto it = lower_bounds_.begin(); it != lower_bounds_.end(); ++it) {
+    bytes += it.value().memory_bytes();
+  }
+  for (auto it = between_.begin(); it != between_.end(); ++it) {
+    bytes += vector_bytes(it.value());
+  }
+  bytes += prefix_.bucket_count() * sizeof(void*);
+  for (const auto& [key, list] : prefix_) {
+    bytes += sizeof(std::string) + string_bytes(key) + 2 * sizeof(void*) +
+             sizeof(std::vector<PredicateId>) + vector_bytes(list);
+  }
+  bytes += vector_bytes(exists_);
+  bytes += vector_bytes(scan_);
+  return bytes;
+}
+
+}  // namespace ncps

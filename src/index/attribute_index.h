@@ -1,0 +1,90 @@
+// Per-attribute predicate index: the phase-1 work for one event attribute.
+//
+// Predicates on one attribute are spread over operator-class-specific
+// structures (paper §3.2: "These indexes are applied based on operators used
+// in predicates"):
+//
+//   Eq                  → hash index on the operand value
+//   Lt/Le (numeric)     → B+ tree keyed on the constant; stab walks keys ≥ v
+//   Gt/Ge (numeric)     → B+ tree keyed on the constant; stab walks keys < v
+//                         (plus Ge postings at v itself)
+//   Between (numeric)   → B+ tree keyed on lo; stab walks keys ≤ v and
+//                         filters on hi (worst-case linear in lo-matches —
+//                         documented trade-off, see DESIGN.md)
+//   Prefix (string)     → hash map keyed by prefix; stab probes every prefix
+//                         of the event string (O(|v|) probes)
+//   Exists              → plain posting list (matches on presence)
+//   everything else     → scan list, evaluated predicate-by-predicate
+//                         (Ne, NotBetween, Suffix, Contains, negative string
+//                         ops, and ordered comparisons on non-numeric
+//                         operands)
+//
+// Every predicate registered on this attribute lives in exactly one of these
+// structures, so a stab emits each matching id exactly once.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/memory_tracker.h"
+#include "event/value.h"
+#include "index/bplus_tree.h"
+#include "index/hash_index.h"
+#include "predicate/predicate.h"
+#include "predicate/predicate_table.h"
+
+namespace ncps {
+
+class AttributeIndex {
+ public:
+  void add(PredicateId id, const Predicate& p);
+
+  /// Remove a previously added predicate. Returns true if found.
+  bool remove(PredicateId id, const Predicate& p);
+
+  /// Append all predicate ids on this attribute matching `value`.
+  /// `table` resolves scan-list predicates.
+  void stab(const Value& value, const PredicateTable& table,
+            std::vector<PredicateId>& out) const;
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t indexed_count() const { return indexed_count_; }
+  [[nodiscard]] std::size_t scan_count() const { return scan_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  /// Posting lists for the strict and inclusive flavour of one bound.
+  struct RangePostings {
+    std::vector<PredicateId> strict;     // Lt (or Gt)
+    std::vector<PredicateId> inclusive;  // Le (or Ge)
+    [[nodiscard]] bool empty() const {
+      return strict.empty() && inclusive.empty();
+    }
+    [[nodiscard]] std::size_t memory_bytes() const {
+      return vector_bytes(strict) + vector_bytes(inclusive);
+    }
+  };
+
+  struct IntervalPosting {
+    double hi;
+    PredicateId id;
+  };
+
+  using RangeTree = BPlusTree<double, RangePostings>;
+  using IntervalTree = BPlusTree<double, std::vector<IntervalPosting>>;
+
+  static bool erase_from(std::vector<PredicateId>& list, PredicateId id);
+
+  HashIndex eq_;
+  RangeTree upper_bounds_;  // Lt/Le: predicate matches values BELOW the key
+  RangeTree lower_bounds_;  // Gt/Ge: predicate matches values ABOVE the key
+  IntervalTree between_;    // keyed by lo
+  std::unordered_map<std::string, std::vector<PredicateId>> prefix_;
+  std::vector<PredicateId> exists_;
+  std::vector<PredicateId> scan_;
+  std::size_t indexed_count_ = 0;
+};
+
+}  // namespace ncps

@@ -1,0 +1,73 @@
+// Hash index for point (equality) predicates (paper §3.2: "point predicates
+// utilise hash tables").
+//
+// Maps operand values to posting lists of predicate ids. Numeric keys are
+// hashed consistently across Int64/Float64 (Value::hash matches Value
+// equality), so a predicate `price == 5` matches events carrying 5 or 5.0.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/memory_tracker.h"
+#include "event/value.h"
+
+namespace ncps {
+
+class HashIndex {
+ public:
+  void add(const Value& operand, PredicateId id) {
+    map_[operand].push_back(id);
+  }
+
+  /// Remove one posting; returns true if the posting existed.
+  bool remove(const Value& operand, PredicateId id) {
+    auto it = map_.find(operand);
+    if (it == map_.end()) return false;
+    auto& list = it->second;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == id) {
+        list[i] = list.back();
+        list.pop_back();
+        if (list.empty()) map_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Append all predicates whose operand equals `value`.
+  void stab(const Value& value, std::vector<PredicateId>& out) const {
+    const auto it = map_.find(value);
+    if (it == map_.end()) return;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& [k, list] : map_) n += list.size();
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = map_.bucket_count() * sizeof(void*);
+    for (const auto& [k, list] : map_) {
+      bytes += sizeof(Value) + k.heap_bytes() + 2 * sizeof(void*);
+      bytes += sizeof(std::vector<PredicateId>) +
+               list.capacity() * sizeof(PredicateId);
+    }
+    return bytes;
+  }
+
+ private:
+  struct ValueHasher {
+    std::size_t operator()(const Value& v) const { return v.hash(); }
+  };
+
+  std::unordered_map<Value, std::vector<PredicateId>, ValueHasher> map_;
+};
+
+}  // namespace ncps

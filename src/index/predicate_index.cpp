@@ -1,0 +1,60 @@
+#include "index/predicate_index.h"
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+void PredicateIndex::add(PredicateId id, const Predicate& p) {
+  NCPS_EXPECTS(p.attribute.valid());
+  if (p.op == Operator::NotExists) {
+    not_exists_.push_back(NotExistsEntry{p.attribute, id});
+    return;
+  }
+  if (p.attribute.value() >= per_attribute_.size()) {
+    per_attribute_.resize(p.attribute.value() + 1);
+  }
+  per_attribute_[p.attribute.value()].add(id, p);
+}
+
+bool PredicateIndex::remove(PredicateId id, const Predicate& p) {
+  if (p.op == Operator::NotExists) {
+    for (std::size_t i = 0; i < not_exists_.size(); ++i) {
+      if (not_exists_[i].id == id) {
+        not_exists_[i] = not_exists_.back();
+        not_exists_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+  if (p.attribute.value() >= per_attribute_.size()) return false;
+  return per_attribute_[p.attribute.value()].remove(id, p);
+}
+
+void PredicateIndex::match(const Event& event, const PredicateTable& table,
+                           std::vector<PredicateId>& out) const {
+  // Each attribute of the event is evaluated exactly once (§2.1: "applying
+  // indexes means to evaluate each attribute only once").
+  for (const Event::Entry& entry : event.entries()) {
+    if (entry.attribute.value() >= per_attribute_.size()) continue;
+    per_attribute_[entry.attribute.value()].stab(entry.value, table, out);
+  }
+  // NotExists predicates match on absence.
+  for (const NotExistsEntry& entry : not_exists_) {
+    if (!event.has(entry.attribute)) out.push_back(entry.id);
+  }
+}
+
+MemoryBreakdown PredicateIndex::memory() const {
+  MemoryBreakdown mem;
+  std::size_t attribute_bytes =
+      per_attribute_.capacity() * sizeof(AttributeIndex);
+  for (const auto& index : per_attribute_) {
+    attribute_bytes += index.memory_bytes();
+  }
+  mem.add("attribute_indexes", attribute_bytes);
+  mem.add("not_exists_list", vector_bytes(not_exists_));
+  return mem;
+}
+
+}  // namespace ncps

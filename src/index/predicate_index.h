@@ -1,0 +1,45 @@
+// Phase 1 of event filtering: predicate matching (paper §3.2, Fig. 2 top).
+//
+// "In the first step of event filtering (predicate matching) all predicates
+// matching an event e are determined ... accomplished by the application of
+// one-dimensional index structures such as hash tables or B+ trees."
+//
+// The PredicateIndex fans an event's attributes out to per-attribute
+// AttributeIndex structures and handles the one cross-attribute operator
+// (NotExists). Output: the list of matching predicate ids, each exactly once
+// — the {id(p)} set handed to phase 2.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/memory_tracker.h"
+#include "event/event.h"
+#include "index/attribute_index.h"
+#include "predicate/predicate_table.h"
+
+namespace ncps {
+
+class PredicateIndex {
+ public:
+  void add(PredicateId id, const Predicate& p);
+  bool remove(PredicateId id, const Predicate& p);
+
+  /// Append every registered predicate matching `event` to `out`.
+  void match(const Event& event, const PredicateTable& table,
+             std::vector<PredicateId>& out) const;
+
+  [[nodiscard]] std::size_t attribute_count() const { return per_attribute_.size(); }
+  [[nodiscard]] MemoryBreakdown memory() const;
+
+ private:
+  struct NotExistsEntry {
+    AttributeId attribute;
+    PredicateId id;
+  };
+
+  std::vector<AttributeIndex> per_attribute_;  // dense by AttributeId
+  std::vector<NotExistsEntry> not_exists_;
+};
+
+}  // namespace ncps

@@ -1,0 +1,140 @@
+// Deterministic simulated network (the overlay's transport substrate).
+//
+// The paper motivates filtering on "peer-to-peer networks of less equipped
+// machines"; reproducing that deployment needs brokers exchanging messages
+// over links. Real sockets would make every test timing-dependent, so the
+// overlay runs on this discrete-event network instead: messages are
+// scheduled on links with fixed latencies and delivered in global
+// (time, sequence) order — bit-for-bit reproducible runs, same code paths
+// as a real transport at the broker layer (see DESIGN.md §4, substitutions).
+//
+// Header-only template: the payload type is supplied by the broker layer,
+// keeping this substrate protocol-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/ids.h"
+
+namespace ncps {
+
+/// Simulated microseconds.
+using SimTime = std::uint64_t;
+
+template <typename Payload>
+class SimNetwork {
+ public:
+  struct Delivery {
+    BrokerId from;
+    BrokerId to;
+    Payload payload;
+    SimTime at = 0;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among equal timestamps
+  };
+
+  /// Add a node; returns its dense id.
+  BrokerId add_node() {
+    const BrokerId id(static_cast<std::uint32_t>(adjacency_.size()));
+    adjacency_.emplace_back();
+    return id;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+
+  /// Create a bidirectional link. Rejects self-links and duplicates.
+  void connect(BrokerId a, BrokerId b, SimTime latency) {
+    NCPS_EXPECTS(a != b);
+    NCPS_EXPECTS(valid_node(a) && valid_node(b));
+    NCPS_EXPECTS(!linked(a, b));
+    adjacency_[a.value()].push_back(Link{b, latency});
+    adjacency_[b.value()].push_back(Link{a, latency});
+  }
+
+  [[nodiscard]] bool linked(BrokerId a, BrokerId b) const {
+    if (!valid_node(a)) return false;
+    for (const Link& l : adjacency_[a.value()]) {
+      if (l.peer == b) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::vector<BrokerId> neighbors(BrokerId node) const {
+    NCPS_EXPECTS(valid_node(node));
+    std::vector<BrokerId> out;
+    out.reserve(adjacency_[node.value()].size());
+    for (const Link& l : adjacency_[node.value()]) out.push_back(l.peer);
+    return out;
+  }
+
+  /// Queue a message over an existing link; it will be delivered at
+  /// now + link latency.
+  void send(BrokerId from, BrokerId to, Payload payload) {
+    const SimTime latency = link_latency(from, to);
+    queue_.push(Delivery{from, to, std::move(payload), now_ + latency,
+                         next_seq_++});
+    ++messages_sent_;
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+
+  /// Deliver the earliest pending message through `handler`; returns false
+  /// when the queue is empty. The handler may send() more messages.
+  template <typename Handler>
+  bool step(Handler&& handler) {
+    if (queue_.empty()) return false;
+    Delivery d = queue_.top();
+    queue_.pop();
+    NCPS_ASSERT(d.at >= now_);
+    now_ = d.at;
+    handler(d);
+    return true;
+  }
+
+  /// Run until quiescent. Returns the number of deliveries processed.
+  template <typename Handler>
+  std::size_t run(Handler&& handler) {
+    std::size_t delivered = 0;
+    while (step(handler)) ++delivered;
+    return delivered;
+  }
+
+ private:
+  struct Link {
+    BrokerId peer;
+    SimTime latency;
+  };
+
+  struct Later {
+    bool operator()(const Delivery& a, const Delivery& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] bool valid_node(BrokerId id) const {
+    return id.valid() && id.value() < adjacency_.size();
+  }
+
+  [[nodiscard]] SimTime link_latency(BrokerId a, BrokerId b) const {
+    NCPS_EXPECTS(valid_node(a));
+    for (const Link& l : adjacency_[a.value()]) {
+      if (l.peer == b) return l.latency;
+    }
+    NCPS_EXPECTS(false && "send over a non-existent link");
+    return 0;
+  }
+
+  std::vector<std::vector<Link>> adjacency_;
+  std::priority_queue<Delivery, std::vector<Delivery>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace ncps

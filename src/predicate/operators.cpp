@@ -1,0 +1,141 @@
+#include "predicate/operators.h"
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+Operator complement(Operator op) {
+  switch (op) {
+    case Operator::Eq: return Operator::Ne;
+    case Operator::Ne: return Operator::Eq;
+    case Operator::Lt: return Operator::Ge;
+    case Operator::Ge: return Operator::Lt;
+    case Operator::Gt: return Operator::Le;
+    case Operator::Le: return Operator::Gt;
+    case Operator::Between: return Operator::NotBetween;
+    case Operator::NotBetween: return Operator::Between;
+    case Operator::Prefix: return Operator::NotPrefix;
+    case Operator::NotPrefix: return Operator::Prefix;
+    case Operator::Suffix: return Operator::NotSuffix;
+    case Operator::NotSuffix: return Operator::Suffix;
+    case Operator::Contains: return Operator::NotContains;
+    case Operator::NotContains: return Operator::Contains;
+    case Operator::Exists: return Operator::NotExists;
+    case Operator::NotExists: return Operator::Exists;
+  }
+  NCPS_ASSERT(false && "unknown operator");
+}
+
+bool is_binary_operand(Operator op) {
+  return op == Operator::Between || op == Operator::NotBetween;
+}
+
+bool is_indexable(Operator op) {
+  switch (op) {
+    case Operator::Eq:
+    case Operator::Lt:
+    case Operator::Le:
+    case Operator::Gt:
+    case Operator::Ge:
+    case Operator::Between:
+    case Operator::Prefix:
+    case Operator::Exists:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool matches_absent(Operator op) { return op == Operator::NotExists; }
+
+std::string_view to_string(Operator op) {
+  switch (op) {
+    case Operator::Eq: return "==";
+    case Operator::Ne: return "!=";
+    case Operator::Lt: return "<";
+    case Operator::Le: return "<=";
+    case Operator::Gt: return ">";
+    case Operator::Ge: return ">=";
+    case Operator::Between: return "between";
+    case Operator::NotBetween: return "not-between";
+    case Operator::Prefix: return "prefix";
+    case Operator::NotPrefix: return "not-prefix";
+    case Operator::Suffix: return "suffix";
+    case Operator::NotSuffix: return "not-suffix";
+    case Operator::Contains: return "contains";
+    case Operator::NotContains: return "not-contains";
+    case Operator::Exists: return "exists";
+    case Operator::NotExists: return "not-exists";
+  }
+  return "?";
+}
+
+namespace {
+
+bool string_op(Operator op, const Value& v, const Value& operand) {
+  if (v.type() != ValueType::String || operand.type() != ValueType::String) {
+    // Positive string operators never match non-strings; complements do.
+    return op == Operator::NotPrefix || op == Operator::NotSuffix ||
+           op == Operator::NotContains;
+  }
+  const std::string& s = v.as_string();
+  const std::string& t = operand.as_string();
+  switch (op) {
+    case Operator::Prefix: return s.starts_with(t);
+    case Operator::NotPrefix: return !s.starts_with(t);
+    case Operator::Suffix: return s.ends_with(t);
+    case Operator::NotSuffix: return !s.ends_with(t);
+    case Operator::Contains: return s.find(t) != std::string::npos;
+    case Operator::NotContains: return s.find(t) == std::string::npos;
+    default: NCPS_ASSERT(false && "not a string operator");
+  }
+}
+
+}  // namespace
+
+bool eval_operator(Operator op, const Value& v, const Value& lo,
+                   const Value& hi) {
+  switch (op) {
+    case Operator::Eq: return v == lo;
+    case Operator::Ne: return !(v == lo);
+    case Operator::Lt: {
+      const auto c = compare(v, lo);
+      return c.has_value() && *c == std::strong_ordering::less;
+    }
+    case Operator::Le: {
+      const auto c = compare(v, lo);
+      return c.has_value() && *c != std::strong_ordering::greater;
+    }
+    case Operator::Gt: {
+      const auto c = compare(v, lo);
+      return c.has_value() && *c == std::strong_ordering::greater;
+    }
+    case Operator::Ge: {
+      const auto c = compare(v, lo);
+      return c.has_value() && *c != std::strong_ordering::less;
+    }
+    case Operator::Between: {
+      const auto cl = compare(v, lo);
+      const auto ch = compare(v, hi);
+      return cl.has_value() && ch.has_value() &&
+             *cl != std::strong_ordering::less &&
+             *ch != std::strong_ordering::greater;
+    }
+    case Operator::NotBetween:
+      return !eval_operator(Operator::Between, v, lo, hi);
+    case Operator::Prefix:
+    case Operator::NotPrefix:
+    case Operator::Suffix:
+    case Operator::NotSuffix:
+    case Operator::Contains:
+    case Operator::NotContains:
+      return string_op(op, v, lo);
+    case Operator::Exists:
+      return true;  // attribute is present — caller only invokes on presence
+    case Operator::NotExists:
+      return false;  // attribute is present, so NotExists fails
+  }
+  NCPS_ASSERT(false && "unknown operator");
+}
+
+}  // namespace ncps

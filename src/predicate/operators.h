@@ -1,0 +1,63 @@
+// The predicate operator algebra.
+//
+// Every operator has a complement in the set (Eq↔Ne, Lt↔Ge, Between↔
+// NotBetween, Prefix↔NotPrefix, ...). This closure is what lets the DNF
+// pipeline eliminate NOT nodes during the negation-normal-form rewrite:
+// NOT(a < 10) becomes (a >= 10), a plain positive predicate the counting
+// baseline can handle. The paper's experiments use only {>, <=, =}-style
+// operators; the rest make the subscription language realistic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "event/value.h"
+
+namespace ncps {
+
+enum class Operator : std::uint8_t {
+  Eq,          ///< attribute == v
+  Ne,          ///< attribute != v
+  Lt,          ///< attribute <  v
+  Le,          ///< attribute <= v
+  Gt,          ///< attribute >  v
+  Ge,          ///< attribute >= v
+  Between,     ///< v1 <= attribute <= v2
+  NotBetween,  ///< attribute < v1 or attribute > v2
+  Prefix,      ///< string attribute starts with v
+  NotPrefix,
+  Suffix,      ///< string attribute ends with v
+  NotSuffix,
+  Contains,    ///< string attribute contains v as substring
+  NotContains,
+  Exists,      ///< attribute present in event (operand ignored)
+  NotExists,   ///< attribute absent from event
+};
+
+inline constexpr std::size_t kOperatorCount = 16;
+
+/// The complementary operator: eval(complement(op)) == !eval(op) whenever the
+/// attribute is present in the event. (Presence itself is the Exists pair.)
+[[nodiscard]] Operator complement(Operator op);
+
+/// True for operators taking two operands (Between, NotBetween).
+[[nodiscard]] bool is_binary_operand(Operator op);
+
+/// True for operators whose phase-1 matching uses an index (hash or B+ tree);
+/// the rest are evaluated by per-attribute scan lists.
+[[nodiscard]] bool is_indexable(Operator op);
+
+/// True for operators that can match events *lacking* the attribute
+/// (only NotExists).
+[[nodiscard]] bool matches_absent(Operator op);
+
+[[nodiscard]] std::string_view to_string(Operator op);
+
+/// Evaluate `op` against a present attribute value. `lo` is the operand
+/// (`hi` only for Between/NotBetween). Type-mismatched comparisons are false
+/// for positive operators and true for their complements, preserving the
+/// complement law.
+[[nodiscard]] bool eval_operator(Operator op, const Value& attribute_value,
+                                 const Value& lo, const Value& hi);
+
+}  // namespace ncps

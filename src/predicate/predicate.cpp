@@ -1,0 +1,30 @@
+#include "predicate/predicate.h"
+
+namespace ncps {
+
+std::string Predicate::to_display_string(const AttributeRegistry& attrs) const {
+  std::string out = attrs.name(attribute);
+  out += ' ';
+  out += to_string(op);
+  if (op == Operator::Exists || op == Operator::NotExists) return out;
+  out += ' ';
+  out += lo.to_display_string();
+  if (is_binary_operand(op)) {
+    out += " and ";
+    out += hi.to_display_string();
+  }
+  return out;
+}
+
+std::size_t Predicate::hash() const {
+  std::size_t h = std::hash<std::uint32_t>{}(attribute.value());
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::size_t>(op));
+  mix(lo.hash());
+  if (is_binary_operand(op)) mix(hi.hash());
+  return h;
+}
+
+}  // namespace ncps

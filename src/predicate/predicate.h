@@ -1,0 +1,54 @@
+// Predicates: attribute-operator-value triples (paper §3.1).
+//
+// A predicate is the atomic filter unit. Predicates are value types here;
+// identity (id(p)) and sharing are the PredicateTable's concern.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/ids.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "event/value.h"
+#include "predicate/operators.h"
+
+namespace ncps {
+
+struct Predicate {
+  AttributeId attribute;
+  Operator op = Operator::Eq;
+  Value lo;  ///< the operand; lower bound for Between/NotBetween
+  Value hi;  ///< upper bound for Between/NotBetween, ignored otherwise
+
+  /// Evaluate against an event. Absent attribute ⇒ false for every operator
+  /// except NotExists (the only operator that matches absence).
+  [[nodiscard]] bool eval(const Event& event) const {
+    const Value* v = event.find(attribute);
+    if (v == nullptr) return matches_absent(op);
+    return eval_operator(op, *v, lo, hi);
+  }
+
+  /// The semantic complement: ¬p as a predicate. For present attributes
+  /// complement(p).eval == !p.eval; for absent attributes both sides are
+  /// false unless op is Exists/NotExists (see DESIGN.md §3, decision 3).
+  [[nodiscard]] Predicate complemented() const {
+    return Predicate{attribute, ncps::complement(op), lo, hi};
+  }
+
+  [[nodiscard]] std::string to_display_string(const AttributeRegistry& attrs) const;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) {
+    return a.attribute == b.attribute && a.op == b.op && a.lo == b.lo &&
+           (!is_binary_operand(a.op) || a.hi == b.hi);
+  }
+
+  [[nodiscard]] std::size_t hash() const;
+
+  /// Heap bytes beyond sizeof(Predicate) (long string operands).
+  [[nodiscard]] std::size_t heap_bytes() const {
+    return lo.heap_bytes() + hi.heap_bytes();
+  }
+};
+
+}  // namespace ncps

@@ -1,0 +1,74 @@
+#include "predicate/predicate_table.h"
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+PredicateTable::InternResult PredicateTable::intern(const Predicate& p) {
+  if (auto it = index_.find(p); it != index_.end()) {
+    add_ref(it->second);
+    return {it->second, false};
+  }
+  PredicateId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    slots_[id.value()] = Slot{p, 1};
+  } else {
+    id = PredicateId(static_cast<std::uint32_t>(slots_.size()));
+    slots_.push_back(Slot{p, 1});
+  }
+  index_.emplace(p, id);
+  ++live_count_;
+  return {id, true};
+}
+
+void PredicateTable::add_ref(PredicateId id) {
+  NCPS_EXPECTS(is_live(id));
+  ++slots_[id.value()].ref_count;
+}
+
+bool PredicateTable::release(PredicateId id) {
+  NCPS_EXPECTS(is_live(id));
+  Slot& slot = slots_[id.value()];
+  if (--slot.ref_count > 0) return false;
+  index_.erase(slot.predicate);
+  free_list_.push_back(id);
+  --live_count_;
+  return true;
+}
+
+const Predicate& PredicateTable::get(PredicateId id) const {
+  NCPS_EXPECTS(is_live(id));
+  return slots_[id.value()].predicate;
+}
+
+bool PredicateTable::is_live(PredicateId id) const {
+  return id.valid() && id.value() < slots_.size() &&
+         slots_[id.value()].ref_count > 0;
+}
+
+std::uint32_t PredicateTable::ref_count(PredicateId id) const {
+  NCPS_EXPECTS(id.valid() && id.value() < slots_.size());
+  return slots_[id.value()].ref_count;
+}
+
+std::optional<PredicateId> PredicateTable::find(const Predicate& p) const {
+  if (auto it = index_.find(p); it != index_.end()) return it->second;
+  return std::nullopt;
+}
+
+MemoryBreakdown PredicateTable::memory() const {
+  MemoryBreakdown mem;
+  std::size_t slot_bytes = slots_.capacity() * sizeof(Slot);
+  for (const auto& s : slots_) slot_bytes += s.predicate.heap_bytes();
+  mem.add("predicate_slots", slot_bytes);
+  mem.add("predicate_free_list", vector_bytes(free_list_));
+  mem.add("predicate_intern_map",
+          index_.bucket_count() * sizeof(void*) +
+              index_.size() *
+                  (sizeof(Predicate) + sizeof(PredicateId) + 2 * sizeof(void*)));
+  return mem;
+}
+
+}  // namespace ncps

@@ -1,0 +1,81 @@
+// Interning table for predicates (id(p) assignment, sharing, refcounts).
+//
+// The paper's model: "Predicates p ... might be shared among different
+// subscriptions. Both predicates and subscriptions can be uniquely identified
+// by their identifiers." Structurally equal predicates from different
+// subscriptions intern to the same id; reference counting releases an id when
+// its last subscription unsubscribes, returning it to a free list so the
+// dense per-predicate arrays in the engines do not grow without bound under
+// subscription churn.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/memory_tracker.h"
+#include "predicate/predicate.h"
+
+namespace ncps {
+
+class PredicateTable {
+ public:
+  struct InternResult {
+    PredicateId id;
+    bool newly_created;
+  };
+
+  /// Intern a predicate: returns the existing id for a structurally equal
+  /// predicate (bumping its refcount) or allocates a fresh one.
+  InternResult intern(const Predicate& p);
+
+  /// Bump the refcount of an already-live predicate (e.g. a second
+  /// occurrence within one subscription).
+  void add_ref(PredicateId id);
+
+  /// Drop one reference; frees the slot (and recycles the id) at zero.
+  /// Returns true if the predicate was freed.
+  bool release(PredicateId id);
+
+  [[nodiscard]] const Predicate& get(PredicateId id) const;
+  [[nodiscard]] bool is_live(PredicateId id) const;
+  [[nodiscard]] std::uint32_t ref_count(PredicateId id) const;
+
+  /// Find without interning; nullopt if absent.
+  [[nodiscard]] std::optional<PredicateId> find(const Predicate& p) const;
+
+  /// Number of live predicates.
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// One past the largest id ever allocated — the bound for dense arrays.
+  [[nodiscard]] std::size_t id_bound() const { return slots_.size(); }
+
+  /// Invoke fn(PredicateId, const Predicate&) for every live predicate.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].ref_count > 0) fn(PredicateId(i), slots_[i].predicate);
+    }
+  }
+
+  [[nodiscard]] MemoryBreakdown memory() const;
+
+ private:
+  struct Slot {
+    Predicate predicate;
+    std::uint32_t ref_count = 0;
+  };
+
+  struct PredicateHash {
+    std::size_t operator()(const Predicate& p) const { return p.hash(); }
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<PredicateId> free_list_;
+  std::unordered_map<Predicate, PredicateId, PredicateHash> index_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace ncps

@@ -1,0 +1,174 @@
+#include "subscription/ast.h"
+
+namespace ncps::ast {
+
+NodePtr leaf(PredicateId id) {
+  NCPS_EXPECTS(id.valid());
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::Leaf;
+  n->pred = id;
+  return n;
+}
+
+NodePtr make_and(std::vector<NodePtr> children) {
+  NCPS_EXPECTS(!children.empty());
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::And;
+  n->children = std::move(children);
+  return n;
+}
+
+NodePtr make_or(std::vector<NodePtr> children) {
+  NCPS_EXPECTS(!children.empty());
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::Or;
+  n->children = std::move(children);
+  return n;
+}
+
+NodePtr make_not(NodePtr child) {
+  NCPS_EXPECTS(child != nullptr);
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::Not;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+NodePtr clone(const Node& node) {
+  auto n = std::make_unique<Node>();
+  n->kind = node.kind;
+  n->pred = node.pred;
+  n->children.reserve(node.children.size());
+  for (const auto& c : node.children) n->children.push_back(clone(*c));
+  return n;
+}
+
+bool equal(const Node& a, const Node& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == NodeKind::Leaf) return a.pred == b.pred;
+  if (a.children.size() != b.children.size()) return false;
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    if (!equal(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+void flatten(Node& node) {
+  if (node.kind == NodeKind::Leaf) return;
+  for (auto& c : node.children) flatten(*c);
+
+  if (node.kind == NodeKind::Not) {
+    Node& child = *node.children.front();
+    if (child.kind == NodeKind::Not) {
+      // Not(Not(x)) => x: splice the grandchild into this node.
+      NodePtr grandchild = std::move(child.children.front());
+      Node moved = std::move(*grandchild);
+      *static_cast<Node*>(&node) = std::move(moved);
+    }
+    return;
+  }
+
+  // And/Or: merge children of the same kind, then unwrap singletons.
+  std::vector<NodePtr> merged;
+  merged.reserve(node.children.size());
+  for (auto& c : node.children) {
+    if (c->kind == node.kind) {
+      for (auto& gc : c->children) merged.push_back(std::move(gc));
+    } else {
+      merged.push_back(std::move(c));
+    }
+  }
+  node.children = std::move(merged);
+  if (node.children.size() == 1) {
+    NodePtr only = std::move(node.children.front());
+    *static_cast<Node*>(&node) = std::move(*only);
+  }
+}
+
+std::size_t leaf_count(const Node& node) {
+  if (node.kind == NodeKind::Leaf) return 1;
+  std::size_t sum = 0;
+  for (const auto& c : node.children) sum += leaf_count(*c);
+  return sum;
+}
+
+std::size_t node_count(const Node& node) {
+  std::size_t sum = 1;
+  for (const auto& c : node.children) sum += node_count(*c);
+  return sum;
+}
+
+std::size_t depth(const Node& node) {
+  std::size_t max_child = 0;
+  for (const auto& c : node.children) {
+    max_child = std::max(max_child, depth(*c));
+  }
+  return 1 + max_child;
+}
+
+void collect_predicates(const Node& node, std::vector<PredicateId>& out) {
+  if (node.kind == NodeKind::Leaf) {
+    out.push_back(node.pred);
+    return;
+  }
+  for (const auto& c : node.children) collect_predicates(*c, out);
+}
+
+bool evaluate_against_event(const Node& node, const PredicateTable& table,
+                            const Event& event) {
+  return evaluate(node, [&](PredicateId id) {
+    return table.get(id).eval(event);
+  });
+}
+
+bool matches_all_false(const Node& node) {
+  return evaluate(node, [](PredicateId) { return false; });
+}
+
+// ---- Expr ----
+
+Expr::Expr(NodePtr root, PredicateTable& table, AdoptRefs)
+    : root_(std::move(root)), table_(&table) {
+  NCPS_EXPECTS(root_ != nullptr);
+}
+
+Expr::Expr(NodePtr root, PredicateTable& table, AddRefs)
+    : root_(std::move(root)), table_(&table) {
+  NCPS_EXPECTS(root_ != nullptr);
+  std::vector<PredicateId> preds;
+  collect_predicates(*root_, preds);
+  for (PredicateId id : preds) table.add_ref(id);
+}
+
+Expr::~Expr() { release_refs(); }
+
+Expr::Expr(Expr&& other) noexcept
+    : root_(std::move(other.root_)), table_(other.table_) {
+  other.table_ = nullptr;
+}
+
+Expr& Expr::operator=(Expr&& other) noexcept {
+  if (this != &other) {
+    release_refs();
+    root_ = std::move(other.root_);
+    table_ = other.table_;
+    other.table_ = nullptr;
+  }
+  return *this;
+}
+
+void Expr::release_refs() noexcept {
+  if (root_ == nullptr || table_ == nullptr) return;
+  std::vector<PredicateId> preds;
+  collect_predicates(*root_, preds);
+  for (PredicateId id : preds) table_->release(id);
+  root_.reset();
+  table_ = nullptr;
+}
+
+Expr Expr::clone() const {
+  NCPS_EXPECTS(root_ != nullptr && table_ != nullptr);
+  return Expr(ast::clone(*root_), *table_, AddRefs{});
+}
+
+}  // namespace ncps::ast

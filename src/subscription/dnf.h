@@ -1,0 +1,98 @@
+// Canonicalisation: negation normal form and disjunctive normal form.
+//
+// This is the machinery the paper argues *against* needing — it exists here
+// because the canonical baselines (counting algorithm and its variant)
+// require every subscription as a set of conjunctions. The implementation
+// also quantifies the blow-up: estimate_dnf_size computes the exact disjunct
+// and literal counts of the DNF without materialising it, which is how
+// bench_memory and bench_table1_parameters report the exponential growth.
+//
+// NOT elimination: the subscription language allows NOT anywhere; DNF
+// disjuncts contain only positive predicates. to_nnf pushes NOT down to the
+// leaves (De Morgan) and replaces ¬p by the complemented predicate
+// (operator complement closure, see predicate/operators.h).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/memory_tracker.h"
+#include "predicate/predicate_table.h"
+#include "subscription/ast.h"
+
+namespace ncps {
+
+/// Thrown when a DNF expansion would exceed the configured disjunct budget.
+class DnfExplosionError : public std::runtime_error {
+ public:
+  explicit DnfExplosionError(std::uint64_t disjuncts)
+      : std::runtime_error("DNF expansion would produce " +
+                           std::to_string(disjuncts) + " disjuncts"),
+        disjuncts_(disjuncts) {}
+
+  [[nodiscard]] std::uint64_t disjuncts() const { return disjuncts_; }
+
+ private:
+  std::uint64_t disjuncts_;
+};
+
+/// One conjunction of the DNF: sorted, duplicate-free predicate ids.
+using Disjunct = std::vector<PredicateId>;
+
+struct Dnf {
+  std::vector<Disjunct> disjuncts;
+
+  [[nodiscard]] std::size_t total_literals() const {
+    std::size_t sum = 0;
+    for (const auto& d : disjuncts) sum += d.size();
+    return sum;
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return nested_vector_bytes(disjuncts);
+  }
+};
+
+struct DnfOptions {
+  /// Abort (throw DnfExplosionError) if more disjuncts than this would be
+  /// produced. The paper's workloads peak at 32 disjuncts per subscription;
+  /// the default guards against adversarial inputs.
+  std::uint64_t max_disjuncts = 1u << 20;
+  /// Remove disjuncts that are supersets of another disjunct (absorption,
+  /// X ∨ (X ∧ Y) = X). O(d²·w); the paper's baselines do not optimise
+  /// subscriptions, so this defaults off and is an ablation knob.
+  bool absorb = false;
+  /// Remove exact duplicate disjuncts.
+  bool dedup_disjuncts = true;
+};
+
+/// Rewrite to negation normal form: the result contains no NOT nodes; every
+/// negated leaf is replaced by its complemented predicate, interned into
+/// `table`. The returned Expr owns references for all its leaves.
+[[nodiscard]] ast::Expr to_nnf(const ast::Node& root, PredicateTable& table);
+
+/// Expand an NNF tree into DNF. Precondition: no NOT nodes (call to_nnf
+/// first). Disjunct predicate-id lists are sorted and de-duplicated.
+[[nodiscard]] Dnf to_dnf(const ast::Node& nnf_root,
+                         const DnfOptions& options = {});
+
+/// Convenience: NNF + DNF in one step. The complement predicates interned by
+/// the NNF rewrite survive with the references held by the caller-visible
+/// `nnf_holder` (pass an Expr that outlives uses of the returned id lists).
+[[nodiscard]] Dnf canonicalize(const ast::Node& root, PredicateTable& table,
+                               ast::Expr& nnf_holder,
+                               const DnfOptions& options = {});
+
+/// Exact DNF size, computed without materialisation (saturating at
+/// UINT64_MAX). Works on any tree, NOT nodes included.
+struct DnfSize {
+  std::uint64_t disjuncts = 0;
+  std::uint64_t literal_entries = 0;  ///< sum of disjunct widths (pre-dedup)
+  [[nodiscard]] bool saturated() const { return disjuncts == UINT64_MAX; }
+};
+
+[[nodiscard]] DnfSize estimate_dnf_size(const ast::Node& root);
+
+}  // namespace ncps

@@ -1,0 +1,130 @@
+#include "subscription/encoded_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ncps {
+
+namespace {
+
+using encoded_detail::kOpAnd;
+using encoded_detail::kOpNot;
+using encoded_detail::kOpOr;
+
+void write_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 24) & 0xff));
+}
+
+void patch_u16(std::vector<std::byte>& out, std::size_t at, std::uint16_t v) {
+  out[at] = static_cast<std::byte>(v & 0xff);
+  out[at + 1] = static_cast<std::byte>((v >> 8) & 0xff);
+}
+
+std::uint8_t op_byte(ast::NodeKind kind) {
+  switch (kind) {
+    case ast::NodeKind::And: return kOpAnd;
+    case ast::NodeKind::Or: return kOpOr;
+    case ast::NodeKind::Not: return kOpNot;
+    default: NCPS_ASSERT(false && "leaf has no operator byte");
+  }
+}
+
+}  // namespace
+
+std::size_t encoded_size(const ast::Node& node) {
+  if (node.kind == ast::NodeKind::Leaf) return kLeafWidth;
+  std::size_t size = 2 + 2 * node.children.size();
+  for (const auto& c : node.children) size += encoded_size(*c);
+  return size;
+}
+
+std::size_t encode_tree(const ast::Node& node, std::vector<std::byte>& out,
+                        ReorderPolicy policy) {
+  if (node.kind == ast::NodeKind::Leaf) {
+    write_u32(out, node.pred.value());
+    return kLeafWidth;
+  }
+  if (node.children.size() > 255) {
+    throw EncodeError("inner node has more than 255 children");
+  }
+
+  // Determine child encode order. Reordering is only meaningful for the
+  // commutative connectives; NOT has one child.
+  std::vector<std::uint32_t> order(node.children.size());
+  std::iota(order.begin(), order.end(), 0u);
+  if (policy == ReorderPolicy::kCheapestFirst &&
+      node.kind != ast::NodeKind::Not) {
+    std::vector<std::size_t> sizes(node.children.size());
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      sizes[i] = encoded_size(*node.children[i]);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return sizes[a] < sizes[b];
+                     });
+  }
+
+  const std::size_t header_at = out.size();
+  out.push_back(static_cast<std::byte>(op_byte(node.kind)));
+  out.push_back(static_cast<std::byte>(node.children.size()));
+  const std::size_t widths_at = out.size();
+  out.resize(out.size() + 2 * node.children.size());  // width slots
+
+  std::size_t total = 2 + 2 * node.children.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t w = encode_tree(*node.children[order[i]], out, policy);
+    if (w > UINT16_MAX) {
+      throw EncodeError("child subtree exceeds 65535 encoded bytes");
+    }
+    patch_u16(out, widths_at + 2 * i, static_cast<std::uint16_t>(w));
+    total += w;
+  }
+  NCPS_ENSURES(out.size() - header_at == total);
+  return total;
+}
+
+namespace {
+
+ast::NodePtr decode_at(const std::byte* data, std::size_t size) {
+  NCPS_EXPECTS(size >= kLeafWidth);
+  if (size == kLeafWidth) {
+    return ast::leaf(PredicateId(encoded_detail::read_u32(data)));
+  }
+  NCPS_EXPECTS(size >= 8);
+  const auto op = std::to_integer<std::uint8_t>(data[0]);
+  const auto count = std::to_integer<std::uint8_t>(data[1]);
+  NCPS_EXPECTS(count >= 1);
+  const std::byte* widths = data + 2;
+  const std::byte* child = data + 2 + 2 * static_cast<std::size_t>(count);
+  std::vector<ast::NodePtr> children;
+  children.reserve(count);
+  std::size_t consumed = 2 + 2 * static_cast<std::size_t>(count);
+  for (std::uint8_t i = 0; i < count; ++i) {
+    const std::uint16_t w = encoded_detail::read_u16(widths + 2 * i);
+    NCPS_EXPECTS(consumed + w <= size);
+    children.push_back(decode_at(child, w));
+    child += w;
+    consumed += w;
+  }
+  NCPS_EXPECTS(consumed == size);
+  switch (op) {
+    case kOpAnd: return ast::make_and(std::move(children));
+    case kOpOr: return ast::make_or(std::move(children));
+    case kOpNot:
+      NCPS_EXPECTS(count == 1);
+      return ast::make_not(std::move(children.front()));
+    default:
+      throw EncodeError("corrupt encoded tree: unknown operator byte");
+  }
+}
+
+}  // namespace
+
+ast::NodePtr decode_tree(std::span<const std::byte> bytes) {
+  return decode_at(bytes.data(), bytes.size());
+}
+
+}  // namespace ncps

@@ -1,0 +1,125 @@
+// Byte-level subscription tree encoding (paper §3.3).
+//
+// The paper's prototype encodes subscription trees "on a byte level, e.g.,
+// to encode a Boolean operator we require one byte, also the number of
+// children for inner nodes is encoded by one byte. Furthermore, the width of
+// children is stored using two bytes each and predicate identifiers require
+// four bytes." This module implements exactly that layout:
+//
+//   leaf        := u32le predicate-id                       (4 bytes)
+//   inner node  := u8 op, u8 child-count, u16le width[count], child bytes…
+//
+// A child of width exactly 4 is a leaf; inner nodes are always ≥ 8 bytes
+// (op + count + one width + one leaf), so the discrimination is unambiguous
+// and leaves carry no tag byte — matching the paper's 4-bytes-per-predicate
+// budget. Child widths let the evaluator skip an entire subtree in O(1)
+// when AND/OR short-circuits.
+//
+// Encoding limits (and the paper's assumption of ≤ 256 predicates per
+// subscription): child count ≤ 255, child width ≤ 65535 bytes; exceeding
+// either throws EncodeError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/contracts.h"
+#include "subscription/ast.h"
+
+namespace ncps {
+
+class EncodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Child ordering applied at encode time. Semantics are unaffected
+/// (predicate evaluation is side-effect free); ordering changes which
+/// subtrees the short-circuiting evaluator visits first. This is the
+/// "reordering subscription trees" optimisation the paper defers to future
+/// work, implemented here as an ablation (bench_ablation).
+enum class ReorderPolicy : std::uint8_t {
+  kNone,           ///< keep the author's order (the paper's prototype)
+  kCheapestFirst,  ///< narrower (cheaper to evaluate) subtrees first
+};
+
+inline constexpr std::size_t kLeafWidth = 4;
+
+/// Encoded size of a subtree in bytes, without materialising it.
+[[nodiscard]] std::size_t encoded_size(const ast::Node& node);
+
+/// Append the encoding of `node` to `out`; returns the encoded width.
+std::size_t encode_tree(const ast::Node& node, std::vector<std::byte>& out,
+                        ReorderPolicy policy = ReorderPolicy::kNone);
+
+/// Decode back into a raw AST (no predicate-table references taken).
+[[nodiscard]] ast::NodePtr decode_tree(std::span<const std::byte> bytes);
+
+namespace encoded_detail {
+
+inline std::uint32_t read_u32(const std::byte* p) {
+  return static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[0])) |
+         static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[1])) << 8 |
+         static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[2])) << 16 |
+         static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[3])) << 24;
+}
+
+inline std::uint16_t read_u16(const std::byte* p) {
+  return static_cast<std::uint16_t>(
+      std::to_integer<std::uint8_t>(p[0]) |
+      (std::to_integer<std::uint8_t>(p[1]) << 8));
+}
+
+inline constexpr std::uint8_t kOpAnd = 0;
+inline constexpr std::uint8_t kOpOr = 1;
+inline constexpr std::uint8_t kOpNot = 2;
+
+template <typename TruthFn>
+bool eval_at(const std::byte* data, std::size_t size, TruthFn& truth) {
+  if (size == kLeafWidth) return truth(PredicateId(read_u32(data)));
+  NCPS_DASSERT(size >= 8);
+  const auto op = std::to_integer<std::uint8_t>(data[0]);
+  const auto count = std::to_integer<std::uint8_t>(data[1]);
+  const std::byte* widths = data + 2;
+  const std::byte* child = data + 2 + 2 * static_cast<std::size_t>(count);
+  switch (op) {
+    case kOpAnd:
+      for (std::uint8_t i = 0; i < count; ++i) {
+        const std::uint16_t w = read_u16(widths + 2 * i);
+        if (!eval_at(child, w, truth)) return false;  // skip remaining subtrees
+        child += w;
+      }
+      return true;
+    case kOpOr:
+      for (std::uint8_t i = 0; i < count; ++i) {
+        const std::uint16_t w = read_u16(widths + 2 * i);
+        if (eval_at(child, w, truth)) return true;
+        child += w;
+      }
+      return false;
+    case kOpNot: {
+      NCPS_DASSERT(count == 1);
+      const std::uint16_t w = read_u16(widths);
+      return !eval_at(child, w, truth);
+    }
+    default:
+      NCPS_ASSERT(false && "corrupt encoded tree: unknown operator byte");
+  }
+}
+
+}  // namespace encoded_detail
+
+/// Evaluate an encoded subscription tree. `truth(PredicateId) -> bool`
+/// supplies the phase-1 result per predicate. AND/OR short-circuit,
+/// skipping encoded subtrees via the stored child widths.
+template <typename TruthFn>
+[[nodiscard]] bool evaluate_encoded(std::span<const std::byte> bytes,
+                                    TruthFn&& truth) {
+  NCPS_EXPECTS(bytes.size() >= kLeafWidth);
+  return encoded_detail::eval_at(bytes.data(), bytes.size(), truth);
+}
+
+}  // namespace ncps

@@ -1,0 +1,125 @@
+#include "subscription/encoded_tree_v2.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ncps {
+
+namespace {
+
+using encoded_v2_detail::kTagAnd;
+using encoded_v2_detail::kTagLeaf;
+using encoded_v2_detail::kTagNot;
+using encoded_v2_detail::kTagOr;
+using encoded_v2_detail::read_varint;
+using encoded_v2_detail::varint_size;
+using encoded_v2_detail::write_varint;
+
+std::uint32_t tag_of(ast::NodeKind kind) {
+  switch (kind) {
+    case ast::NodeKind::And: return kTagAnd;
+    case ast::NodeKind::Or: return kTagOr;
+    case ast::NodeKind::Not: return kTagNot;
+    default: NCPS_ASSERT(false && "leaf handled separately");
+  }
+}
+
+}  // namespace
+
+std::size_t encoded_size_v2(const ast::Node& node) {
+  switch (node.kind) {
+    case ast::NodeKind::Leaf:
+      return varint_size((static_cast<std::uint64_t>(node.pred.value()) << 2) |
+                         kTagLeaf);
+    case ast::NodeKind::Not:
+      return varint_size(kTagNot) + encoded_size_v2(*node.children.front());
+    default: {
+      std::size_t size = varint_size(
+          (static_cast<std::uint64_t>(node.children.size()) << 2) |
+          tag_of(node.kind));
+      for (const auto& c : node.children) {
+        const std::size_t child = encoded_size_v2(*c);
+        size += varint_size(child) + child;
+      }
+      return size;
+    }
+  }
+}
+
+std::size_t encode_tree_v2(const ast::Node& node, std::vector<std::byte>& out,
+                           ReorderPolicy policy) {
+  const std::size_t start = out.size();
+  switch (node.kind) {
+    case ast::NodeKind::Leaf:
+      write_varint(out, (static_cast<std::uint64_t>(node.pred.value()) << 2) |
+                            kTagLeaf);
+      break;
+    case ast::NodeKind::Not:
+      write_varint(out, kTagNot);
+      (void)encode_tree_v2(*node.children.front(), out, policy);
+      break;
+    default: {
+      write_varint(out,
+                   (static_cast<std::uint64_t>(node.children.size()) << 2) |
+                       tag_of(node.kind));
+      std::vector<std::uint32_t> order(node.children.size());
+      std::iota(order.begin(), order.end(), 0u);
+      if (policy == ReorderPolicy::kCheapestFirst) {
+        std::vector<std::size_t> sizes(node.children.size());
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+          sizes[i] = encoded_size_v2(*node.children[i]);
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return sizes[a] < sizes[b];
+                         });
+      }
+      for (const std::uint32_t i : order) {
+        write_varint(out, encoded_size_v2(*node.children[i]));
+        (void)encode_tree_v2(*node.children[i], out, policy);
+      }
+      break;
+    }
+  }
+  return out.size() - start;
+}
+
+namespace {
+
+ast::NodePtr decode_at(const std::byte*& p) {
+  const std::uint64_t header = read_varint(p);
+  const auto tag = static_cast<std::uint32_t>(header & 0x3);
+  const std::uint64_t payload = header >> 2;
+  switch (tag) {
+    case kTagLeaf:
+      return ast::leaf(PredicateId(static_cast<std::uint32_t>(payload)));
+    case kTagNot:
+      return ast::make_not(decode_at(p));
+    case kTagAnd:
+    case kTagOr: {
+      std::vector<ast::NodePtr> children;
+      children.reserve(payload);
+      for (std::uint64_t i = 0; i < payload; ++i) {
+        const std::uint64_t width = read_varint(p);
+        const std::byte* child_end = p + width;
+        children.push_back(decode_at(p));
+        NCPS_EXPECTS(p == child_end);
+      }
+      return tag == kTagAnd ? ast::make_and(std::move(children))
+                            : ast::make_or(std::move(children));
+    }
+    default:
+      throw EncodeError("corrupt v2 tree: bad tag");
+  }
+}
+
+}  // namespace
+
+ast::NodePtr decode_tree_v2(std::span<const std::byte> bytes) {
+  const std::byte* p = bytes.data();
+  ast::NodePtr root = decode_at(p);
+  NCPS_EXPECTS(p == bytes.data() + bytes.size());
+  return root;
+}
+
+}  // namespace ncps

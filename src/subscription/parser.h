@@ -1,0 +1,79 @@
+// Textual subscription language.
+//
+// Grammar (case-sensitive keywords, C-like precedence: not > and > or):
+//
+//   expr      := or_expr
+//   or_expr   := and_expr ( 'or' and_expr )*
+//   and_expr  := unary ( 'and' unary )*
+//   unary     := 'not' unary | '(' expr ')' | predicate
+//   predicate := ident compare_op value
+//              | ident 'between' value 'and' value
+//              | ident 'prefix' string | ident 'suffix' string
+//              | ident 'contains' string
+//              | ident 'exists'
+//   compare_op:= '==' | '!=' | '<' | '<=' | '>' | '>='
+//   value     := integer | float | '"' chars '"' | 'true' | 'false'
+//
+// Example (the paper's Fig. 1):
+//   (a > 10 or a <= 5 or b == 1) and (c <= 20 or c == 30 or d == 5)
+//
+// Parsing is two-phase for exception safety: the text is first parsed into a
+// raw tree holding predicates by value (no table side effects besides
+// attribute-name interning), and only a successful parse is interned into a
+// reference-counted ast::Expr.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "event/schema.h"
+#include "predicate/predicate.h"
+#include "subscription/ast.h"
+
+namespace ncps {
+
+/// Raised on malformed subscription text; carries position information.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " (at offset " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+namespace parser_detail {
+
+struct RawNode;
+using RawNodePtr = std::unique_ptr<RawNode>;
+
+struct RawNode {
+  ast::NodeKind kind = ast::NodeKind::Leaf;
+  Predicate predicate;  // Leaf only
+  std::vector<RawNodePtr> children;
+};
+
+}  // namespace parser_detail
+
+/// Parse subscription text into a raw tree. Interns attribute names (an
+/// idempotent, failure-safe side effect) but touches no predicate table.
+[[nodiscard]] parser_detail::RawNodePtr parse_raw(std::string_view text,
+                                                  AttributeRegistry& attrs);
+
+/// Intern a raw tree's predicates and wrap the result in an RAII Expr.
+[[nodiscard]] ast::Expr intern_tree(const parser_detail::RawNode& raw,
+                                    PredicateTable& table);
+
+/// Convenience: parse + intern + flatten in one call.
+[[nodiscard]] ast::Expr parse_subscription(std::string_view text,
+                                           AttributeRegistry& attrs,
+                                           PredicateTable& table);
+
+}  // namespace ncps

@@ -1,0 +1,104 @@
+#include "subscription/printer.h"
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+namespace {
+
+/// Operators with direct surface syntax in the subscription language.
+bool has_surface_syntax(Operator op) {
+  switch (op) {
+    case Operator::Eq:
+    case Operator::Ne:
+    case Operator::Lt:
+    case Operator::Le:
+    case Operator::Gt:
+    case Operator::Ge:
+    case Operator::Between:
+    case Operator::Prefix:
+    case Operator::Suffix:
+    case Operator::Contains:
+    case Operator::Exists:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void print_predicate(const Predicate& p, const AttributeRegistry& attrs,
+                     std::string& out) {
+  if (!has_surface_syntax(p.op)) {
+    // Complement operators print as not(<positive form>).
+    out += "not (";
+    print_predicate(p.complemented(), attrs, out);
+    out += ')';
+    return;
+  }
+  out += attrs.name(p.attribute);
+  switch (p.op) {
+    case Operator::Between:
+      out += " between ";
+      out += p.lo.to_display_string();
+      out += " and ";
+      out += p.hi.to_display_string();
+      return;
+    case Operator::Prefix:
+    case Operator::Suffix:
+    case Operator::Contains:
+      out += ' ';
+      out += to_string(p.op);
+      out += ' ';
+      out += p.lo.to_display_string();
+      return;
+    case Operator::Exists:
+      out += " exists";
+      return;
+    default:
+      out += ' ';
+      out += to_string(p.op);
+      out += ' ';
+      out += p.lo.to_display_string();
+      return;
+  }
+}
+
+void print_node(const ast::Node& node, const PredicateTable& table,
+                const AttributeRegistry& attrs, bool parenthesize,
+                std::string& out) {
+  switch (node.kind) {
+    case ast::NodeKind::Leaf:
+      print_predicate(table.get(node.pred), attrs, out);
+      return;
+    case ast::NodeKind::Not:
+      out += "not ";
+      print_node(*node.children.front(), table, attrs, /*parenthesize=*/true,
+                 out);
+      return;
+    case ast::NodeKind::And:
+    case ast::NodeKind::Or: {
+      const char* joiner = node.kind == ast::NodeKind::And ? " and " : " or ";
+      if (parenthesize) out += '(';
+      bool first = true;
+      for (const auto& c : node.children) {
+        if (!first) out += joiner;
+        first = false;
+        print_node(*c, table, attrs, /*parenthesize=*/true, out);
+      }
+      if (parenthesize) out += ')';
+      return;
+    }
+  }
+  NCPS_ASSERT(false && "unknown node kind");
+}
+
+}  // namespace
+
+std::string print_expression(const ast::Node& node, const PredicateTable& table,
+                             const AttributeRegistry& attrs) {
+  std::string out;
+  print_node(node, table, attrs, /*parenthesize=*/false, out);
+  return out;
+}
+
+}  // namespace ncps

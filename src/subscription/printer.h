@@ -1,0 +1,21 @@
+// Rendering subscription trees back to the textual language.
+//
+// print_expression() produces text that parse_subscription() reparses into a
+// structurally identical tree (round-trip property, tested). NOT of a
+// complemented operator is printed as `not (...)` of the positive form when
+// the operator has no surface syntax (e.g. not-between).
+#pragma once
+
+#include <string>
+
+#include "event/schema.h"
+#include "predicate/predicate_table.h"
+#include "subscription/ast.h"
+
+namespace ncps {
+
+[[nodiscard]] std::string print_expression(const ast::Node& node,
+                                           const PredicateTable& table,
+                                           const AttributeRegistry& attrs);
+
+}  // namespace ncps

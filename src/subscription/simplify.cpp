@@ -1,0 +1,98 @@
+#include "subscription/simplify.h"
+
+#include <vector>
+
+#include "subscription/covering.h"
+
+namespace ncps {
+
+namespace {
+
+/// Budget for the covering checks inside simplification: redundancy pruning
+/// is an optimisation, so an unprovable (or too-expensive) implication is
+/// simply not exploited.
+DnfOptions pruning_budget() {
+  DnfOptions options;
+  options.max_disjuncts = 64;
+  return options;
+}
+
+/// Every event satisfying `a` satisfies `b`?
+bool subtree_implies(const ast::Node& a, const ast::Node& b,
+                     PredicateTable& table) {
+  if (a.kind == ast::NodeKind::Leaf && b.kind == ast::NodeKind::Leaf) {
+    return predicate_implies(table.get(a.pred), table.get(b.pred));
+  }
+  return covers(b, a, table, pruning_budget());
+}
+
+ast::NodePtr simplify_rec(const ast::Node& node, PredicateTable& table) {
+  switch (node.kind) {
+    case ast::NodeKind::Leaf:
+      return ast::leaf(node.pred);
+    case ast::NodeKind::Not:
+      return ast::make_not(simplify_rec(*node.children.front(), table));
+    case ast::NodeKind::And:
+    case ast::NodeKind::Or:
+      break;
+  }
+
+  std::vector<ast::NodePtr> children;
+  children.reserve(node.children.size());
+  for (const auto& c : node.children) {
+    children.push_back(simplify_rec(*c, table));
+  }
+
+  // Redundancy pruning. In a conjunction, a child implied by a sibling adds
+  // no constraint; in a disjunction, a child that implies a sibling adds no
+  // events. Mutually-implying (equivalent) children keep the first one.
+  const bool is_and = node.kind == ast::NodeKind::And;
+  std::vector<bool> redundant(children.size(), false);
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    for (std::size_t j = 0; j < children.size() && !redundant[i]; ++j) {
+      if (i == j || redundant[j]) continue;
+      const ast::Node& weak = is_and ? *children[i] : *children[j];
+      const ast::Node& strong = is_and ? *children[j] : *children[i];
+      if (!subtree_implies(strong, weak, table)) continue;
+      // i is redundant w.r.t. j — unless they are mutually implied and j
+      // comes later (then j will be dropped in favour of i).
+      const bool mutual = subtree_implies(weak, strong, table);
+      if (!mutual || j < i) redundant[i] = true;
+    }
+  }
+
+  std::vector<ast::NodePtr> kept;
+  kept.reserve(children.size());
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (!redundant[i]) kept.push_back(std::move(children[i]));
+  }
+  NCPS_ASSERT(!kept.empty());
+  if (kept.size() == 1) return std::move(kept.front());
+  return is_and ? ast::make_and(std::move(kept))
+                : ast::make_or(std::move(kept));
+}
+
+}  // namespace
+
+ast::Expr simplify(const ast::Node& root, PredicateTable& table) {
+  ast::NodePtr out = simplify_rec(root, table);
+  ast::flatten(*out);
+  return ast::Expr(std::move(out), table, ast::Expr::AddRefs{});
+}
+
+ast::Expr merge_subscriptions(const ast::Node& a, const ast::Node& b,
+                              PredicateTable& table) {
+  if (covers(a, b, table, pruning_budget())) {
+    return ast::Expr(ast::clone(a), table, ast::Expr::AddRefs{});
+  }
+  if (covers(b, a, table, pruning_budget())) {
+    return ast::Expr(ast::clone(b), table, ast::Expr::AddRefs{});
+  }
+  std::vector<ast::NodePtr> both;
+  both.push_back(ast::clone(a));
+  both.push_back(ast::clone(b));
+  const ast::NodePtr merged = ast::make_or(std::move(both));
+  return simplify(*merged, table);
+}
+
+}  // namespace ncps

@@ -1,0 +1,38 @@
+// Subscription optimisation: semantics-preserving simplification and
+// merging of Boolean subscription trees.
+//
+// The paper points out (§2.2) that "current matching approaches do not
+// optimise subscriptions, which is a main reason for query transformations
+// in database systems" — conjunctive-only engines have nothing to optimise,
+// while a non-canonical engine holds the whole expression and can. This
+// module provides the two classic operations:
+//
+//   simplify(): flattens connectives, removes duplicate branches, and prunes
+//   branches that are redundant by predicate implication —
+//     AND: a child implied by a sibling is redundant (x>10 ∧ x>5 → x>10);
+//     OR:  a child that implies a sibling is redundant (x>10 ∨ x>5 → x>5).
+//   Pruning uses the same sound-but-conservative implication/covering logic
+//   as covering.h, so the result is always event-equivalent to the input.
+//
+//   merge(): combines two subscriptions into one that matches exactly their
+//   union — trivially OR(a, b) for a non-canonical engine (for canonical
+//   engines merging requires DNF surgery, which is [14]'s "beyond
+//   name/value pairs" pain point). If one input covers the other, the
+//   merge is just the coverer; otherwise the OR is simplified.
+#pragma once
+
+#include "subscription/ast.h"
+#include "subscription/dnf.h"
+
+namespace ncps {
+
+/// Produce an event-equivalent, never-larger expression. The returned Expr
+/// owns its own predicate references.
+[[nodiscard]] ast::Expr simplify(const ast::Node& root, PredicateTable& table);
+
+/// Merge two subscriptions into one matching the union of their events.
+[[nodiscard]] ast::Expr merge_subscriptions(const ast::Node& a,
+                                            const ast::Node& b,
+                                            PredicateTable& table);
+
+}  // namespace ncps

@@ -1,0 +1,90 @@
+#include "workload/paper_workload.h"
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+PaperWorkload::PaperWorkload(PaperWorkloadConfig config,
+                             AttributeRegistry& attrs, PredicateTable& table)
+    : config_(config), table_(&table), rng_(config.seed) {
+  NCPS_EXPECTS(config_.predicates_per_subscription >= 2);
+  NCPS_EXPECTS(config_.predicates_per_subscription % 2 == 0);
+  NCPS_EXPECTS(config_.attribute_count >= 1);
+  NCPS_EXPECTS(config_.domain_size >= 16);
+  attributes_.reserve(config_.attribute_count);
+  for (std::size_t i = 0; i < config_.attribute_count; ++i) {
+    attributes_.push_back(attrs.intern("attr" + std::to_string(i)));
+  }
+}
+
+PaperWorkload::~PaperWorkload() {
+  // Release the pool's own references (engines/expressions hold theirs).
+  for (const PredicateId id : predicate_pool_) table_->release(id);
+}
+
+PredicateId PaperWorkload::fresh_predicate() {
+  // Reuse an existing predicate with the configured probability (ablation
+  // knob; the paper's experiments run at 0).
+  if (config_.sharing_probability > 0.0 && !predicate_pool_.empty() &&
+      rng_.chance(config_.sharing_probability)) {
+    const PredicateId id =
+        predicate_pool_[rng_.bounded(static_cast<std::uint32_t>(
+            predicate_pool_.size()))];
+    table_->add_ref(id);
+    return id;
+  }
+
+  // Draw until the triple is globally unique ("we avoid the usage of shared
+  // predicates"). With a 10^9 domain collisions are ~never; the loop is a
+  // correctness guarantee, not a hot path.
+  static constexpr Operator kOps[] = {Operator::Gt, Operator::Le,
+                                      Operator::Eq};
+  for (;;) {
+    Predicate p;
+    p.attribute =
+        attributes_[rng_.bounded(static_cast<std::uint32_t>(attributes_.size()))];
+    p.op = kOps[rng_.bounded(3)];
+    p.lo = Value(rng_.range(0, config_.domain_size - 1));
+    const auto [id, newly_created] = table_->intern(p);
+    if (newly_created) {
+      table_->add_ref(id);  // the pool's own reference
+      predicate_pool_.push_back(id);
+      return id;
+    }
+    table_->release(id);  // collision: undo the intern's refcount bump
+  }
+}
+
+ast::Expr PaperWorkload::next_subscription() {
+  const std::size_t groups = config_.predicates_per_subscription / 2;
+  std::vector<ast::NodePtr> conjuncts;
+  conjuncts.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::vector<ast::NodePtr> pair;
+    pair.reserve(2);
+    pair.push_back(ast::leaf(fresh_predicate()));
+    pair.push_back(ast::leaf(fresh_predicate()));
+    conjuncts.push_back(ast::make_or(std::move(pair)));
+  }
+  ast::NodePtr root = groups == 1 ? std::move(conjuncts.front())
+                                  : ast::make_and(std::move(conjuncts));
+  // fresh_predicate() already took one reference per leaf.
+  return ast::Expr(std::move(root), *table_, ast::Expr::AdoptRefs{});
+}
+
+std::vector<PredicateId> PaperWorkload::sample_fulfilled(std::size_t count) {
+  NCPS_EXPECTS(count <= predicate_pool_.size());
+  // Partial Fisher–Yates over a copy: O(pool) copy + O(count) shuffle.
+  std::vector<PredicateId> pool = predicate_pool_;
+  std::vector<PredicateId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + rng_.bounded(static_cast<std::uint32_t>(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+}  // namespace ncps

@@ -1,0 +1,94 @@
+// The paper's experimental workload (§4, Table 1).
+//
+// Subscriptions are non-DNF Boolean expressions over unique (unshared)
+// predicates, characterised by their predicate count |p|. The paper states
+// that transforming one subscription into DNF yields 2^(|p|/2) conjunctions
+// of |p|/2 predicates each — which pins down the shape exactly: an AND of
+// |p|/2 binary OR groups,
+//
+//     (p1 ∨ p2) ∧ (p3 ∨ p4) ∧ … ∧ (p_{|p|-1} ∨ p_{|p|})
+//
+// (cross-checked by Table 1: |p| ∈ [6,10] ⇒ 8–32 transformed subscriptions
+// of 3–5 predicates, matching "8 to 32" and Fig. 1's two-group example).
+//
+// Predicates are unique attribute-operator-value triples over large integer
+// domains ("we do not assume high predicate redundancy, i.e., domains are
+// supposed to have relatively large sizes"), with operators drawn from the
+// {>, <=, ==} family the paper's Fig. 1 uses. A sharing probability knob
+// (default 0, the paper's setting) exists for the predicate-sharing
+// ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "event/schema.h"
+#include "predicate/predicate_table.h"
+#include "subscription/ast.h"
+
+namespace ncps {
+
+struct PaperWorkloadConfig {
+  /// |p|: unique predicates per subscription. Must be even and >= 2; the
+  /// paper sweeps 6, 8, 10.
+  std::size_t predicates_per_subscription = 6;
+  /// Attributes in the schema (the paper leaves this open; predicates spread
+  /// uniformly across attributes).
+  std::size_t attribute_count = 50;
+  /// Integer operand domain [0, domain_size).
+  std::int64_t domain_size = 1'000'000'000;
+  /// Probability of reusing an existing predicate instead of a fresh one
+  /// (0.0 = the paper's unique-predicate regime).
+  double sharing_probability = 0.0;
+  std::uint64_t seed = 0x5eed2005;
+};
+
+class PaperWorkload {
+ public:
+  PaperWorkload(PaperWorkloadConfig config, AttributeRegistry& attrs,
+                PredicateTable& table);
+  ~PaperWorkload();
+
+  // The predicate pool owns one table reference per entry; copying or moving
+  // would double-release them.
+  PaperWorkload(const PaperWorkload&) = delete;
+  PaperWorkload& operator=(const PaperWorkload&) = delete;
+
+  /// Generate the next subscription. The returned Expr owns table
+  /// references; register it with engines before letting it die.
+  [[nodiscard]] ast::Expr next_subscription();
+
+  /// All predicate ids generated so far (the sampling pool for fulfilled
+  /// sets).
+  [[nodiscard]] const std::vector<PredicateId>& predicate_pool() const {
+    return predicate_pool_;
+  }
+
+  /// Sample `count` distinct fulfilled predicates uniformly from the pool —
+  /// the paper's "matching predicates per event" parameter. Deterministic
+  /// given the generator's RNG state.
+  [[nodiscard]] std::vector<PredicateId> sample_fulfilled(std::size_t count);
+
+  /// Expected DNF size for this configuration: 2^(|p|/2) disjuncts of
+  /// |p|/2 predicates.
+  [[nodiscard]] std::uint64_t expected_disjuncts() const {
+    return std::uint64_t{1} << (config_.predicates_per_subscription / 2);
+  }
+  [[nodiscard]] std::size_t expected_disjunct_width() const {
+    return config_.predicates_per_subscription / 2;
+  }
+
+  [[nodiscard]] const PaperWorkloadConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] PredicateId fresh_predicate();
+
+  PaperWorkloadConfig config_;
+  PredicateTable* table_;
+  Pcg32 rng_;
+  std::vector<AttributeId> attributes_;
+  std::vector<PredicateId> predicate_pool_;
+};
+
+}  // namespace ncps

@@ -1,0 +1,146 @@
+#include "workload/random_workload.h"
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+namespace {
+
+// A tiny vocabulary for string-valued attributes; small on purpose so
+// prefix/suffix/contains predicates actually hit.
+constexpr const char* kWords[] = {"alpha", "alps",  "beta",  "bet",
+                                  "gamma", "game",  "delta", "del",
+                                  "omega", "omelet"};
+constexpr std::size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+}  // namespace
+
+RandomWorkload::RandomWorkload(RandomWorkloadConfig config,
+                               AttributeRegistry& attrs, PredicateTable& table)
+    : config_(config), table_(&table), rng_(config.seed) {
+  NCPS_EXPECTS(config_.attribute_count >= 1);
+  NCPS_EXPECTS(config_.domain_size >= 2);
+  NCPS_EXPECTS(config_.max_depth >= 1);
+  NCPS_EXPECTS(config_.max_children >= 2);
+  attributes_.reserve(config_.attribute_count);
+  is_string_attr_.reserve(config_.attribute_count);
+  for (std::size_t i = 0; i < config_.attribute_count; ++i) {
+    attributes_.push_back(attrs.intern("rnd" + std::to_string(i)));
+    // Every third attribute is string-typed in the rich regime.
+    is_string_attr_.push_back(config_.rich_operators && i % 3 == 0);
+  }
+}
+
+RandomWorkload::~RandomWorkload() {
+  // Release the pool's own references (expressions hold theirs).
+  for (const PredicateId id : pool_) table_->release(id);
+}
+
+Value RandomWorkload::random_value_for(std::size_t attr_index) {
+  if (is_string_attr_[attr_index]) {
+    return Value(kWords[rng_.bounded(kWordCount)]);
+  }
+  return Value(rng_.range(0, config_.domain_size - 1));
+}
+
+PredicateId RandomWorkload::next_leaf_predicate() {
+  if (!pool_.empty() && rng_.chance(config_.sharing_probability)) {
+    const PredicateId id =
+        pool_[rng_.bounded(static_cast<std::uint32_t>(pool_.size()))];
+    table_->add_ref(id);  // the new leaf's reference
+    return id;
+  }
+
+  const std::size_t attr_index =
+      rng_.bounded(static_cast<std::uint32_t>(attributes_.size()));
+  Predicate p;
+  p.attribute = attributes_[attr_index];
+
+  if (is_string_attr_[attr_index]) {
+    static constexpr Operator kStringOps[] = {
+        Operator::Eq,     Operator::Ne,       Operator::Lt,
+        Operator::Ge,     Operator::Prefix,   Operator::Suffix,
+        Operator::Contains, Operator::Exists};
+    p.op = kStringOps[rng_.bounded(sizeof(kStringOps) / sizeof(kStringOps[0]))];
+  } else if (config_.rich_operators) {
+    static constexpr Operator kNumericOps[] = {
+        Operator::Eq, Operator::Ne,      Operator::Lt,    Operator::Le,
+        Operator::Gt, Operator::Ge,      Operator::Between, Operator::Exists};
+    p.op =
+        kNumericOps[rng_.bounded(sizeof(kNumericOps) / sizeof(kNumericOps[0]))];
+  } else {
+    static constexpr Operator kPlainOps[] = {Operator::Eq, Operator::Lt,
+                                             Operator::Le, Operator::Gt,
+                                             Operator::Ge};
+    p.op = kPlainOps[rng_.bounded(sizeof(kPlainOps) / sizeof(kPlainOps[0]))];
+  }
+
+  switch (p.op) {
+    case Operator::Between: {
+      const std::int64_t a = rng_.range(0, config_.domain_size - 1);
+      const std::int64_t b = rng_.range(0, config_.domain_size - 1);
+      p.lo = Value(std::min(a, b));
+      p.hi = Value(std::max(a, b));
+      break;
+    }
+    case Operator::Prefix:
+    case Operator::Suffix:
+    case Operator::Contains: {
+      // Use word fragments so matches are plausible.
+      const std::string word = kWords[rng_.bounded(kWordCount)];
+      const std::size_t len =
+          1 + rng_.bounded(static_cast<std::uint32_t>(word.size()));
+      p.lo = p.op == Operator::Suffix ? Value(word.substr(word.size() - len))
+                                      : Value(word.substr(0, len));
+      break;
+    }
+    case Operator::Exists:
+      break;
+    default:
+      p.lo = random_value_for(attr_index);
+      break;
+  }
+
+  const PredicateId id = table_->intern(p).id;  // the new leaf's reference
+  table_->add_ref(id);                          // the pool's own reference
+  pool_.push_back(id);
+  return id;
+}
+
+ast::NodePtr RandomWorkload::gen_node(std::size_t depth) {
+  const bool must_leaf = depth >= config_.max_depth;
+  if (!must_leaf && rng_.chance(config_.not_probability)) {
+    return ast::make_not(gen_node(depth + 1));
+  }
+  if (must_leaf || rng_.chance(0.4)) {
+    return ast::leaf(next_leaf_predicate());
+  }
+  const std::size_t arity =
+      2 + rng_.bounded(static_cast<std::uint32_t>(config_.max_children - 1));
+  std::vector<ast::NodePtr> children;
+  children.reserve(arity);
+  for (std::size_t i = 0; i < arity; ++i) {
+    children.push_back(gen_node(depth + 1));
+  }
+  return rng_.chance(0.5) ? ast::make_and(std::move(children))
+                          : ast::make_or(std::move(children));
+}
+
+ast::Expr RandomWorkload::next_subscription() {
+  ast::NodePtr root = gen_node(1);
+  ast::flatten(*root);
+  // Leaf references were taken by intern()/add_ref() during generation; the
+  // flatten preserves the leaf multiset.
+  return ast::Expr(std::move(root), *table_, ast::Expr::AdoptRefs{});
+}
+
+Event RandomWorkload::next_event() {
+  Event e;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (!rng_.chance(config_.attribute_presence)) continue;
+    e.set(attributes_[i], random_value_for(i));
+  }
+  return e;
+}
+
+}  // namespace ncps

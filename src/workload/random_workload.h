@@ -1,0 +1,77 @@
+// General random Boolean subscriptions and events — the property-test
+// workload.
+//
+// Unlike PaperWorkload (which pins the exact experimental shape of §4), this
+// generator produces arbitrary expression trees: variable arity, NOT nodes,
+// shared predicates, mixed operators including string and interval
+// predicates. The cross-engine equivalence suite uses it to assert that all
+// three engines agree with the brute-force AST oracle on thousands of
+// (subscription, event) pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "predicate/predicate_table.h"
+#include "subscription/ast.h"
+
+namespace ncps {
+
+struct RandomWorkloadConfig {
+  std::size_t attribute_count = 8;
+  /// Small domains on purpose: high predicate/event collision probability
+  /// exercises the interesting matching paths.
+  std::int64_t domain_size = 20;
+  std::size_t max_depth = 4;
+  std::size_t max_children = 4;
+  double not_probability = 0.25;
+  /// Probability that a generated leaf reuses a predicate from the pool.
+  double sharing_probability = 0.5;
+  /// Include string/interval/exists operators (false limits to the numeric
+  /// comparison family, which is what the DNF-equivalence tests need to
+  /// keep truth tables small).
+  bool rich_operators = true;
+  /// Probability that an event carries each attribute. 1.0 produces total
+  /// events (the regime where DNF transformation is semantics-preserving;
+  /// see DESIGN.md §3 decision 3).
+  double attribute_presence = 1.0;
+  std::uint64_t seed = 0xfeed2005;
+};
+
+class RandomWorkload {
+ public:
+  RandomWorkload(RandomWorkloadConfig config, AttributeRegistry& attrs,
+                 PredicateTable& table);
+  ~RandomWorkload();
+
+  // The predicate pool owns one table reference per entry; copying or moving
+  // would double-release them.
+  RandomWorkload(const RandomWorkload&) = delete;
+  RandomWorkload& operator=(const RandomWorkload&) = delete;
+
+  [[nodiscard]] ast::Expr next_subscription();
+  [[nodiscard]] Event next_event();
+
+  [[nodiscard]] Pcg32& rng() { return rng_; }
+
+ private:
+  [[nodiscard]] PredicateId next_leaf_predicate();
+  [[nodiscard]] ast::NodePtr gen_node(std::size_t depth);
+  [[nodiscard]] Value random_value_for(std::size_t attr_index);
+
+  RandomWorkloadConfig config_;
+  PredicateTable* table_;
+  Pcg32 rng_;
+  std::vector<AttributeId> attributes_;
+  // Attributes are schema-typed: predicates and events always use the
+  // attribute's type. This keeps Value comparisons within one comparable
+  // family, where the operator-complement law is exact — the regime in
+  // which DNF transformation (NNF via complements) preserves semantics.
+  std::vector<bool> is_string_attr_;
+  std::vector<PredicateId> pool_;
+};
+
+}  // namespace ncps

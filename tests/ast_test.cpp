@@ -1,0 +1,217 @@
+#include "subscription/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "event/schema.h"
+#include "predicate/predicate_table.h"
+
+namespace ncps {
+namespace {
+
+class AstTest : public ::testing::Test {
+ protected:
+  PredicateId pred(int value) {
+    // One table reference per call, like a builder would take.
+    return table_
+        .intern(Predicate{attrs_.intern("a"), Operator::Eq, Value(value), {}})
+        .id;
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+};
+
+TEST_F(AstTest, LeafEvaluation) {
+  const ast::NodePtr n = ast::leaf(pred(1));
+  EXPECT_TRUE(ast::evaluate(*n, [](PredicateId) { return true; }));
+  EXPECT_FALSE(ast::evaluate(*n, [](PredicateId) { return false; }));
+}
+
+TEST_F(AstTest, AndOrNotSemantics) {
+  const PredicateId p = pred(1);
+  const PredicateId q = pred(2);
+  std::vector<ast::NodePtr> c1;
+  c1.push_back(ast::leaf(p));
+  c1.push_back(ast::leaf(q));
+  const ast::NodePtr andn = ast::make_and(std::move(c1));
+  std::vector<ast::NodePtr> c2;
+  c2.push_back(ast::leaf(p));
+  c2.push_back(ast::leaf(q));
+  const ast::NodePtr orn = ast::make_or(std::move(c2));
+  const ast::NodePtr notn = ast::make_not(ast::leaf(p));
+
+  const auto truth_p = [p](PredicateId id) { return id == p; };
+  EXPECT_FALSE(ast::evaluate(*andn, truth_p));
+  EXPECT_TRUE(ast::evaluate(*orn, truth_p));
+  EXPECT_FALSE(ast::evaluate(*notn, truth_p));
+  const auto truth_all = [](PredicateId) { return true; };
+  EXPECT_TRUE(ast::evaluate(*andn, truth_all));
+}
+
+TEST_F(AstTest, FlattenMergesNestedSameKind) {
+  // And(And(p,q), r) → And(p,q,r)
+  std::vector<ast::NodePtr> inner;
+  inner.push_back(ast::leaf(pred(1)));
+  inner.push_back(ast::leaf(pred(2)));
+  std::vector<ast::NodePtr> outer;
+  outer.push_back(ast::make_and(std::move(inner)));
+  outer.push_back(ast::leaf(pred(3)));
+  ast::NodePtr root = ast::make_and(std::move(outer));
+  ast::flatten(*root);
+  EXPECT_EQ(root->kind, ast::NodeKind::And);
+  EXPECT_EQ(root->children.size(), 3u);
+  for (const auto& c : root->children) {
+    EXPECT_EQ(c->kind, ast::NodeKind::Leaf);
+  }
+}
+
+TEST_F(AstTest, FlattenUnwrapsSingletons) {
+  std::vector<ast::NodePtr> one;
+  one.push_back(ast::leaf(pred(1)));
+  ast::NodePtr root = ast::make_and(std::move(one));
+  ast::flatten(*root);
+  EXPECT_EQ(root->kind, ast::NodeKind::Leaf);
+}
+
+TEST_F(AstTest, FlattenCollapsesDoubleNegation) {
+  ast::NodePtr root = ast::make_not(ast::make_not(ast::leaf(pred(1))));
+  ast::flatten(*root);
+  EXPECT_EQ(root->kind, ast::NodeKind::Leaf);
+}
+
+TEST_F(AstTest, FlattenKeepsMixedKinds) {
+  // Or(And(p,q), r) must not merge.
+  std::vector<ast::NodePtr> inner;
+  inner.push_back(ast::leaf(pred(1)));
+  inner.push_back(ast::leaf(pred(2)));
+  std::vector<ast::NodePtr> outer;
+  outer.push_back(ast::make_and(std::move(inner)));
+  outer.push_back(ast::leaf(pred(3)));
+  ast::NodePtr root = ast::make_or(std::move(outer));
+  ast::flatten(*root);
+  EXPECT_EQ(root->kind, ast::NodeKind::Or);
+  ASSERT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(root->children[0]->kind, ast::NodeKind::And);
+}
+
+TEST_F(AstTest, FlattenPreservesSemantics) {
+  // Not(Not(And(p, And(q, r)))) flattens to And(p,q,r); truth must agree.
+  const PredicateId p = pred(1);
+  const PredicateId q = pred(2);
+  const PredicateId r = pred(3);
+  std::vector<ast::NodePtr> inner;
+  inner.push_back(ast::leaf(q));
+  inner.push_back(ast::leaf(r));
+  std::vector<ast::NodePtr> outer;
+  outer.push_back(ast::leaf(p));
+  outer.push_back(ast::make_and(std::move(inner)));
+  ast::NodePtr root =
+      ast::make_not(ast::make_not(ast::make_and(std::move(outer))));
+  const ast::NodePtr original = ast::clone(*root);
+  ast::flatten(*root);
+  for (int mask = 0; mask < 8; ++mask) {
+    const auto truth = [&](PredicateId id) {
+      if (id == p) return (mask & 1) != 0;
+      if (id == q) return (mask & 2) != 0;
+      return (mask & 4) != 0;
+    };
+    EXPECT_EQ(ast::evaluate(*root, truth), ast::evaluate(*original, truth))
+        << "mask=" << mask;
+  }
+}
+
+TEST_F(AstTest, CloneAndEqual) {
+  std::vector<ast::NodePtr> children;
+  children.push_back(ast::leaf(pred(1)));
+  children.push_back(ast::make_not(ast::leaf(pred(2))));
+  const ast::NodePtr root = ast::make_or(std::move(children));
+  const ast::NodePtr copy = ast::clone(*root);
+  EXPECT_TRUE(ast::equal(*root, *copy));
+  // A different predicate breaks equality.
+  const ast::NodePtr other = ast::leaf(pred(3));
+  EXPECT_FALSE(ast::equal(*root, *other));
+}
+
+TEST_F(AstTest, CountsAndDepth) {
+  std::vector<ast::NodePtr> children;
+  children.push_back(ast::leaf(pred(1)));
+  children.push_back(ast::make_not(ast::leaf(pred(2))));
+  const ast::NodePtr root = ast::make_and(std::move(children));
+  EXPECT_EQ(ast::leaf_count(*root), 2u);
+  EXPECT_EQ(ast::node_count(*root), 4u);
+  EXPECT_EQ(ast::depth(*root), 3u);
+}
+
+TEST_F(AstTest, CollectPredicatesKeepsDuplicates) {
+  const PredicateId p = pred(1);
+  table_.add_ref(p);  // second leaf occurrence
+  std::vector<ast::NodePtr> children;
+  children.push_back(ast::leaf(p));
+  children.push_back(ast::leaf(p));
+  const ast::NodePtr root = ast::make_or(std::move(children));
+  std::vector<PredicateId> preds;
+  ast::collect_predicates(*root, preds);
+  EXPECT_EQ(preds.size(), 2u);
+}
+
+TEST_F(AstTest, MatchesAllFalse) {
+  const ast::NodePtr plain = ast::leaf(pred(1));
+  EXPECT_FALSE(ast::matches_all_false(*plain));
+  const ast::NodePtr negated = ast::make_not(ast::leaf(pred(2)));
+  EXPECT_TRUE(ast::matches_all_false(*negated));
+}
+
+TEST_F(AstTest, ExprReleasesReferencesOnDestruction) {
+  const PredicateId p = pred(1);  // ref from intern
+  {
+    const ast::Expr expr(ast::leaf(p), table_, ast::Expr::AdoptRefs{});
+    EXPECT_EQ(table_.ref_count(p), 1u);
+  }
+  EXPECT_FALSE(table_.is_live(p));
+}
+
+TEST_F(AstTest, ExprAddRefsTakesItsOwnReferences) {
+  const PredicateId p = pred(1);
+  {
+    const ast::Expr expr(ast::leaf(p), table_, ast::Expr::AddRefs{});
+    EXPECT_EQ(table_.ref_count(p), 2u);
+  }
+  EXPECT_EQ(table_.ref_count(p), 1u);
+  table_.release(p);
+}
+
+TEST_F(AstTest, ExprCloneIsIndependent) {
+  const PredicateId p = pred(1);
+  ast::Expr a(ast::leaf(p), table_, ast::Expr::AdoptRefs{});
+  {
+    const ast::Expr b = a.clone();
+    EXPECT_EQ(table_.ref_count(p), 2u);
+    EXPECT_TRUE(ast::equal(a.root(), b.root()));
+  }
+  EXPECT_EQ(table_.ref_count(p), 1u);
+}
+
+TEST_F(AstTest, ExprMoveTransfersOwnership) {
+  const PredicateId p = pred(1);
+  ast::Expr a(ast::leaf(p), table_, ast::Expr::AdoptRefs{});
+  ast::Expr b = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): documented state
+  EXPECT_FALSE(b.empty());
+  b = ast::Expr();  // releases
+  EXPECT_FALSE(table_.is_live(p));
+}
+
+TEST_F(AstTest, EvaluateAgainstEventUsesPredicates) {
+  const PredicateId gt = table_
+                             .intern(Predicate{attrs_.intern("price"),
+                                               Operator::Gt, Value(10), {}})
+                             .id;
+  const ast::NodePtr root = ast::make_not(ast::leaf(gt));
+  const Event cheap = EventBuilder(attrs_).set("price", 5).build();
+  const Event pricey = EventBuilder(attrs_).set("price", 50).build();
+  EXPECT_TRUE(ast::evaluate_against_event(*root, table_, cheap));
+  EXPECT_FALSE(ast::evaluate_against_event(*root, table_, pricey));
+}
+
+}  // namespace
+}  // namespace ncps

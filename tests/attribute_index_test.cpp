@@ -1,0 +1,196 @@
+#include "index/attribute_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "event/schema.h"
+#include "test_util.h"
+
+namespace ncps {
+namespace {
+
+// Fixture managing one attribute's index plus the predicate table the scan
+// list resolves against.
+class AttributeIndexTest : public ::testing::Test {
+ protected:
+  PredicateId add(Operator op, Value lo, Value hi = {}) {
+    const Predicate p{attr_, op, std::move(lo), std::move(hi)};
+    const PredicateId id = table_.intern(p).id;
+    index_.add(id, table_.get(id));
+    all_.push_back(id);
+    return id;
+  }
+
+  std::vector<PredicateId> stab(const Value& v) {
+    std::vector<PredicateId> out;
+    index_.stab(v, table_, out);
+    return testing::sorted(std::move(out));
+  }
+
+  /// Brute-force reference: evaluate every registered predicate directly.
+  std::vector<PredicateId> reference(const Value& v) {
+    std::vector<PredicateId> out;
+    for (const PredicateId id : all_) {
+      const Predicate& p = table_.get(id);
+      if (eval_operator(p.op, v, p.lo, p.hi)) out.push_back(id);
+    }
+    return testing::sorted(std::move(out));
+  }
+
+  AttributeRegistry attrs_;
+  AttributeId attr_ = attrs_.intern("x");
+  PredicateTable table_;
+  AttributeIndex index_;
+  std::vector<PredicateId> all_;
+};
+
+TEST_F(AttributeIndexTest, EqualityStab) {
+  const PredicateId p10 = add(Operator::Eq, Value(10));
+  add(Operator::Eq, Value(20));
+  EXPECT_EQ(stab(Value(10)), std::vector{p10});
+  EXPECT_TRUE(stab(Value(15)).empty());
+}
+
+TEST_F(AttributeIndexTest, EqualityCrossNumericTypes) {
+  const PredicateId p = add(Operator::Eq, Value(10));
+  EXPECT_EQ(stab(Value(10.0)), std::vector{p});
+}
+
+TEST_F(AttributeIndexTest, UpperBoundStabs) {
+  const PredicateId lt10 = add(Operator::Lt, Value(10));
+  const PredicateId le10 = add(Operator::Le, Value(10));
+  // v = 10: only a <= 10 matches.
+  EXPECT_EQ(stab(Value(10)), std::vector{le10});
+  // v = 9: both match.
+  EXPECT_EQ(stab(Value(9)), testing::sorted(std::vector{lt10, le10}));
+  // v = 11: neither.
+  EXPECT_TRUE(stab(Value(11)).empty());
+}
+
+TEST_F(AttributeIndexTest, LowerBoundStabs) {
+  const PredicateId gt10 = add(Operator::Gt, Value(10));
+  const PredicateId ge10 = add(Operator::Ge, Value(10));
+  EXPECT_EQ(stab(Value(10)), std::vector{ge10});
+  EXPECT_EQ(stab(Value(11)), testing::sorted(std::vector{gt10, ge10}));
+  EXPECT_TRUE(stab(Value(9)).empty());
+}
+
+TEST_F(AttributeIndexTest, BetweenStabs) {
+  const PredicateId mid = add(Operator::Between, Value(10), Value(20));
+  add(Operator::Between, Value(30), Value(40));
+  EXPECT_EQ(stab(Value(15)), std::vector{mid});
+  EXPECT_EQ(stab(Value(10)), std::vector{mid});
+  EXPECT_EQ(stab(Value(20)), std::vector{mid});
+  EXPECT_TRUE(stab(Value(25)).empty());
+}
+
+TEST_F(AttributeIndexTest, PrefixStabs) {
+  const PredicateId ab = add(Operator::Prefix, Value("ab"));
+  const PredicateId abc = add(Operator::Prefix, Value("abc"));
+  const PredicateId empty = add(Operator::Prefix, Value(""));
+  EXPECT_EQ(stab(Value("abcd")), testing::sorted(std::vector{ab, abc, empty}));
+  EXPECT_EQ(stab(Value("abx")), testing::sorted(std::vector{ab, empty}));
+  EXPECT_EQ(stab(Value("zz")), std::vector{empty});
+}
+
+TEST_F(AttributeIndexTest, ScanListOperators) {
+  const PredicateId ne = add(Operator::Ne, Value(10));
+  const PredicateId contains = add(Operator::Contains, Value("bc"));
+  const PredicateId suffix = add(Operator::Suffix, Value("cd"));
+  EXPECT_EQ(stab(Value(11)), std::vector{ne});
+  EXPECT_EQ(stab(Value("abcd")),
+            testing::sorted(std::vector{ne, contains, suffix}));
+  EXPECT_EQ(stab(Value(10)), testing::sorted(std::vector<PredicateId>{}));
+}
+
+TEST_F(AttributeIndexTest, ExistsMatchesAnyValue) {
+  const PredicateId ex = add(Operator::Exists, Value());
+  EXPECT_EQ(stab(Value(0)), std::vector{ex});
+  EXPECT_EQ(stab(Value("anything")), std::vector{ex});
+}
+
+TEST_F(AttributeIndexTest, RemoveFromEveryStructure) {
+  const PredicateId eq = add(Operator::Eq, Value(1));
+  const PredicateId lt = add(Operator::Lt, Value(10));
+  const PredicateId gt = add(Operator::Gt, Value(-10));
+  const PredicateId bt = add(Operator::Between, Value(0), Value(5));
+  const PredicateId pf = add(Operator::Prefix, Value("a"));
+  const PredicateId ne = add(Operator::Ne, Value(99));
+  const PredicateId ex = add(Operator::Exists, Value());
+
+  for (const PredicateId id : {eq, lt, gt, bt, pf, ne, ex}) {
+    EXPECT_TRUE(index_.remove(id, table_.get(id)));
+  }
+  EXPECT_TRUE(index_.empty());
+  EXPECT_TRUE(stab(Value(1)).empty());
+  EXPECT_TRUE(stab(Value("abc")).empty());
+  // Double remove reports failure.
+  EXPECT_FALSE(index_.remove(eq, table_.get(eq)));
+}
+
+TEST_F(AttributeIndexTest, StringOperandOnOrderedOperatorGoesToScanList) {
+  const PredicateId p = add(Operator::Lt, Value("m"));
+  EXPECT_EQ(index_.scan_count(), 1u);
+  EXPECT_EQ(stab(Value("a")), std::vector{p});
+  EXPECT_TRUE(stab(Value("z")).empty());
+}
+
+TEST_F(AttributeIndexTest, RandomizedAgainstBruteForce) {
+  Pcg32 rng(2024);
+  // A mix of every operator class over a small domain.
+  for (int i = 0; i < 400; ++i) {
+    switch (rng.bounded(8)) {
+      case 0: add(Operator::Eq, Value(rng.range(0, 30))); break;
+      case 1: add(Operator::Ne, Value(rng.range(0, 30))); break;
+      case 2: add(Operator::Lt, Value(rng.range(0, 30))); break;
+      case 3: add(Operator::Le, Value(rng.range(0, 30))); break;
+      case 4: add(Operator::Gt, Value(rng.range(0, 30))); break;
+      case 5: add(Operator::Ge, Value(rng.range(0, 30))); break;
+      case 6: {
+        const std::int64_t a = rng.range(0, 30);
+        const std::int64_t b = rng.range(0, 30);
+        add(Operator::Between, Value(std::min(a, b)), Value(std::max(a, b)));
+        break;
+      }
+      default: add(Operator::Eq, Value(static_cast<double>(rng.range(0, 30)) + 0.5)); break;
+    }
+  }
+  for (std::int64_t v = -2; v <= 32; ++v) {
+    EXPECT_EQ(stab(Value(v)), reference(Value(v))) << "v=" << v;
+    EXPECT_EQ(stab(Value(static_cast<double>(v) + 0.5)),
+              reference(Value(static_cast<double>(v) + 0.5)))
+        << "v=" << v << ".5";
+  }
+}
+
+TEST_F(AttributeIndexTest, RandomizedChurnAgainstBruteForce) {
+  Pcg32 rng(555);
+  std::vector<PredicateId> live;
+  for (int round = 0; round < 600; ++round) {
+    if (live.empty() || rng.chance(0.6)) {
+      static constexpr Operator kOps[] = {Operator::Eq, Operator::Lt,
+                                          Operator::Le, Operator::Gt,
+                                          Operator::Ge, Operator::Ne};
+      const Operator op = kOps[rng.bounded(6)];
+      const Predicate p{attr_, op, Value(rng.range(0, 20)), {}};
+      const PredicateId id = table_.intern(p).id;
+      index_.add(id, table_.get(id));
+      live.push_back(id);
+    } else {
+      const std::size_t i = rng.bounded(static_cast<std::uint32_t>(live.size()));
+      const PredicateId id = live[i];
+      EXPECT_TRUE(index_.remove(id, table_.get(id)));
+      table_.release(id);
+      live[i] = live.back();
+      live.pop_back();
+    }
+    if (round % 50 == 0) {
+      all_ = live;
+      const std::int64_t v = rng.range(0, 20);
+      EXPECT_EQ(stab(Value(v)), reference(Value(v))) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncps

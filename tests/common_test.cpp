@@ -1,0 +1,220 @@
+// Tests for the common substrate: PRNG, epoch sets, arena, strong ids,
+// memory breakdowns, contracts.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/arena.h"
+#include "common/contracts.h"
+#include "common/epoch_set.h"
+#include "common/ids.h"
+#include "common/memory_tracker.h"
+#include "common/random.h"
+
+namespace ncps {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32Test, StreamsDiffer) {
+  Pcg32 a(123, 1), b(123, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, BoundedStaysInBounds) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.bounded(1), 0u);
+  }
+}
+
+TEST(Pcg32Test, BoundedIsRoughlyUniform) {
+  Pcg32 rng(10);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[rng.bounded(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Pcg32Test, RangeIsInclusive) {
+  Pcg32 rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Pcg32Test, RangeHandlesLargeSpans) {
+  Pcg32 rng(12);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = rng.range(0, std::int64_t{1} << 40);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, std::int64_t{1} << 40);
+  }
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(43);
+  EXPECT_NE(SplitMix64(42).next(), c.next());
+}
+
+TEST(EpochSetTest, InsertAndContains) {
+  EpochSet set(10);
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_FALSE(set.insert(3));  // duplicate
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(4));
+}
+
+TEST(EpochSetTest, ClearIsConstantTimeAndComplete) {
+  EpochSet set(100);
+  for (std::uint32_t i = 0; i < 100; ++i) set.insert(i);
+  set.clear();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(set.contains(i)) << i;
+  }
+  EXPECT_TRUE(set.insert(50));
+}
+
+TEST(EpochSetTest, ResizePreservesMembership) {
+  EpochSet set(4);
+  set.insert(2);
+  set.resize(100);
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_FALSE(set.contains(50));
+  EXPECT_TRUE(set.insert(99));
+}
+
+TEST(EpochSetTest, ManyEpochsStayCorrect) {
+  EpochSet set(4);
+  for (int round = 0; round < 10000; ++round) {
+    EXPECT_TRUE(set.insert(round % 4));
+    set.clear();
+  }
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndDistinct) {
+  Arena arena;
+  void* a = arena.allocate(10, 8);
+  void* b = arena.allocate(10, 8);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(arena.allocated_bytes(), 20u);
+}
+
+TEST(ArenaTest, CreateConstructsObjects) {
+  Arena arena;
+  struct Point {
+    int x, y;
+  };
+  Point* p = arena.create<Point>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(ArenaTest, GrowsBeyondOneBlock) {
+  Arena arena(1024);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) ptrs.push_back(arena.allocate(64, 8));
+  std::set<void*> distinct(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(distinct.size(), ptrs.size());
+  EXPECT_GT(arena.memory_bytes(), 1024u);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedBlock) {
+  Arena arena(1024);
+  void* big = arena.allocate(10000, 8);
+  EXPECT_NE(big, nullptr);
+  // Still usable afterwards.
+  void* small = arena.allocate(16, 8);
+  EXPECT_NE(small, nullptr);
+}
+
+TEST(ArenaTest, ResetReleasesAll) {
+  Arena arena(1024);
+  for (int i = 0; i < 100; ++i) (void)arena.allocate(64, 8);
+  arena.reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  void* p = arena.allocate(16, 8);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(StrongIdTest, TypedDistinctness) {
+  const PredicateId p(5);
+  const SubscriptionId s(5);
+  EXPECT_EQ(p.value(), s.value());
+  static_assert(!std::is_convertible_v<PredicateId, SubscriptionId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, PredicateId>);
+}
+
+TEST(StrongIdTest, InvalidSentinel) {
+  const PredicateId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, PredicateId::invalid());
+  EXPECT_TRUE(PredicateId(0).valid());
+}
+
+TEST(StrongIdTest, OrderingAndHash) {
+  EXPECT_LT(PredicateId(1), PredicateId(2));
+  EXPECT_EQ(std::hash<PredicateId>{}(PredicateId(7)),
+            std::hash<PredicateId>{}(PredicateId(7)));
+}
+
+TEST(MemoryBreakdownTest, TotalsAndNesting) {
+  MemoryBreakdown inner;
+  inner.add("a", 100);
+  inner.add("b", 50);
+  EXPECT_EQ(inner.total(), 150u);
+
+  MemoryBreakdown outer;
+  outer.add("c", 1);
+  outer.add_nested("inner/", inner);
+  EXPECT_EQ(outer.total(), 151u);
+  EXPECT_EQ(outer.components().size(), 3u);
+  EXPECT_EQ(outer.components()[1].first, "inner/a");
+}
+
+TEST(ContractsTest, ViolationCarriesLocation) {
+  try {
+    NCPS_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ncps

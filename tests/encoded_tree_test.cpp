@@ -1,0 +1,185 @@
+#include "subscription/encoded_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "subscription/parser.h"
+#include "workload/random_workload.h"
+
+namespace ncps {
+namespace {
+
+class EncodedTreeTest : public ::testing::Test {
+ protected:
+  ast::Expr parse(std::string_view text) {
+    return parse_subscription(text, attrs_, table_);
+  }
+
+  static std::vector<std::byte> encode(const ast::Node& node,
+                                       ReorderPolicy policy =
+                                           ReorderPolicy::kNone) {
+    std::vector<std::byte> out;
+    encode_tree(node, out, policy);
+    return out;
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+};
+
+TEST_F(EncodedTreeTest, LeafIsExactlyFourBytes) {
+  const ast::NodePtr n = ast::leaf(PredicateId(0x01020304));
+  const auto bytes = encode(*n);
+  ASSERT_EQ(bytes.size(), 4u);
+  // Little-endian id.
+  EXPECT_EQ(std::to_integer<int>(bytes[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(bytes[3]), 0x01);
+}
+
+TEST_F(EncodedTreeTest, PaperByteBudget) {
+  // Paper §3.3: operator 1 byte, child count 1 byte, child width 2 bytes
+  // each, predicate ids 4 bytes. Fig. 1's tree: AND of two 3-way ORs with 6
+  // leaves ⇒ (1+1+2·2) + 2·(1+1+3·2) + 6·4 = 46 bytes.
+  const ast::Expr e = parse(
+      "(a > 10 or a <= 5 or b == 1) and (c <= 20 or c == 30 or d == 5)");
+  EXPECT_EQ(encoded_size(e.root()), 46u);
+  EXPECT_EQ(encode(e.root()).size(), 46u);
+}
+
+TEST_F(EncodedTreeTest, EncodedSizeMatchesEncodeOutput) {
+  const char* cases[] = {
+      "a == 1",
+      "a == 1 and b == 2",
+      "not (a == 1 or b == 2 and c == 3)",
+      "(a == 1 or b == 2) and (c == 3 or d == 4) and not e == 5",
+  };
+  for (const char* text : cases) {
+    const ast::Expr e = parse(text);
+    EXPECT_EQ(encoded_size(e.root()), encode(e.root()).size()) << text;
+  }
+}
+
+TEST_F(EncodedTreeTest, DecodeRoundTrip) {
+  const char* cases[] = {
+      "a == 1",
+      "not a == 1",
+      "a == 1 and b == 2 and c == 3",
+      "(a == 1 or b == 2) and not (c == 3 and d == 4)",
+  };
+  for (const char* text : cases) {
+    const ast::Expr e = parse(text);
+    const auto bytes = encode(e.root());
+    const ast::NodePtr decoded = decode_tree(bytes);
+    EXPECT_TRUE(ast::equal(e.root(), *decoded)) << text;
+  }
+}
+
+TEST_F(EncodedTreeTest, EvaluationAgreesWithAstOnRandomTrees) {
+  RandomWorkloadConfig config;
+  config.seed = 4242;
+  config.sharing_probability = 0.5;
+  RandomWorkload workload(config, attrs_, table_);
+  Pcg32 rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const ast::Expr expr = workload.next_subscription();
+    const auto bytes = encode(expr.root());
+    // Random truth assignment keyed off predicate id.
+    const std::uint64_t salt = rng.next64();
+    const auto truth = [salt](PredicateId id) {
+      return ((id.value() * 0x9e3779b9u) ^ salt) % 3 == 0;
+    };
+    EXPECT_EQ(evaluate_encoded(bytes, truth),
+              ast::evaluate(expr.root(), truth))
+        << "iteration " << i;
+  }
+}
+
+TEST_F(EncodedTreeTest, ReorderPolicyPreservesSemantics) {
+  RandomWorkloadConfig config;
+  config.seed = 777;
+  RandomWorkload workload(config, attrs_, table_);
+  Pcg32 rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const ast::Expr expr = workload.next_subscription();
+    const auto plain = encode(expr.root(), ReorderPolicy::kNone);
+    const auto reordered = encode(expr.root(), ReorderPolicy::kCheapestFirst);
+    const std::uint64_t salt = rng.next64();
+    const auto truth = [salt](PredicateId id) {
+      return ((id.value() * 0x85ebca6bu) ^ salt) % 2 == 0;
+    };
+    EXPECT_EQ(evaluate_encoded(plain, truth),
+              evaluate_encoded(reordered, truth))
+        << "iteration " << i;
+  }
+}
+
+TEST_F(EncodedTreeTest, CheapestFirstPutsLeavesBeforeSubtrees) {
+  const ast::Expr e = parse("(a == 1 and b == 2 and c == 3) or d == 4");
+  const auto bytes = encode(e.root(), ReorderPolicy::kCheapestFirst);
+  const ast::NodePtr decoded = decode_tree(bytes);
+  ASSERT_EQ(decoded->kind, ast::NodeKind::Or);
+  EXPECT_EQ(decoded->children[0]->kind, ast::NodeKind::Leaf);
+  EXPECT_EQ(decoded->children[1]->kind, ast::NodeKind::And);
+}
+
+TEST_F(EncodedTreeTest, ShortCircuitSkipsSubtrees) {
+  // AND with a false first child must not evaluate the second child's
+  // predicates; count truth lookups to verify.
+  const ast::Expr e = parse("a == 1 and (b == 2 or c == 3 or d == 4)");
+  const auto bytes = encode(e.root());
+  int lookups = 0;
+  const auto truth = [&lookups](PredicateId) {
+    ++lookups;
+    return false;
+  };
+  EXPECT_FALSE(evaluate_encoded(bytes, truth));
+  EXPECT_EQ(lookups, 1);  // only 'a == 1'
+}
+
+TEST_F(EncodedTreeTest, TooManyChildrenThrows) {
+  std::vector<ast::NodePtr> children;
+  for (int i = 0; i < 256; ++i) {
+    children.push_back(ast::leaf(PredicateId(static_cast<std::uint32_t>(i))));
+  }
+  const ast::NodePtr root = ast::make_or(std::move(children));
+  std::vector<std::byte> out;
+  EXPECT_THROW(encode_tree(*root, out), EncodeError);
+}
+
+TEST_F(EncodedTreeTest, OversizedChildThrows) {
+  // A subtree wider than 65535 bytes cannot be a child. 255 leaves per OR is
+  // 2 + 2·255 + 4·255 = 1532 bytes; nest ORs to exceed the width limit.
+  std::vector<ast::NodePtr> wide;
+  for (int group = 0; group < 50; ++group) {
+    std::vector<ast::NodePtr> leaves;
+    for (int i = 0; i < 250; ++i) {
+      leaves.push_back(
+          ast::leaf(PredicateId(static_cast<std::uint32_t>(group * 250 + i))));
+    }
+    wide.push_back(ast::make_or(std::move(leaves)));
+  }
+  // ~50 × 1508 ≈ 75 kB subtree under a NOT.
+  const ast::NodePtr root = ast::make_not(ast::make_and(std::move(wide)));
+  std::vector<std::byte> out;
+  EXPECT_THROW(encode_tree(*root, out), EncodeError);
+}
+
+TEST_F(EncodedTreeTest, AppendingMultipleTreesToOneBuffer) {
+  // The engine stores all trees in one buffer; encodes must compose.
+  const ast::Expr e1 = parse("a == 1 and b == 2");
+  const ast::Expr e2 = parse("c == 3 or d == 4");
+  std::vector<std::byte> buffer;
+  const std::size_t w1 = encode_tree(e1.root(), buffer);
+  const std::size_t offset2 = buffer.size();
+  const std::size_t w2 = encode_tree(e2.root(), buffer);
+  EXPECT_EQ(buffer.size(), w1 + w2);
+  const ast::NodePtr d1 =
+      decode_tree(std::span(buffer.data(), w1));
+  const ast::NodePtr d2 =
+      decode_tree(std::span(buffer.data() + offset2, w2));
+  EXPECT_TRUE(ast::equal(e1.root(), *d1));
+  EXPECT_TRUE(ast::equal(e2.root(), *d2));
+}
+
+}  // namespace
+}  // namespace ncps

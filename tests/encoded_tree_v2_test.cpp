@@ -1,0 +1,187 @@
+#include "subscription/encoded_tree_v2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/non_canonical_engine.h"
+#include "subscription/parser.h"
+#include "test_util.h"
+#include "workload/random_workload.h"
+
+namespace ncps {
+namespace {
+
+class EncodedTreeV2Test : public ::testing::Test {
+ protected:
+  ast::Expr parse(std::string_view text) {
+    return parse_subscription(text, attrs_, table_);
+  }
+
+  static std::vector<std::byte> encode(const ast::Node& node,
+                                       ReorderPolicy policy =
+                                           ReorderPolicy::kNone) {
+    std::vector<std::byte> out;
+    encode_tree_v2(node, out, policy);
+    return out;
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+};
+
+TEST_F(EncodedTreeV2Test, SmallLeafIsOneByte) {
+  const ast::NodePtr n = ast::leaf(PredicateId(5));  // (5<<2)|0 = 22 < 128
+  EXPECT_EQ(encode(*n).size(), 1u);
+  EXPECT_EQ(encoded_size_v2(*n), 1u);
+}
+
+TEST_F(EncodedTreeV2Test, LargeLeafUsesVarintWidth) {
+  const ast::NodePtr n = ast::leaf(PredicateId(1u << 30));
+  const auto bytes = encode(*n);
+  EXPECT_EQ(bytes.size(), 5u);  // 32-bit payload: 5 varint bytes
+  const ast::NodePtr back = decode_tree_v2(bytes);
+  EXPECT_EQ(back->pred.value(), 1u << 30);
+}
+
+TEST_F(EncodedTreeV2Test, SmallerThanV1OnPaperTrees) {
+  const ast::Expr e = parse(
+      "(a > 10 or a <= 5 or b == 1) and (c <= 20 or c == 30 or d == 5)");
+  std::vector<std::byte> v1;
+  encode_tree(e.root(), v1);
+  const auto v2 = encode(e.root());
+  EXPECT_EQ(v1.size(), 46u);
+  EXPECT_LT(v2.size(), v1.size() / 2 + 3)
+      << "v2 should roughly halve the paper's encoding at small ids";
+}
+
+TEST_F(EncodedTreeV2Test, SizeMatchesEncodeOutput) {
+  const char* cases[] = {
+      "a == 1",
+      "not a == 1",
+      "a == 1 and b == 2 and c == 3",
+      "(a == 1 or b == 2) and not (c == 3 and d == 4)",
+  };
+  for (const char* text : cases) {
+    const ast::Expr e = parse(text);
+    EXPECT_EQ(encoded_size_v2(e.root()), encode(e.root()).size()) << text;
+  }
+}
+
+TEST_F(EncodedTreeV2Test, DecodeRoundTripOnRandomTrees) {
+  RandomWorkloadConfig config;
+  config.seed = 91;
+  RandomWorkload workload(config, attrs_, table_);
+  for (int i = 0; i < 200; ++i) {
+    const ast::Expr expr = workload.next_subscription();
+    const auto bytes = encode(expr.root());
+    const ast::NodePtr decoded = decode_tree_v2(bytes);
+    EXPECT_TRUE(ast::equal(expr.root(), *decoded)) << "iteration " << i;
+  }
+}
+
+TEST_F(EncodedTreeV2Test, EvaluationAgreesWithV1AndAst) {
+  RandomWorkloadConfig config;
+  config.seed = 92;
+  RandomWorkload workload(config, attrs_, table_);
+  Pcg32 rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const ast::Expr expr = workload.next_subscription();
+    std::vector<std::byte> v1;
+    encode_tree(expr.root(), v1);
+    const auto v2 = encode(expr.root());
+    const std::uint64_t salt = rng.next64();
+    const auto truth = [salt](PredicateId id) {
+      return ((id.value() * 0x9e3779b9u) ^ salt) % 3 == 0;
+    };
+    const bool expected = ast::evaluate(expr.root(), truth);
+    EXPECT_EQ(evaluate_encoded(v1, truth), expected) << i;
+    EXPECT_EQ(evaluate_encoded_v2(v2, truth), expected) << i;
+  }
+}
+
+TEST_F(EncodedTreeV2Test, ShortCircuitSkipsSubtrees) {
+  const ast::Expr e = parse("a == 1 and (b == 2 or c == 3 or d == 4)");
+  const auto bytes = encode(e.root());
+  int lookups = 0;
+  const auto truth = [&lookups](PredicateId) {
+    ++lookups;
+    return false;
+  };
+  EXPECT_FALSE(evaluate_encoded_v2(bytes, truth));
+  EXPECT_EQ(lookups, 1);  // only 'a == 1'
+}
+
+TEST_F(EncodedTreeV2Test, ReorderPolicyPreservesSemantics) {
+  RandomWorkloadConfig config;
+  config.seed = 93;
+  RandomWorkload workload(config, attrs_, table_);
+  Pcg32 rng(18);
+  for (int i = 0; i < 150; ++i) {
+    const ast::Expr expr = workload.next_subscription();
+    const auto plain = encode(expr.root(), ReorderPolicy::kNone);
+    const auto reordered = encode(expr.root(), ReorderPolicy::kCheapestFirst);
+    const std::uint64_t salt = rng.next64();
+    const auto truth = [salt](PredicateId id) {
+      return ((id.value() * 0x85ebca6bu) ^ salt) % 2 == 0;
+    };
+    EXPECT_EQ(evaluate_encoded_v2(plain, truth),
+              evaluate_encoded_v2(reordered, truth))
+        << i;
+  }
+}
+
+TEST_F(EncodedTreeV2Test, EngineWithV2MatchesEngineWithV1) {
+  RandomWorkloadConfig config;
+  config.rich_operators = false;
+  config.not_probability = 0.2;
+  config.seed = 94;
+  RandomWorkload workload(config, attrs_, table_);
+  NonCanonicalEngine v1_engine(table_);
+  NonCanonicalEngine v2_engine(table_, ReorderPolicy::kNone,
+                               TreeEncoding::kV2Varint);
+  std::vector<ast::Expr> exprs;
+  for (int i = 0; i < 150; ++i) {
+    exprs.push_back(workload.next_subscription());
+    const SubscriptionId a = v1_engine.add(exprs.back().root());
+    const SubscriptionId b = v2_engine.add(exprs.back().root());
+    ASSERT_EQ(a, b);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Event event = workload.next_event();
+    EXPECT_EQ(testing::match_event(v1_engine, event),
+              testing::match_event(v2_engine, event))
+        << "event " << i;
+  }
+  // The v2 engine's tree storage is strictly smaller.
+  const auto tree_bytes = [](FilterEngine& engine) {
+    std::size_t bytes = 0;
+    const MemoryBreakdown mem = engine.memory();
+    for (const auto& [name, b] : mem.components()) {
+      if (name == "encoded_trees") bytes = b;
+    }
+    return bytes;
+  };
+  v1_engine.compact_storage();
+  v2_engine.compact_storage();
+  EXPECT_LT(tree_bytes(v2_engine), tree_bytes(v1_engine));
+}
+
+TEST_F(EncodedTreeV2Test, UnsubscribeAndCompactionWorkWithV2) {
+  NonCanonicalEngine engine(table_, ReorderPolicy::kNone,
+                            TreeEncoding::kV2Varint);
+  std::vector<SubscriptionId> ids;
+  for (int i = 0; i < 30; ++i) {
+    const ast::Expr e = parse("a == " + std::to_string(i) + " and b == 2");
+    ids.push_back(engine.add(e.root()));
+  }
+  for (int i = 0; i < 30; i += 2) engine.remove(ids[i]);
+  engine.compact_tree_storage();
+  EXPECT_EQ(testing::match_event(engine, EventBuilder(attrs_)
+                                             .set("a", 1)
+                                             .set("b", 2)
+                                             .build()),
+            std::vector{ids[1]});
+}
+
+}  // namespace
+}  // namespace ncps

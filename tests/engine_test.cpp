@@ -1,0 +1,341 @@
+// Per-engine behavioural tests, parameterized over all three algorithms.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/engine_factory.h"
+#include "subscription/parser.h"
+#include "test_util.h"
+
+namespace ncps {
+namespace {
+
+class EngineTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  EngineTest() : engine_(make_engine(GetParam(), table_)) {}
+
+  SubscriptionId subscribe(std::string_view text) {
+    const ast::Expr expr = parse_subscription(text, attrs_, table_);
+    return engine_->add(expr.root());
+  }
+
+  std::vector<SubscriptionId> publish(const Event& e) {
+    return testing::match_event(*engine_, e);
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+  std::unique_ptr<FilterEngine> engine_;
+};
+
+TEST_P(EngineTest, EmptyEngineMatchesNothing) {
+  EXPECT_TRUE(publish(EventBuilder(attrs_).set("a", 1).build()).empty());
+  EXPECT_EQ(engine_->subscription_count(), 0u);
+}
+
+TEST_P(EngineTest, SingleConjunction) {
+  const SubscriptionId s = subscribe("price > 10 and volume >= 100");
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("price", 20).set("volume", 100)
+                        .build()),
+            std::vector{s});
+  EXPECT_TRUE(publish(EventBuilder(attrs_).set("price", 20).set("volume", 50)
+                          .build())
+                  .empty());
+  EXPECT_TRUE(publish(EventBuilder(attrs_).set("price", 5).set("volume", 500)
+                          .build())
+                  .empty());
+}
+
+TEST_P(EngineTest, DisjunctionMatchesEitherBranchOnce) {
+  const SubscriptionId s = subscribe("a == 1 or b == 2");
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("a", 1).build()), std::vector{s});
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("b", 2).build()), std::vector{s});
+  // Both branches true still reports the subscription exactly once.
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("a", 1).set("b", 2).build()),
+            std::vector{s});
+  EXPECT_TRUE(publish(EventBuilder(attrs_).set("a", 2).set("b", 1).build())
+                  .empty());
+}
+
+TEST_P(EngineTest, PaperFigureOneSubscription) {
+  const SubscriptionId s = subscribe(
+      "(a > 10 or a <= 5 or b == 1) and (c <= 20 or c == 30 or d == 5)");
+  // Left group via a>10, right group via c<=20.
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("a", 11).set("c", 20).build()),
+            std::vector{s});
+  // Left group via b==1, right group via d==5.
+  EXPECT_EQ(publish(EventBuilder(attrs_)
+                        .set("a", 7)
+                        .set("b", 1)
+                        .set("c", 25)
+                        .set("d", 5)
+                        .build()),
+            std::vector{s});
+  // Left group fails.
+  EXPECT_TRUE(publish(EventBuilder(attrs_).set("a", 7).set("c", 20).build())
+                  .empty());
+}
+
+TEST_P(EngineTest, NotThroughComplementOnTotalEvents) {
+  const SubscriptionId s = subscribe("not (price > 100) and sym == \"A\"");
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("price", 50).set("sym", "A")
+                        .build()),
+            std::vector{s});
+  EXPECT_TRUE(publish(EventBuilder(attrs_).set("price", 200).set("sym", "A")
+                          .build())
+                  .empty());
+}
+
+TEST_P(EngineTest, MultipleSubscribersDistinctMatches) {
+  const SubscriptionId cheap = subscribe("price < 10");
+  const SubscriptionId pricey = subscribe("price > 100");
+  const SubscriptionId any = subscribe("price exists");
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("price", 5).build()),
+            testing::sorted(std::vector{cheap, any}));
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("price", 500).build()),
+            testing::sorted(std::vector{pricey, any}));
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("price", 50).build()),
+            std::vector{any});
+}
+
+TEST_P(EngineTest, SharedPredicateAcrossSubscriptions) {
+  const SubscriptionId s1 = subscribe("a == 1 and b == 2");
+  const SubscriptionId s2 = subscribe("a == 1 or c == 3");
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("a", 1).set("b", 2).build()),
+            testing::sorted(std::vector{s1, s2}));
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("a", 1).build()),
+            std::vector{s2});
+}
+
+TEST_P(EngineTest, UnsubscribeStopsMatching) {
+  const SubscriptionId s1 = subscribe("a == 1");
+  const SubscriptionId s2 = subscribe("a == 1 and b == 2");
+  EXPECT_TRUE(engine_->remove(s1));
+  EXPECT_EQ(engine_->subscription_count(), 1u);
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("a", 1).set("b", 2).build()),
+            std::vector{s2});
+  // Double removal fails gracefully.
+  EXPECT_FALSE(engine_->remove(s1));
+  EXPECT_FALSE(engine_->remove(SubscriptionId(12345)));
+  EXPECT_FALSE(engine_->remove(SubscriptionId::invalid()));
+}
+
+TEST_P(EngineTest, UnsubscribeReleasesPredicates) {
+  const SubscriptionId s = subscribe("uniq1 == 1 and uniq2 == 2");
+  const std::size_t live_before = table_.size();
+  EXPECT_TRUE(engine_->remove(s));
+  EXPECT_LT(table_.size(), live_before);
+  EXPECT_EQ(table_.size(), 0u);
+}
+
+TEST_P(EngineTest, SubscriptionIdsAreRecycled) {
+  const SubscriptionId a = subscribe("a == 1");
+  engine_->remove(a);
+  const SubscriptionId b = subscribe("b == 2");
+  EXPECT_EQ(a, b);  // slot reuse keeps dense arrays tight
+  EXPECT_EQ(publish(EventBuilder(attrs_).set("b", 2).build()), std::vector{b});
+  EXPECT_TRUE(publish(EventBuilder(attrs_).set("a", 1).build()).empty());
+}
+
+TEST_P(EngineTest, ChurnHeavySubscribeUnsubscribe) {
+  std::vector<SubscriptionId> live;
+  for (int round = 0; round < 200; ++round) {
+    if (live.size() < 20) {
+      live.push_back(subscribe("x == " + std::to_string(round % 7) +
+                               " or y == " + std::to_string(round % 5)));
+    } else {
+      engine_->remove(live.front());
+      live.erase(live.begin());
+    }
+  }
+  // All remaining subscriptions with x == round%7 style predicates still
+  // match correctly.
+  const Event e = EventBuilder(attrs_).set("x", 3).set("y", 99).build();
+  const auto matches = publish(e);
+  for (const SubscriptionId id : matches) {
+    EXPECT_NE(std::find(live.begin(), live.end(), id), live.end());
+  }
+  EXPECT_EQ(engine_->subscription_count(), live.size());
+}
+
+TEST_P(EngineTest, Phase2EntryPointMatchesFulfilledSet) {
+  // Register (p1 ∨ p2) ∧ (p3 ∨ p4) and drive phase 2 directly.
+  const ast::Expr expr = parse_subscription(
+      "(a == 1 or b == 2) and (c == 3 or d == 4)", attrs_, table_);
+  std::vector<PredicateId> preds;
+  ast::collect_predicates(expr.root(), preds);
+  ASSERT_EQ(preds.size(), 4u);
+  const SubscriptionId s = engine_->add(expr.root());
+
+  EXPECT_EQ(testing::match_predicates(*engine_, {preds[0], preds[2]}),
+            std::vector{s});
+  EXPECT_EQ(testing::match_predicates(*engine_, {preds[1], preds[3]}),
+            std::vector{s});
+  EXPECT_TRUE(testing::match_predicates(*engine_, {preds[0], preds[1]})
+                  .empty());
+  EXPECT_TRUE(testing::match_predicates(*engine_, {preds[2]}).empty());
+  EXPECT_TRUE(testing::match_predicates(*engine_, {}).empty());
+}
+
+TEST_P(EngineTest, UnknownPredicateIdsInFulfilledSetAreIgnored) {
+  const SubscriptionId s = subscribe("a == 1");
+  const std::vector<PredicateId> bogus = {PredicateId(4000000)};
+  EXPECT_TRUE(testing::match_predicates(*engine_, bogus).empty());
+  (void)s;
+}
+
+TEST_P(EngineTest, StatsReportWork) {
+  subscribe("a == 1 and b == 2");
+  subscribe("a == 1 or c == 3");
+  (void)publish(EventBuilder(attrs_).set("a", 1).set("b", 2).build());
+  const MatchStats& stats = engine_->last_stats();
+  EXPECT_EQ(stats.matches, 2u);
+  EXPECT_GT(stats.candidates, 0u);
+}
+
+TEST_P(EngineTest, MemoryBreakdownGrowsWithSubscriptions) {
+  const std::size_t empty_bytes = engine_->memory().total();
+  for (int i = 0; i < 100; ++i) {
+    subscribe("m" + std::to_string(i) + " > " + std::to_string(i));
+  }
+  EXPECT_GT(engine_->memory().total(), empty_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineTest,
+                         ::testing::ValuesIn(kAllEngineKinds),
+                         [](const auto& param_info) {
+                           std::string name(to_string(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// Non-canonical-specific behaviour.
+class NonCanonicalTest : public ::testing::Test {
+ protected:
+  SubscriptionId subscribe(std::string_view text) {
+    const ast::Expr expr = parse_subscription(text, attrs_, table_);
+    return engine_.add(expr.root());
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+  NonCanonicalEngine engine_{table_};
+};
+
+TEST_F(NonCanonicalTest, PureNegationMatchesViaAlwaysCandidates) {
+  // `not a == 1` is satisfiable with zero fulfilled predicates; the
+  // association table alone would never surface it.
+  const SubscriptionId s = subscribe("not a == 1");
+  EXPECT_EQ(testing::match_event(engine_,
+                                 EventBuilder(attrs_).set("a", 2).build()),
+            std::vector{s});
+  EXPECT_EQ(testing::match_event(engine_,
+                                 EventBuilder(attrs_).set("b", 7).build()),
+            std::vector{s});
+  EXPECT_TRUE(testing::match_event(engine_,
+                                   EventBuilder(attrs_).set("a", 1).build())
+                  .empty());
+}
+
+TEST_F(NonCanonicalTest, NotExistsSemantics) {
+  const SubscriptionId s = subscribe("not price exists and sym == \"A\"");
+  EXPECT_EQ(testing::match_event(engine_,
+                                 EventBuilder(attrs_).set("sym", "A").build()),
+            std::vector{s});
+  EXPECT_TRUE(testing::match_event(engine_, EventBuilder(attrs_)
+                                                .set("sym", "A")
+                                                .set("price", 1)
+                                                .build())
+                  .empty());
+}
+
+TEST_F(NonCanonicalTest, AlwaysCandidateListShrinksOnRemove) {
+  const SubscriptionId s = subscribe("not a == 1");
+  EXPECT_TRUE(engine_.remove(s));
+  EXPECT_TRUE(testing::match_event(engine_,
+                                   EventBuilder(attrs_).set("a", 2).build())
+                  .empty());
+}
+
+TEST_F(NonCanonicalTest, SelectivityReorderingReducesTruthLookups) {
+  // OR(rare, common): with the author's order the evaluator probes `rare`
+  // first on every event; after statistics-driven reordering the common
+  // branch comes first and usually short-circuits.
+  engine_.enable_statistics(true);
+  const SubscriptionId s = subscribe("rare == 1 or common == 1");
+  const Event common_event =
+      EventBuilder(attrs_).set("common", 1).set("rare", 0).build();
+  const Event rare_event =
+      EventBuilder(attrs_).set("common", 0).set("rare", 1).build();
+
+  // Warm up the statistics: 'common' fulfils often, 'rare' almost never.
+  std::uint64_t lookups_before = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(testing::match_event(engine_, common_event), std::vector{s});
+    lookups_before += engine_.last_stats().truth_lookups;
+  }
+  EXPECT_EQ(engine_.observed_events(), 50u);
+
+  engine_.reorder_trees_by_selectivity();
+
+  std::uint64_t lookups_after = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(testing::match_event(engine_, common_event), std::vector{s});
+    lookups_after += engine_.last_stats().truth_lookups;
+  }
+  // Before: rare probed (miss) then common (hit) = 2 lookups per event.
+  // After: common first = 1 lookup per event.
+  EXPECT_LT(lookups_after, lookups_before);
+  EXPECT_EQ(lookups_after, 50u);
+
+  // Semantics unchanged for the rare branch.
+  EXPECT_EQ(testing::match_event(engine_, rare_event), std::vector{s});
+}
+
+TEST_F(NonCanonicalTest, SelectivityReorderingPreservesMatching) {
+  engine_.enable_statistics(true);
+  std::vector<SubscriptionId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(subscribe("(a == " + std::to_string(i % 4) +
+                            " or b == " + std::to_string(i % 3) +
+                            ") and (c == " + std::to_string(i % 5) +
+                            " or d == " + std::to_string(i % 2) + ")"));
+  }
+  Pcg32 rng(31);
+  std::vector<Event> events;
+  std::vector<std::vector<SubscriptionId>> expected;
+  for (int i = 0; i < 40; ++i) {
+    events.push_back(EventBuilder(attrs_)
+                         .set("a", rng.range(0, 4))
+                         .set("b", rng.range(0, 3))
+                         .set("c", rng.range(0, 5))
+                         .set("d", rng.range(0, 2))
+                         .build());
+    expected.push_back(testing::match_event(engine_, events.back()));
+  }
+  engine_.reorder_trees_by_selectivity();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(testing::match_event(engine_, events[i]), expected[i])
+        << "event " << i;
+  }
+}
+
+TEST_F(NonCanonicalTest, TreeStorageCompaction) {
+  std::vector<SubscriptionId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(subscribe("a == " + std::to_string(i) + " and b == 2"));
+  }
+  for (int i = 0; i < 50; i += 2) engine_.remove(ids[i]);
+  EXPECT_GT(engine_.dead_tree_bytes(), 0u);
+  engine_.compact_tree_storage();
+  EXPECT_EQ(engine_.dead_tree_bytes(), 0u);
+  // Matching still works on relocated trees.
+  EXPECT_EQ(testing::match_event(engine_,
+                                 EventBuilder(attrs_).set("a", 1).set("b", 2)
+                                     .build()),
+            std::vector{ids[1]});
+}
+
+}  // namespace
+}  // namespace ncps

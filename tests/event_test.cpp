@@ -1,0 +1,113 @@
+#include "event/event.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "event/schema.h"
+
+namespace ncps {
+namespace {
+
+TEST(AttributeRegistryTest, InternIsIdempotent) {
+  AttributeRegistry attrs;
+  const AttributeId a = attrs.intern("price");
+  const AttributeId b = attrs.intern("price");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(attrs.size(), 1u);
+}
+
+TEST(AttributeRegistryTest, DistinctNamesDistinctIds) {
+  AttributeRegistry attrs;
+  const AttributeId a = attrs.intern("price");
+  const AttributeId b = attrs.intern("volume");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(attrs.name(a), "price");
+  EXPECT_EQ(attrs.name(b), "volume");
+}
+
+TEST(AttributeRegistryTest, FindWithoutInterning) {
+  AttributeRegistry attrs;
+  EXPECT_FALSE(attrs.find("missing").valid());
+  const AttributeId a = attrs.intern("x");
+  EXPECT_EQ(attrs.find("x"), a);
+  EXPECT_EQ(attrs.size(), 1u);
+}
+
+TEST(AttributeRegistryTest, EmptyNameRejected) {
+  AttributeRegistry attrs;
+  EXPECT_THROW(attrs.intern(""), ContractViolation);
+}
+
+TEST(EventTest, SetAndFind) {
+  AttributeRegistry attrs;
+  Event e;
+  const AttributeId price = attrs.intern("price");
+  const AttributeId vol = attrs.intern("volume");
+  e.set(price, Value(10));
+  e.set(vol, Value(2000));
+  ASSERT_NE(e.find(price), nullptr);
+  EXPECT_EQ(*e.find(price), Value(10));
+  ASSERT_NE(e.find(vol), nullptr);
+  EXPECT_EQ(*e.find(vol), Value(2000));
+  EXPECT_EQ(e.size(), 2u);
+}
+
+TEST(EventTest, FindAbsentAttribute) {
+  AttributeRegistry attrs;
+  Event e;
+  e.set(attrs.intern("a"), Value(1));
+  EXPECT_EQ(e.find(attrs.intern("b")), nullptr);
+  EXPECT_FALSE(e.has(attrs.intern("b")));
+}
+
+TEST(EventTest, SetOverwrites) {
+  AttributeRegistry attrs;
+  Event e;
+  const AttributeId a = attrs.intern("a");
+  e.set(a, Value(1));
+  e.set(a, Value(2));
+  EXPECT_EQ(e.size(), 1u);
+  EXPECT_EQ(*e.find(a), Value(2));
+}
+
+TEST(EventTest, EntriesSortedByAttributeId) {
+  AttributeRegistry attrs;
+  Event e;
+  // Insert out of id order.
+  const AttributeId c = attrs.intern("c");
+  const AttributeId a = attrs.intern("a");
+  const AttributeId b = attrs.intern("b");
+  e.set(b, Value(2));
+  e.set(c, Value(3));
+  e.set(a, Value(1));
+  ASSERT_EQ(e.entries().size(), 3u);
+  EXPECT_TRUE(e.entries()[0].attribute < e.entries()[1].attribute);
+  EXPECT_TRUE(e.entries()[1].attribute < e.entries()[2].attribute);
+}
+
+TEST(EventTest, EmptyEvent) {
+  Event e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0u);
+}
+
+TEST(EventBuilderTest, FluentConstruction) {
+  AttributeRegistry attrs;
+  const Event e = EventBuilder(attrs)
+                      .set("symbol", "ACME")
+                      .set("price", 41.5)
+                      .set("volume", 100)
+                      .build();
+  EXPECT_EQ(e.size(), 3u);
+  EXPECT_EQ(*e.find(attrs.find("symbol")), Value("ACME"));
+  EXPECT_EQ(*e.find(attrs.find("price")), Value(41.5));
+}
+
+TEST(EventTest, DisplayString) {
+  AttributeRegistry attrs;
+  const Event e = EventBuilder(attrs).set("a", 1).set("b", "x").build();
+  EXPECT_EQ(e.to_display_string(attrs), "{a=1, b=\"x\"}");
+}
+
+}  // namespace
+}  // namespace ncps

@@ -1,0 +1,144 @@
+// Memory accounting: the scalability claims of the paper rest on these
+// numbers, so the accounting itself is tested — growth, proportionality
+// between the engines, and the unsub-support split used by bench_memory.
+#include <gtest/gtest.h>
+
+#include "engine/engine_factory.h"
+#include "workload/paper_workload.h"
+
+namespace ncps {
+namespace {
+
+/// Register `count` paper-shaped subscriptions into a fresh engine; returns
+/// the memory breakdown.
+MemoryBreakdown measure(EngineKind kind, std::size_t count,
+                        std::size_t predicates, PredicateTable& table,
+                        AttributeRegistry& attrs,
+                        std::unique_ptr<FilterEngine>& engine_out) {
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = predicates;
+  config.seed = 1;
+  PaperWorkload workload(config, attrs, table);
+  engine_out = make_engine(kind, table);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ast::Expr e = workload.next_subscription();
+    engine_out->add(e.root());
+  }
+  return engine_out->memory();
+}
+
+/// Phase-2 structure bytes: everything except the phase-1 index, which is
+/// identical across engines by construction ("the first phases use the same
+/// indexes in the same way") and is therefore excluded from the paper's
+/// subscription-side comparison.
+std::size_t phase2_bytes(const MemoryBreakdown& mem) {
+  std::size_t sum = 0;
+  for (const auto& [name, bytes] : mem.components()) {
+    if (!name.starts_with("index/")) sum += bytes;
+  }
+  return sum;
+}
+
+TEST(MemoryAccountingTest, GrowsWithSubscriptionCount) {
+  // Phase-2 structures grow linearly with subscriptions. (Totals including
+  // the phase-1 index grow sublinearly at small scale because B+ tree nodes
+  // amortize, so the check is on the subscription-side bytes.)
+  for (const EngineKind kind : kAllEngineKinds) {
+    AttributeRegistry attrs_small, attrs_big;
+    PredicateTable table_small, table_big;
+    std::unique_ptr<FilterEngine> engine_small, engine_big;
+    const std::size_t small = phase2_bytes(
+        measure(kind, 100, 6, table_small, attrs_small, engine_small));
+    const std::size_t big = phase2_bytes(
+        measure(kind, 1000, 6, table_big, attrs_big, engine_big));
+    EXPECT_GT(big, small * 5) << to_string(kind);
+  }
+}
+
+TEST(MemoryAccountingTest, CountingPaysTheTransformationMultiple) {
+  // At |p| = 10 the counting engines register 32 conjunctions per original
+  // subscription; their phase-2 footprint must exceed the non-canonical
+  // engine's by a significant factor (the paper's "easily handles more than
+  // 4 times as many subscriptions").
+  AttributeRegistry attrs_nc, attrs_cnt;
+  PredicateTable table_nc, table_cnt;
+  std::unique_ptr<FilterEngine> nc, cnt;
+  const std::size_t nc_bytes =
+      phase2_bytes(measure(EngineKind::NonCanonical, 500, 10, table_nc,
+                           attrs_nc, nc));
+  const std::size_t cnt_bytes = phase2_bytes(
+      measure(EngineKind::Counting, 500, 10, table_cnt, attrs_cnt, cnt));
+  EXPECT_GT(cnt_bytes, nc_bytes * 3);
+}
+
+TEST(MemoryAccountingTest, UnsubSupportIsSeparable) {
+  // bench_memory reproduces the paper's counting configuration (no
+  // unsubscription support) by subtracting the "unsub_support/" components;
+  // they must exist and be a meaningful share.
+  AttributeRegistry attrs;
+  PredicateTable table;
+  std::unique_ptr<FilterEngine> engine;
+  const MemoryBreakdown mem =
+      measure(EngineKind::Counting, 200, 8, table, attrs, engine);
+  std::size_t unsub = 0;
+  for (const auto& [name, bytes] : mem.components()) {
+    if (name.starts_with("unsub_support/")) unsub += bytes;
+  }
+  EXPECT_GT(unsub, 0u);
+  EXPECT_LT(unsub, mem.total());
+}
+
+TEST(MemoryAccountingTest, NonCanonicalTreeBytesMatchEncodedSizes) {
+  // The encoded_trees component equals the sum of encoded tree sizes (modulo
+  // vector capacity slack).
+  AttributeRegistry attrs;
+  PredicateTable table;
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 6;
+  PaperWorkload workload(config, attrs, table);
+  NonCanonicalEngine engine(table);
+  std::size_t expected_bytes = 0;
+  for (int i = 0; i < 100; ++i) {
+    const ast::Expr e = workload.next_subscription();
+    expected_bytes += encoded_size(e.root());
+    engine.add(e.root());
+  }
+  std::size_t tree_component = 0;
+  const MemoryBreakdown breakdown = engine.memory();
+  for (const auto& [name, bytes] : breakdown.components()) {
+    if (name == "encoded_trees") tree_component = bytes;
+  }
+  EXPECT_GE(tree_component, expected_bytes);        // capacity ≥ size
+  EXPECT_LT(tree_component, expected_bytes * 3);    // no wild overshoot
+}
+
+TEST(MemoryAccountingTest, RemovalReducesAccountedMemory) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  NonCanonicalEngine engine(table);
+  std::vector<SubscriptionId> ids;
+  {
+    // Scoped so the workload's predicate-pool references die before the
+    // final liveness check; the engine holds its own references.
+    PaperWorkloadConfig config;
+    PaperWorkload workload(config, attrs, table);
+    for (int i = 0; i < 200; ++i) {
+      const ast::Expr e = workload.next_subscription();
+      ids.push_back(engine.add(e.root()));
+    }
+  }
+  for (const SubscriptionId id : ids) engine.remove(id);
+  engine.compact_tree_storage();
+  // Dead bytes reclaimed; association lists empty. (Vector capacities may
+  // remain, so compare against a fresh engine's component, not zero.)
+  std::size_t tree_component = SIZE_MAX;
+  const MemoryBreakdown breakdown = engine.memory();
+  for (const auto& [name, bytes] : breakdown.components()) {
+    if (name == "encoded_trees") tree_component = bytes;
+  }
+  EXPECT_EQ(tree_component, 0u);
+  EXPECT_EQ(table.size(), 0u);  // all predicates released
+}
+
+}  // namespace
+}  // namespace ncps

@@ -1,0 +1,184 @@
+#include "predicate/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "event/schema.h"
+#include "predicate/predicate.h"
+
+namespace ncps {
+namespace {
+
+TEST(OperatorTest, ComplementIsAnInvolution) {
+  for (std::size_t i = 0; i < kOperatorCount; ++i) {
+    const auto op = static_cast<Operator>(i);
+    EXPECT_EQ(complement(complement(op)), op) << to_string(op);
+    EXPECT_NE(complement(op), op) << to_string(op);
+  }
+}
+
+TEST(OperatorTest, NumericComparisons) {
+  const Value v(10);
+  EXPECT_TRUE(eval_operator(Operator::Eq, v, Value(10), {}));
+  EXPECT_FALSE(eval_operator(Operator::Eq, v, Value(11), {}));
+  EXPECT_TRUE(eval_operator(Operator::Lt, v, Value(11), {}));
+  EXPECT_FALSE(eval_operator(Operator::Lt, v, Value(10), {}));
+  EXPECT_TRUE(eval_operator(Operator::Le, v, Value(10), {}));
+  EXPECT_TRUE(eval_operator(Operator::Gt, v, Value(9), {}));
+  EXPECT_FALSE(eval_operator(Operator::Gt, v, Value(10), {}));
+  EXPECT_TRUE(eval_operator(Operator::Ge, v, Value(10), {}));
+}
+
+TEST(OperatorTest, CrossTypeNumericComparison) {
+  EXPECT_TRUE(eval_operator(Operator::Lt, Value(1), Value(1.5), {}));
+  EXPECT_TRUE(eval_operator(Operator::Eq, Value(2.0), Value(2), {}));
+}
+
+TEST(OperatorTest, Between) {
+  EXPECT_TRUE(eval_operator(Operator::Between, Value(5), Value(1), Value(10)));
+  EXPECT_TRUE(eval_operator(Operator::Between, Value(1), Value(1), Value(10)));
+  EXPECT_TRUE(eval_operator(Operator::Between, Value(10), Value(1), Value(10)));
+  EXPECT_FALSE(eval_operator(Operator::Between, Value(0), Value(1), Value(10)));
+  EXPECT_FALSE(eval_operator(Operator::Between, Value(11), Value(1), Value(10)));
+  // Inverted bounds can never match.
+  EXPECT_FALSE(eval_operator(Operator::Between, Value(5), Value(10), Value(1)));
+}
+
+TEST(OperatorTest, StringOperators) {
+  const Value v("hello world");
+  EXPECT_TRUE(eval_operator(Operator::Prefix, v, Value("hello"), {}));
+  EXPECT_FALSE(eval_operator(Operator::Prefix, v, Value("world"), {}));
+  EXPECT_TRUE(eval_operator(Operator::Suffix, v, Value("world"), {}));
+  EXPECT_FALSE(eval_operator(Operator::Suffix, v, Value("hello"), {}));
+  EXPECT_TRUE(eval_operator(Operator::Contains, v, Value("lo wo"), {}));
+  EXPECT_FALSE(eval_operator(Operator::Contains, v, Value("xyz"), {}));
+  EXPECT_TRUE(eval_operator(Operator::Prefix, v, Value(""), {}));
+}
+
+TEST(OperatorTest, StringOperatorOnNonStringIsFalse) {
+  EXPECT_FALSE(eval_operator(Operator::Prefix, Value(5), Value("5"), {}));
+  EXPECT_FALSE(eval_operator(Operator::Contains, Value("abc"), Value(5), {}));
+  // Complements stay complements on type mismatch.
+  EXPECT_TRUE(eval_operator(Operator::NotPrefix, Value(5), Value("5"), {}));
+}
+
+TEST(OperatorTest, OrderedComparisonAcrossFamiliesIsFalse) {
+  EXPECT_FALSE(eval_operator(Operator::Lt, Value("abc"), Value(5), {}));
+  EXPECT_FALSE(eval_operator(Operator::Ge, Value("abc"), Value(5), {}));
+  // …and Ne, being a complement, is true on incomparable operands.
+  EXPECT_TRUE(eval_operator(Operator::Ne, Value("abc"), Value(5), {}));
+}
+
+TEST(OperatorTest, OrderedStringComparisons) {
+  EXPECT_TRUE(eval_operator(Operator::Lt, Value("abc"), Value("abd"), {}));
+  EXPECT_TRUE(eval_operator(Operator::Ge, Value("b"), Value("ab"), {}));
+}
+
+// The complement law: for every operator and every (present) value,
+// eval(op) == !eval(complement(op)). This is the property the NNF rewrite
+// depends on.
+class ComplementLawTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ComplementLawTest, HoldsForNumericPairs) {
+  const auto [vi, ci] = GetParam();
+  const Value v(vi);
+  const Value lo(ci);
+  const Value hi(ci + 3);
+  static constexpr Operator kUnary[] = {Operator::Eq, Operator::Lt,
+                                        Operator::Le, Operator::Gt,
+                                        Operator::Ge};
+  for (const Operator op : kUnary) {
+    EXPECT_NE(eval_operator(op, v, lo, {}),
+              eval_operator(complement(op), v, lo, {}))
+        << to_string(op) << " v=" << vi << " c=" << ci;
+  }
+  EXPECT_NE(eval_operator(Operator::Between, v, lo, hi),
+            eval_operator(Operator::NotBetween, v, lo, hi));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValueOperandGrid, ComplementLawTest,
+    ::testing::Combine(::testing::Range(-3, 8), ::testing::Range(-2, 6)));
+
+TEST(ComplementLawTest, HoldsForStrings) {
+  static constexpr Operator kStringOps[] = {Operator::Prefix, Operator::Suffix,
+                                            Operator::Contains};
+  const char* values[] = {"", "a", "ab", "abc", "bc", "b"};
+  const char* operands[] = {"", "a", "b", "ab", "bc", "abc", "abcd"};
+  for (const char* v : values) {
+    for (const char* c : operands) {
+      for (const Operator op : kStringOps) {
+        EXPECT_NE(eval_operator(op, Value(v), Value(c), {}),
+                  eval_operator(complement(op), Value(v), Value(c), {}))
+            << to_string(op) << " v=" << v << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(OperatorTest, IndexabilityClassification) {
+  EXPECT_TRUE(is_indexable(Operator::Eq));
+  EXPECT_TRUE(is_indexable(Operator::Lt));
+  EXPECT_TRUE(is_indexable(Operator::Between));
+  EXPECT_TRUE(is_indexable(Operator::Prefix));
+  EXPECT_FALSE(is_indexable(Operator::Ne));
+  EXPECT_FALSE(is_indexable(Operator::NotBetween));
+  EXPECT_FALSE(is_indexable(Operator::Contains));
+  EXPECT_FALSE(is_indexable(Operator::NotExists));
+}
+
+TEST(PredicateTest, EvalAgainstEvent) {
+  AttributeRegistry attrs;
+  const AttributeId price = attrs.intern("price");
+  const Predicate p{price, Operator::Gt, Value(10), {}};
+  const Event hit = EventBuilder(attrs).set("price", 15).build();
+  const Event miss = EventBuilder(attrs).set("price", 5).build();
+  EXPECT_TRUE(p.eval(hit));
+  EXPECT_FALSE(p.eval(miss));
+}
+
+TEST(PredicateTest, AbsentAttributeIsFalseExceptNotExists) {
+  AttributeRegistry attrs;
+  const AttributeId a = attrs.intern("a");
+  const Event empty;
+  EXPECT_FALSE((Predicate{a, Operator::Eq, Value(1), {}}).eval(empty));
+  EXPECT_FALSE((Predicate{a, Operator::Ne, Value(1), {}}).eval(empty));
+  EXPECT_FALSE((Predicate{a, Operator::Exists, {}, {}}).eval(empty));
+  EXPECT_TRUE((Predicate{a, Operator::NotExists, {}, {}}).eval(empty));
+}
+
+TEST(PredicateTest, ExistsOnPresentAttribute) {
+  AttributeRegistry attrs;
+  const AttributeId a = attrs.intern("a");
+  const Event e = EventBuilder(attrs).set("a", 0).build();
+  EXPECT_TRUE((Predicate{a, Operator::Exists, {}, {}}).eval(e));
+  EXPECT_FALSE((Predicate{a, Operator::NotExists, {}, {}}).eval(e));
+}
+
+TEST(PredicateTest, EqualityIgnoresHiForUnaryOperators) {
+  AttributeRegistry attrs;
+  const AttributeId a = attrs.intern("a");
+  const Predicate p1{a, Operator::Eq, Value(1), Value(99)};
+  const Predicate p2{a, Operator::Eq, Value(1), Value(7)};
+  EXPECT_EQ(p1, p2);  // hi is not part of Eq's identity
+  const Predicate b1{a, Operator::Between, Value(1), Value(99)};
+  const Predicate b2{a, Operator::Between, Value(1), Value(7)};
+  EXPECT_FALSE(b1 == b2);
+}
+
+TEST(PredicateTest, DisplayString) {
+  AttributeRegistry attrs;
+  const AttributeId price = attrs.intern("price");
+  EXPECT_EQ((Predicate{price, Operator::Le, Value(10), {}})
+                .to_display_string(attrs),
+            "price <= 10");
+  EXPECT_EQ((Predicate{price, Operator::Between, Value(1), Value(5)})
+                .to_display_string(attrs),
+            "price between 1 and 5");
+  EXPECT_EQ((Predicate{price, Operator::Exists, {}, {}})
+                .to_display_string(attrs),
+            "price exists");
+}
+
+}  // namespace
+}  // namespace ncps

@@ -1,0 +1,199 @@
+// Overlay delivery oracle: on random tree topologies with random
+// subscriptions, every published event must be delivered to exactly the
+// subscribers whose expressions match it — no matter where publisher and
+// subscribers sit, with and without covering-based routing reduction.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "broker/overlay.h"
+#include "common/random.h"
+
+namespace ncps {
+namespace {
+
+struct Placement {
+  BrokerId at;
+  SubscriberId session;
+  std::string text;
+  // Oracle-side parse state (independent table so the overlay's internal
+  // state cannot mask bugs).
+  ast::Expr expr;
+};
+
+class OverlayPropertyTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(OverlayPropertyTest, DeliveriesMatchGlobalOracle) {
+  const bool covering = GetParam();
+  Pcg32 rng(covering ? 111u : 222u);
+
+  BrokerNetwork net(EngineKind::NonCanonical, covering);
+  AttributeRegistry oracle_attrs;
+  PredicateTable oracle_table;
+
+  // Random tree of 12 brokers.
+  std::vector<BrokerId> brokers;
+  brokers.push_back(net.add_broker());
+  for (int i = 1; i < 12; ++i) {
+    const BrokerId b = net.add_broker();
+    net.connect(
+        brokers[rng.bounded(static_cast<std::uint32_t>(brokers.size()))], b,
+        1 + rng.bounded(10));
+    brokers.push_back(b);
+  }
+
+  // Deliveries recorded as (broker, session) pairs per event round.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> delivered;
+  const auto attach = [&](BrokerId at) {
+    return net.add_subscriber(at, [&delivered, at](const Notification& n) {
+      const bool fresh =
+          delivered.emplace(at.value(), n.subscriber.value()).second;
+      EXPECT_TRUE(fresh) << "duplicate delivery";
+    });
+  };
+
+  // Random subscriptions: overlapping shapes so covering finds real work.
+  const auto random_subscription = [&rng]() {
+    const int x = static_cast<int>(rng.range(0, 8));
+    switch (rng.bounded(4)) {
+      case 0: return "v > " + std::to_string(x);
+      case 1: return "v > " + std::to_string(x) + " and w == " +
+                     std::to_string(x % 3);
+      case 2: return "v between " + std::to_string(x) + " and " +
+                     std::to_string(x + 3);
+      default: return "w == " + std::to_string(x % 3) + " or v == " +
+                      std::to_string(x);
+    }
+  };
+
+  std::vector<Placement> placements;
+  for (int i = 0; i < 30; ++i) {
+    const BrokerId at =
+        brokers[rng.bounded(static_cast<std::uint32_t>(brokers.size()))];
+    const SubscriberId session = attach(at);
+    std::string text = random_subscription();
+    ast::Expr expr = parse_subscription(text, oracle_attrs, oracle_table);
+    net.subscribe(at, session, text);
+    placements.push_back(
+        Placement{at, session, std::move(text), std::move(expr)});
+  }
+  net.run();
+
+  for (int round = 0; round < 120; ++round) {
+    delivered.clear();
+    const Event oracle_event = EventBuilder(oracle_attrs)
+                                   .set("v", rng.range(0, 12))
+                                   .set("w", rng.range(0, 3))
+                                   .build();
+    // Same event against the overlay's registry.
+    Event overlay_event;
+    overlay_event.set(net.attributes().intern("v"),
+                      *oracle_event.find(oracle_attrs.find("v")));
+    overlay_event.set(net.attributes().intern("w"),
+                      *oracle_event.find(oracle_attrs.find("w")));
+
+    const BrokerId origin =
+        brokers[rng.bounded(static_cast<std::uint32_t>(brokers.size()))];
+    net.publish(origin, overlay_event);
+    net.run();
+
+    std::set<std::pair<std::uint32_t, std::uint32_t>> expected;
+    for (const Placement& p : placements) {
+      if (ast::evaluate_against_event(p.expr.root(), oracle_table,
+                                      oracle_event)) {
+        expected.emplace(p.at.value(), p.session.value());
+      }
+    }
+    ASSERT_EQ(delivered, expected)
+        << "round " << round << " covering=" << covering << " event "
+        << oracle_event.to_display_string(oracle_attrs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoveringOnOff, OverlayPropertyTest,
+                         ::testing::Values(false, true),
+                         [](const auto& param_info) {
+                           return param_info.param ? "covering"
+                                                   : "no_covering";
+                         });
+
+// Churn under covering: random subscribe/unsubscribe interleaved with
+// publishes; the oracle tracks the live set.
+TEST(OverlayChurnPropertyTest, CoveringSurvivesChurn) {
+  Pcg32 rng(333);
+  BrokerNetwork net(EngineKind::NonCanonical, /*enable_covering=*/true);
+  AttributeRegistry oracle_attrs;
+  PredicateTable oracle_table;
+
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  const BrokerId c = net.add_broker();
+  net.connect(a, b, 1);
+  net.connect(b, c, 1);
+  const BrokerId brokers[] = {a, b, c};
+
+  std::set<std::uint64_t> delivered;  // (broker<<32)|session per round
+  struct Live {
+    GlobalSubId id;
+    BrokerId at;
+    SubscriberId session;
+    ast::Expr expr;
+  };
+  std::vector<Live> live;
+
+  const auto attach = [&](BrokerId at) {
+    return net.add_subscriber(at, [&delivered, at](const Notification& n) {
+      delivered.insert((static_cast<std::uint64_t>(at.value()) << 32) |
+                       n.subscriber.value());
+    });
+  };
+
+  for (int round = 0; round < 400; ++round) {
+    const double action = rng.next_double();
+    if (action < 0.3 || live.empty()) {
+      const BrokerId at = brokers[rng.bounded(3)];
+      const SubscriberId session = attach(at);
+      const int x = static_cast<int>(rng.range(0, 6));
+      const std::string text =
+          rng.chance(0.5) ? "v > " + std::to_string(x)
+                          : "v > " + std::to_string(x) + " and w == " +
+                                std::to_string(x % 2);
+      ast::Expr expr = parse_subscription(text, oracle_attrs, oracle_table);
+      const GlobalSubId id = net.subscribe(at, session, text);
+      net.run();
+      live.push_back(Live{id, at, session, std::move(expr)});
+    } else if (action < 0.5) {
+      const std::size_t i =
+          rng.bounded(static_cast<std::uint32_t>(live.size()));
+      ASSERT_TRUE(net.unsubscribe(live[i].id));
+      net.run();
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      delivered.clear();
+      const Event oracle_event = EventBuilder(oracle_attrs)
+                                     .set("v", rng.range(0, 9))
+                                     .set("w", rng.range(0, 2))
+                                     .build();
+      Event overlay_event;
+      overlay_event.set(net.attributes().intern("v"),
+                        *oracle_event.find(oracle_attrs.find("v")));
+      overlay_event.set(net.attributes().intern("w"),
+                        *oracle_event.find(oracle_attrs.find("w")));
+      net.publish(brokers[rng.bounded(3)], overlay_event);
+      net.run();
+
+      std::set<std::uint64_t> expected;
+      for (const Live& l : live) {
+        if (ast::evaluate_against_event(l.expr.root(), oracle_table,
+                                        oracle_event)) {
+          expected.insert((static_cast<std::uint64_t>(l.at.value()) << 32) |
+                          l.session.value());
+        }
+      }
+      ASSERT_EQ(delivered, expected) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncps

@@ -1,0 +1,311 @@
+#include "broker/overlay.h"
+
+#include <gtest/gtest.h>
+
+namespace ncps {
+namespace {
+
+struct Delivery {
+  BrokerId at;
+  SubscriberId subscriber;
+};
+
+// Builds overlays and records every notification with the broker it arrived
+// at.
+class OverlayTest : public ::testing::Test {
+ protected:
+  SubscriberId attach(BrokerNetwork& net, BrokerId at) {
+    return net.add_subscriber(at, [this, at](const Notification& n) {
+      deliveries_.push_back(Delivery{at, n.subscriber});
+    });
+  }
+
+  // SubscriberIds are per-broker (each broker numbers its own sessions), so
+  // deliveries are keyed by the (broker, subscriber) pair.
+  std::size_t count_for(BrokerId at, SubscriberId subscriber) const {
+    std::size_t n = 0;
+    for (const auto& d : deliveries_) {
+      if (d.at == at && d.subscriber == subscriber) ++n;
+    }
+    return n;
+  }
+
+  std::vector<Delivery> deliveries_;
+};
+
+TEST_F(OverlayTest, LineTopologyDeliversAcrossHops) {
+  BrokerNetwork net;
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  const BrokerId c = net.add_broker();
+  net.connect(a, b, 10);
+  net.connect(b, c, 10);
+
+  const SubscriberId far = attach(net, c);
+  net.subscribe(c, far, "topic == \"storm\"");
+  net.run();  // propagate interest
+
+  net.publish(a, EventBuilder(net.attributes()).set("topic", "storm").build());
+  net.run();
+  EXPECT_EQ(count_for(c, far), 1u);
+
+  net.publish(a, EventBuilder(net.attributes()).set("topic", "calm").build());
+  net.run();
+  EXPECT_EQ(count_for(c, far), 1u);  // no spurious delivery
+}
+
+TEST_F(OverlayTest, DeliveryIsExactlyOncePerMatchingSubscriber) {
+  BrokerNetwork net;
+  // Star: hub with 4 leaves; subscribers everywhere.
+  const BrokerId hub = net.add_broker();
+  std::vector<BrokerId> leaves;
+  std::vector<std::pair<BrokerId, SubscriberId>> subscribers;
+  for (int i = 0; i < 4; ++i) {
+    const BrokerId leaf = net.add_broker();
+    net.connect(hub, leaf, 5);
+    leaves.push_back(leaf);
+    const SubscriberId s = attach(net, leaf);
+    net.subscribe(leaf, s, "level >= 3");
+    subscribers.emplace_back(leaf, s);
+  }
+  net.run();
+
+  net.publish(leaves[0],
+              EventBuilder(net.attributes()).set("level", 5).build());
+  net.run();
+  for (const auto& [leaf, s] : subscribers) {
+    EXPECT_EQ(count_for(leaf, s), 1u);
+  }
+}
+
+TEST_F(OverlayTest, ContentBasedRoutingPrunesUninterestedBranches) {
+  BrokerNetwork net;
+  const BrokerId root = net.add_broker();
+  const BrokerId interested = net.add_broker();
+  const BrokerId bored = net.add_broker();
+  net.connect(root, interested, 1);
+  net.connect(root, bored, 1);
+
+  const SubscriberId s = attach(net, interested);
+  net.subscribe(interested, s, "kind == \"alert\"");
+  net.run();
+  const std::uint64_t control_messages = net.messages_sent();
+
+  // A matching event crosses only the interested link.
+  net.publish(root, EventBuilder(net.attributes()).set("kind", "alert").build());
+  net.run();
+  EXPECT_EQ(net.messages_sent() - control_messages, 1u);
+
+  // A non-matching event crosses no link at all.
+  const std::uint64_t after_first = net.messages_sent();
+  net.publish(root, EventBuilder(net.attributes()).set("kind", "noise").build());
+  net.run();
+  EXPECT_EQ(net.messages_sent(), after_first);
+}
+
+TEST_F(OverlayTest, LocalSubscribersSeeLocalPublishes) {
+  BrokerNetwork net;
+  const BrokerId solo = net.add_broker();
+  const SubscriberId s = attach(net, solo);
+  net.subscribe(solo, s, "x == 1");
+  net.publish(solo, EventBuilder(net.attributes()).set("x", 1).build());
+  EXPECT_EQ(count_for(solo, s), 1u);  // synchronous local delivery
+}
+
+TEST_F(OverlayTest, UnsubscribePropagates) {
+  BrokerNetwork net;
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  net.connect(a, b, 1);
+  const SubscriberId s = attach(net, b);
+  const GlobalSubId sub = net.subscribe(b, s, "x == 1");
+  net.run();
+
+  EXPECT_TRUE(net.unsubscribe(sub));
+  EXPECT_FALSE(net.unsubscribe(sub));
+  net.run();
+
+  const std::uint64_t before = net.messages_sent();
+  net.publish(a, EventBuilder(net.attributes()).set("x", 1).build());
+  net.run();
+  EXPECT_EQ(count_for(b, s), 0u);
+  // The event is not even forwarded: interest is gone.
+  EXPECT_EQ(net.messages_sent(), before);
+}
+
+TEST_F(OverlayTest, CyclicTopologyRejected) {
+  BrokerNetwork net;
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  const BrokerId c = net.add_broker();
+  net.connect(a, b, 1);
+  net.connect(b, c, 1);
+  EXPECT_THROW(net.connect(c, a, 1), std::invalid_argument);
+}
+
+TEST_F(OverlayTest, PublishRacingSubscriptionPropagationMissesRemote) {
+  // Eventual consistency: an event published before the subscription has
+  // propagated does not reach the remote subscriber; one published after
+  // does. (This mirrors a real overlay; tests quiesce when they need the
+  // consistent view.)
+  BrokerNetwork net;
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  net.connect(a, b, 100);
+  const SubscriberId s = attach(net, b);
+  net.subscribe(b, s, "x == 1");
+  // No run(): interest not yet at a.
+  net.publish(a, EventBuilder(net.attributes()).set("x", 1).build());
+  net.run();
+  EXPECT_EQ(count_for(b, s), 0u);
+
+  net.publish(a, EventBuilder(net.attributes()).set("x", 1).build());
+  net.run();
+  EXPECT_EQ(count_for(b, s), 1u);
+}
+
+TEST_F(OverlayTest, DeepTreeFanOut) {
+  // Binary tree of depth 3 (15 brokers); subscriber at every leaf; publish
+  // at the root reaches all 8 leaves exactly once.
+  BrokerNetwork net;
+  std::vector<BrokerId> brokers;
+  for (int i = 0; i < 15; ++i) brokers.push_back(net.add_broker());
+  for (int i = 1; i < 15; ++i) {
+    net.connect(brokers[(i - 1) / 2], brokers[i], 1 + i);
+  }
+  std::vector<std::pair<BrokerId, SubscriberId>> leaf_subs;
+  for (int i = 7; i < 15; ++i) {
+    const SubscriberId s = attach(net, brokers[i]);
+    net.subscribe(brokers[i], s, "beat exists");
+    leaf_subs.emplace_back(brokers[i], s);
+  }
+  net.run();
+
+  net.publish(brokers[0],
+              EventBuilder(net.attributes()).set("beat", 1).build());
+  net.run();
+  for (const auto& [leaf, s] : leaf_subs) {
+    EXPECT_EQ(count_for(leaf, s), 1u);
+  }
+  EXPECT_EQ(net.notifications_delivered(), 8u);
+}
+
+TEST_F(OverlayTest, CoveringShadowsNarrowerSubscriptions) {
+  BrokerNetwork net(EngineKind::NonCanonical, /*enable_covering=*/true);
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  const BrokerId c = net.add_broker();
+  net.connect(a, b, 1);
+  net.connect(b, c, 1);
+
+  const SubscriberId wide_sub = attach(net, c);
+  const SubscriberId narrow_sub = attach(net, c);
+  net.subscribe(c, wide_sub, "price > 5");
+  net.run();
+  const std::uint64_t before_narrow = net.messages_sent();
+  net.subscribe(c, narrow_sub, "price > 10 and volume == 1");
+  net.run();
+
+  // The narrow subscription is shadowed at b (covered by "price > 5") and
+  // never announced to a: exactly one Subscribe message (c → b).
+  EXPECT_EQ(net.messages_sent() - before_narrow, 1u);
+  EXPECT_EQ(net.remote_interest_count(b, c), 1u);
+  EXPECT_EQ(net.shadowed_count(b, c), 1u);
+  EXPECT_EQ(net.remote_interest_count(a, b), 1u);
+
+  // Delivery is unaffected: an event matching both reaches both subscribers.
+  net.publish(a, EventBuilder(net.attributes())
+                     .set("price", 20)
+                     .set("volume", 1)
+                     .build());
+  net.run();
+  EXPECT_EQ(count_for(c, wide_sub), 1u);
+  EXPECT_EQ(count_for(c, narrow_sub), 1u);
+}
+
+TEST_F(OverlayTest, CoverRemovalReinstatesShadowedSubscriptions) {
+  BrokerNetwork net(EngineKind::NonCanonical, /*enable_covering=*/true);
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  const BrokerId c = net.add_broker();
+  net.connect(a, b, 1);
+  net.connect(b, c, 1);
+
+  const SubscriberId wide_sub = attach(net, c);
+  const SubscriberId narrow_sub = attach(net, c);
+  const GlobalSubId wide = net.subscribe(c, wide_sub, "price > 5");
+  net.run();
+  net.subscribe(c, narrow_sub, "price > 10 and volume == 1");
+  net.run();
+  ASSERT_EQ(net.shadowed_count(b, c), 1u);
+
+  // Removing the cover must reinstate the narrow subscription at b AND
+  // resume its propagation to a.
+  net.unsubscribe(wide);
+  net.run();
+  EXPECT_EQ(net.shadowed_count(b, c), 0u);
+  EXPECT_EQ(net.remote_interest_count(b, c), 1u);
+  EXPECT_EQ(net.remote_interest_count(a, b), 1u);
+
+  // Narrow still delivered end-to-end…
+  net.publish(a, EventBuilder(net.attributes())
+                     .set("price", 20)
+                     .set("volume", 1)
+                     .build());
+  net.run();
+  EXPECT_EQ(count_for(c, narrow_sub), 1u);
+  EXPECT_EQ(count_for(c, wide_sub), 0u);
+
+  // …while wide-only events no longer cross any link.
+  const std::uint64_t before = net.messages_sent();
+  net.publish(a, EventBuilder(net.attributes())
+                     .set("price", 7)
+                     .set("volume", 9)
+                     .build());
+  net.run();
+  EXPECT_EQ(net.messages_sent(), before);
+}
+
+TEST_F(OverlayTest, ShadowedUnsubscribeLeavesCoverIntact) {
+  BrokerNetwork net(EngineKind::NonCanonical, /*enable_covering=*/true);
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  net.connect(a, b, 1);
+
+  const SubscriberId wide_sub = attach(net, b);
+  const SubscriberId narrow_sub = attach(net, b);
+  net.subscribe(b, wide_sub, "x >= 0");
+  net.run();
+  const GlobalSubId narrow = net.subscribe(b, narrow_sub, "x == 5");
+  net.run();
+  ASSERT_EQ(net.shadowed_count(a, b), 1u);
+
+  net.unsubscribe(narrow);
+  net.run();
+  EXPECT_EQ(net.shadowed_count(a, b), 0u);
+  EXPECT_EQ(net.remote_interest_count(a, b), 1u);
+
+  net.publish(a, EventBuilder(net.attributes()).set("x", 5).build());
+  net.run();
+  EXPECT_EQ(count_for(b, wide_sub), 1u);
+  EXPECT_EQ(count_for(b, narrow_sub), 0u);  // unsubscribed
+}
+
+TEST_F(OverlayTest, EngineKindIsPluggable) {
+  for (const EngineKind kind : kAllEngineKinds) {
+    BrokerNetwork net(kind);
+    const BrokerId a = net.add_broker();
+    const BrokerId b = net.add_broker();
+    net.connect(a, b, 1);
+    deliveries_.clear();
+    const SubscriberId s = attach(net, b);
+    net.subscribe(b, s, "v > 10 or v < -10");
+    net.run();
+    net.publish(a, EventBuilder(net.attributes()).set("v", -50).build());
+    net.run();
+    EXPECT_EQ(count_for(b, s), 1u) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ncps

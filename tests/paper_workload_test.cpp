@@ -1,0 +1,159 @@
+// Validates that the generated workload is exactly the paper's (§4, Table 1).
+#include "workload/paper_workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "subscription/dnf.h"
+#include "test_util.h"
+
+namespace ncps {
+namespace {
+
+class PaperWorkloadTest : public ::testing::Test {
+ protected:
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+};
+
+TEST_F(PaperWorkloadTest, SubscriptionShape) {
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 6;
+  PaperWorkload workload(config, attrs_, table_);
+  const ast::Expr e = workload.next_subscription();
+  // AND of 3 binary ORs.
+  ASSERT_EQ(e.root().kind, ast::NodeKind::And);
+  ASSERT_EQ(e.root().children.size(), 3u);
+  for (const auto& group : e.root().children) {
+    EXPECT_EQ(group->kind, ast::NodeKind::Or);
+    EXPECT_EQ(group->children.size(), 2u);
+  }
+  EXPECT_EQ(ast::leaf_count(e.root()), 6u);
+}
+
+TEST_F(PaperWorkloadTest, TwoPredicateEdgeCaseIsASingleOrGroup) {
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 2;
+  PaperWorkload workload(config, attrs_, table_);
+  const ast::Expr e = workload.next_subscription();
+  EXPECT_EQ(e.root().kind, ast::NodeKind::Or);
+  EXPECT_EQ(ast::leaf_count(e.root()), 2u);
+}
+
+TEST_F(PaperWorkloadTest, TransformationSizesMatchTable1) {
+  // Table 1: 6–10 predicates ⇒ 8–32 transformed subscriptions.
+  for (const std::size_t preds : {6u, 8u, 10u}) {
+    PaperWorkloadConfig config;
+    config.predicates_per_subscription = preds;
+    config.seed = preds;
+    AttributeRegistry attrs;
+    PredicateTable table;
+    PaperWorkload workload(config, attrs, table);
+    EXPECT_EQ(workload.expected_disjuncts(), 1u << (preds / 2));
+    EXPECT_EQ(workload.expected_disjunct_width(), preds / 2);
+
+    const ast::Expr e = workload.next_subscription();
+    const DnfSize size = estimate_dnf_size(e.root());
+    EXPECT_EQ(size.disjuncts, workload.expected_disjuncts());
+    EXPECT_EQ(size.literal_entries,
+              workload.expected_disjuncts() * workload.expected_disjunct_width());
+  }
+}
+
+TEST_F(PaperWorkloadTest, PredicatesAreGloballyUnique) {
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 8;
+  config.attribute_count = 5;
+  config.domain_size = 100000;
+  PaperWorkload workload(config, attrs_, table_);
+  std::vector<ast::Expr> exprs;
+  for (int i = 0; i < 200; ++i) exprs.push_back(workload.next_subscription());
+
+  std::set<std::uint32_t> seen;
+  for (const auto& e : exprs) {
+    std::vector<PredicateId> preds;
+    ast::collect_predicates(e.root(), preds);
+    for (const PredicateId id : preds) {
+      EXPECT_TRUE(seen.insert(id.value()).second)
+          << "predicate id " << id.value() << " shared between subscriptions";
+    }
+  }
+  EXPECT_EQ(seen.size(), 200u * 8u);
+  EXPECT_EQ(workload.predicate_pool().size(), 200u * 8u);
+}
+
+TEST_F(PaperWorkloadTest, SharingKnobProducesSharedPredicates) {
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 6;
+  config.sharing_probability = 0.8;
+  PaperWorkload workload(config, attrs_, table_);
+  std::vector<ast::Expr> exprs;
+  for (int i = 0; i < 100; ++i) exprs.push_back(workload.next_subscription());
+  // With sharing at 0.8, the pool must be much smaller than 600.
+  EXPECT_LT(workload.predicate_pool().size(), 300u);
+}
+
+TEST_F(PaperWorkloadTest, DeterministicUnderSeed) {
+  PaperWorkloadConfig config;
+  config.seed = 777;
+  AttributeRegistry attrs_a;
+  PredicateTable table_a;
+  PaperWorkload a(config, attrs_a, table_a);
+  AttributeRegistry attrs_b;
+  PredicateTable table_b;
+  PaperWorkload b(config, attrs_b, table_b);
+  for (int i = 0; i < 20; ++i) {
+    const ast::Expr ea = a.next_subscription();
+    const ast::Expr eb = b.next_subscription();
+    EXPECT_TRUE(ast::equal(ea.root(), eb.root())) << "subscription " << i;
+  }
+  EXPECT_EQ(a.sample_fulfilled(50), b.sample_fulfilled(50));
+}
+
+TEST_F(PaperWorkloadTest, SampleFulfilledIsDistinctAndInPool) {
+  PaperWorkloadConfig config;
+  PaperWorkload workload(config, attrs_, table_);
+  std::vector<ast::Expr> exprs;
+  for (int i = 0; i < 50; ++i) exprs.push_back(workload.next_subscription());
+
+  const std::vector<PredicateId> sample = workload.sample_fulfilled(200);
+  EXPECT_EQ(sample.size(), 200u);
+  std::set<std::uint32_t> distinct;
+  for (const PredicateId id : sample) distinct.insert(id.value());
+  EXPECT_EQ(distinct.size(), 200u);
+
+  std::set<std::uint32_t> pool;
+  for (const PredicateId id : workload.predicate_pool()) pool.insert(id.value());
+  for (const PredicateId id : sample) {
+    EXPECT_TRUE(pool.contains(id.value()));
+  }
+}
+
+TEST_F(PaperWorkloadTest, SampleLargerThanPoolViolatesContract) {
+  PaperWorkloadConfig config;
+  PaperWorkload workload(config, attrs_, table_);
+  const ast::Expr e = workload.next_subscription();
+  EXPECT_THROW((void)workload.sample_fulfilled(1000), ContractViolation);
+}
+
+TEST_F(PaperWorkloadTest, OddPredicateCountRejected) {
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 7;
+  EXPECT_THROW(PaperWorkload(config, attrs_, table_), ContractViolation);
+}
+
+TEST_F(PaperWorkloadTest, PoolSurvivesExpressionDeath) {
+  // Pool ids must stay live after generated expressions are destroyed (the
+  // pool owns references) — regression test for the sampling-after-
+  // registration flow in the benches.
+  PaperWorkloadConfig config;
+  PaperWorkload workload(config, attrs_, table_);
+  { const ast::Expr e = workload.next_subscription(); }
+  for (const PredicateId id : workload.predicate_pool()) {
+    EXPECT_TRUE(table_.is_live(id));
+  }
+}
+
+}  // namespace
+}  // namespace ncps

@@ -1,0 +1,204 @@
+#include "subscription/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "subscription/printer.h"
+
+namespace ncps {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ast::Expr parse(std::string_view text) {
+    return parse_subscription(text, attrs_, table_);
+  }
+
+  const Predicate& leaf_pred(const ast::Node& n) {
+    EXPECT_EQ(n.kind, ast::NodeKind::Leaf);
+    return table_.get(n.pred);
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+};
+
+TEST_F(ParserTest, SinglePredicate) {
+  const ast::Expr e = parse("price > 10");
+  const Predicate& p = leaf_pred(e.root());
+  EXPECT_EQ(p.attribute, attrs_.find("price"));
+  EXPECT_EQ(p.op, Operator::Gt);
+  EXPECT_EQ(p.lo, Value(10));
+}
+
+TEST_F(ParserTest, AllComparisonOperators) {
+  EXPECT_EQ(leaf_pred(parse("a == 1").root()).op, Operator::Eq);
+  EXPECT_EQ(leaf_pred(parse("a != 1").root()).op, Operator::Ne);
+  EXPECT_EQ(leaf_pred(parse("a < 1").root()).op, Operator::Lt);
+  EXPECT_EQ(leaf_pred(parse("a <= 1").root()).op, Operator::Le);
+  EXPECT_EQ(leaf_pred(parse("a > 1").root()).op, Operator::Gt);
+  EXPECT_EQ(leaf_pred(parse("a >= 1").root()).op, Operator::Ge);
+}
+
+TEST_F(ParserTest, ValueLiterals) {
+  EXPECT_EQ(leaf_pred(parse("a == -42").root()).lo, Value(-42));
+  EXPECT_EQ(leaf_pred(parse("a == 3.5").root()).lo, Value(3.5));
+  EXPECT_EQ(leaf_pred(parse("a == 1e3").root()).lo, Value(1000.0));
+  EXPECT_EQ(leaf_pred(parse("a == \"text\"").root()).lo, Value("text"));
+  EXPECT_EQ(leaf_pred(parse("a == true").root()).lo, Value(true));
+  EXPECT_EQ(leaf_pred(parse("a == false").root()).lo, Value(false));
+}
+
+TEST_F(ParserTest, BetweenPredicate) {
+  const Predicate& p = leaf_pred(parse("price between 5 and 10").root());
+  EXPECT_EQ(p.op, Operator::Between);
+  EXPECT_EQ(p.lo, Value(5));
+  EXPECT_EQ(p.hi, Value(10));
+}
+
+TEST_F(ParserTest, BetweenFollowedByConjunction) {
+  // The 'and' inside between must not swallow the Boolean 'and'.
+  const ast::Expr e = parse("a between 5 and 10 and b > 3");
+  EXPECT_EQ(e.root().kind, ast::NodeKind::And);
+  ASSERT_EQ(e.root().children.size(), 2u);
+  EXPECT_EQ(leaf_pred(*e.root().children[0]).op, Operator::Between);
+  EXPECT_EQ(leaf_pred(*e.root().children[1]).op, Operator::Gt);
+}
+
+TEST_F(ParserTest, StringOperators) {
+  EXPECT_EQ(leaf_pred(parse("s prefix \"ab\"").root()).op, Operator::Prefix);
+  EXPECT_EQ(leaf_pred(parse("s suffix \"ab\"").root()).op, Operator::Suffix);
+  EXPECT_EQ(leaf_pred(parse("s contains \"ab\"").root()).op,
+            Operator::Contains);
+}
+
+TEST_F(ParserTest, ExistsPredicate) {
+  EXPECT_EQ(leaf_pred(parse("a exists").root()).op, Operator::Exists);
+}
+
+TEST_F(ParserTest, PrecedenceNotOverAndOverOr) {
+  // a == 1 or b == 2 and not c == 3  ⇒  Or(a==1, And(b==2, Not(c==3)))
+  const ast::Expr e = parse("a == 1 or b == 2 and not c == 3");
+  EXPECT_EQ(e.root().kind, ast::NodeKind::Or);
+  ASSERT_EQ(e.root().children.size(), 2u);
+  const ast::Node& right = *e.root().children[1];
+  EXPECT_EQ(right.kind, ast::NodeKind::And);
+  ASSERT_EQ(right.children.size(), 2u);
+  EXPECT_EQ(right.children[1]->kind, ast::NodeKind::Not);
+}
+
+TEST_F(ParserTest, ParenthesesOverridePrecedence) {
+  const ast::Expr e = parse("(a == 1 or b == 2) and c == 3");
+  EXPECT_EQ(e.root().kind, ast::NodeKind::And);
+  ASSERT_EQ(e.root().children.size(), 2u);
+  EXPECT_EQ(e.root().children[0]->kind, ast::NodeKind::Or);
+}
+
+TEST_F(ParserTest, ChainsAreFlattenedToNary) {
+  const ast::Expr e = parse("a == 1 and b == 2 and c == 3 and d == 4");
+  EXPECT_EQ(e.root().kind, ast::NodeKind::And);
+  EXPECT_EQ(e.root().children.size(), 4u);
+}
+
+TEST_F(ParserTest, PaperFigureOneExample) {
+  const ast::Expr e = parse(
+      "(a > 10 or a <= 5 or b == 1) and (c <= 20 or c == 30 or d == 5)");
+  EXPECT_EQ(e.root().kind, ast::NodeKind::And);
+  ASSERT_EQ(e.root().children.size(), 2u);
+  EXPECT_EQ(e.root().children[0]->kind, ast::NodeKind::Or);
+  EXPECT_EQ(e.root().children[0]->children.size(), 3u);
+  EXPECT_EQ(e.root().children[1]->kind, ast::NodeKind::Or);
+  EXPECT_EQ(e.root().children[1]->children.size(), 3u);
+  EXPECT_EQ(table_.size(), 6u);
+}
+
+TEST_F(ParserTest, SharedPredicatesInternOnce) {
+  const ast::Expr e = parse("a == 1 or (a == 1 and b == 2)");
+  EXPECT_EQ(table_.size(), 2u);
+  const PredicateId first = e.root().children[0]->pred;
+  const PredicateId nested = e.root().children[1]->children[0]->pred;
+  EXPECT_EQ(first, nested);
+  EXPECT_EQ(table_.ref_count(first), 2u);
+}
+
+TEST_F(ParserTest, DottedAndUnderscoredIdentifiers) {
+  const Predicate& p = leaf_pred(parse("stock.price_usd >= 1.5").root());
+  EXPECT_EQ(p.attribute, attrs_.find("stock.price_usd"));
+}
+
+TEST_F(ParserTest, NotChains) {
+  const ast::Expr e = parse("not not not a == 1");
+  // flatten collapses the double negation.
+  EXPECT_EQ(e.root().kind, ast::NodeKind::Not);
+  EXPECT_EQ(e.root().children[0]->kind, ast::NodeKind::Leaf);
+}
+
+struct BadInput {
+  const char* text;
+  const char* why;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParserErrorTest, Rejects) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  EXPECT_THROW((void)parse_subscription(GetParam().text, attrs, table),
+               ParseError)
+      << GetParam().why;
+  // A failed parse must leave no predicates behind (two-phase design).
+  EXPECT_EQ(table.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, ParserErrorTest,
+    ::testing::Values(
+        BadInput{"", "empty input"},
+        BadInput{"price >", "missing value"},
+        BadInput{"price 10", "missing operator"},
+        BadInput{"> 10", "missing attribute"},
+        BadInput{"(a == 1", "unbalanced paren"},
+        BadInput{"a == 1)", "trailing paren"},
+        BadInput{"a == 1 or", "dangling connective"},
+        BadInput{"a == 1 b == 2", "missing connective"},
+        BadInput{"a = 1", "single equals"},
+        BadInput{"a == \"unterminated", "unterminated string"},
+        BadInput{"a between 5", "between missing and"},
+        BadInput{"a between 5 or 10", "between wrong keyword"},
+        BadInput{"a prefix 5", "prefix needs string"},
+        BadInput{"a contains abc", "unquoted string"},
+        BadInput{"and == 1", "keyword as attribute"},
+        BadInput{"a == 1 and (or b == 2)", "connective as operand"},
+        BadInput{"a @ 1", "unknown character"},
+        BadInput{"a == --5", "malformed number"}));
+
+// Round-trip property: print(parse(x)) reparses to a structurally identical
+// tree with identical predicate ids.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParseIsIdentity) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  const ast::Expr first = parse_subscription(GetParam(), attrs, table);
+  const std::string printed = print_expression(first.root(), table, attrs);
+  const ast::Expr second = parse_subscription(printed, attrs, table);
+  EXPECT_TRUE(ast::equal(first.root(), second.root()))
+      << GetParam() << "  printed as  " << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, RoundTripTest,
+    ::testing::Values(
+        "price > 10",
+        "a == 1 and b == 2",
+        "a == 1 or b == 2 and c == 3",
+        "not (a == 1 and b <= 2)",
+        "(a > 10 or a <= 5 or b == 1) and (c <= 20 or c == 30 or d == 5)",
+        "sym prefix \"AB\" and price between 10 and 20",
+        "a exists and not b exists",
+        "x == true or y == false",
+        "f >= 2.5 and f < 7.25",
+        "not not a == 1",
+        "s contains \"mid\" or s suffix \"end\""));
+
+}  // namespace
+}  // namespace ncps

@@ -1,0 +1,160 @@
+#include "engine/posting_store.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ncps {
+namespace {
+
+std::vector<std::uint32_t> collect(const PostingStore& store,
+                                   std::uint32_t list) {
+  std::vector<std::uint32_t> out;
+  store.for_each(list, [&](std::uint32_t item) { out.push_back(item); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PostingStoreTest, EmptyList) {
+  PostingStore store;
+  store.ensure_lists(4);
+  EXPECT_EQ(store.size(2), 0u);
+  EXPECT_TRUE(collect(store, 2).empty());
+  EXPECT_FALSE(store.remove(2, 7));
+}
+
+TEST(PostingStoreTest, SingleItemStaysInline) {
+  PostingStore store;
+  store.ensure_lists(1);
+  const std::size_t empty_bytes = store.memory_bytes();
+  store.add(0, 42);
+  EXPECT_EQ(store.size(0), 1u);
+  EXPECT_EQ(collect(store, 0), std::vector<std::uint32_t>{42});
+  // One-entry lists must not allocate overflow chunks.
+  EXPECT_EQ(store.memory_bytes(), empty_bytes);
+}
+
+TEST(PostingStoreTest, GrowsAcrossChunkBoundaries) {
+  PostingStore store;
+  store.ensure_lists(1);
+  std::vector<std::uint32_t> expected;
+  for (std::uint32_t i = 0; i < 40; ++i) {  // inline + ~5 chunks
+    store.add(0, i * 3);
+    expected.push_back(i * 3);
+    ASSERT_EQ(store.size(0), i + 1);
+    ASSERT_EQ(collect(store, 0), expected) << "after adding item " << i;
+  }
+}
+
+TEST(PostingStoreTest, RemoveInlineItem) {
+  PostingStore store;
+  store.ensure_lists(1);
+  store.add(0, 1);
+  store.add(0, 2);
+  store.add(0, 3);
+  EXPECT_TRUE(store.remove(0, 1));  // the inline slot; last item swaps in
+  EXPECT_EQ(store.size(0), 2u);
+  EXPECT_EQ(collect(store, 0), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_FALSE(store.remove(0, 1));
+}
+
+TEST(PostingStoreTest, RemoveLastItem) {
+  PostingStore store;
+  store.ensure_lists(1);
+  for (std::uint32_t i = 0; i < 10; ++i) store.add(0, i);
+  EXPECT_TRUE(store.remove(0, 9));
+  EXPECT_EQ(store.size(0), 9u);
+  EXPECT_EQ(collect(store, 0),
+            (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(PostingStoreTest, RemoveToEmptyAndRefill) {
+  PostingStore store;
+  store.ensure_lists(1);
+  for (std::uint32_t i = 0; i < 20; ++i) store.add(0, i);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.remove(0, i)) << i;
+  }
+  EXPECT_EQ(store.size(0), 0u);
+  // Chunks recycled: refill should not grow the pool footprint.
+  const std::size_t bytes_after_empty = store.memory_bytes();
+  for (std::uint32_t i = 0; i < 20; ++i) store.add(0, 100 + i);
+  EXPECT_EQ(store.memory_bytes(), bytes_after_empty);
+  EXPECT_EQ(store.size(0), 20u);
+}
+
+TEST(PostingStoreTest, ChunksAreSharedAcrossLists) {
+  PostingStore store;
+  store.ensure_lists(100);
+  for (std::uint32_t list = 0; list < 100; ++list) {
+    for (std::uint32_t i = 0; i < 12; ++i) store.add(list, list * 1000 + i);
+  }
+  for (std::uint32_t list = 0; list < 100; ++list) {
+    ASSERT_EQ(store.size(list), 12u);
+    const auto items = collect(store, list);
+    ASSERT_EQ(items.front(), list * 1000);
+    ASSERT_EQ(items.back(), list * 1000 + 11);
+  }
+}
+
+TEST(PostingStoreTest, DuplicateItemsRemoveOneAtATime) {
+  PostingStore store;
+  store.ensure_lists(1);
+  store.add(0, 5);
+  store.add(0, 5);
+  store.add(0, 5);
+  EXPECT_TRUE(store.remove(0, 5));
+  EXPECT_EQ(store.size(0), 2u);
+  EXPECT_TRUE(store.remove(0, 5));
+  EXPECT_TRUE(store.remove(0, 5));
+  EXPECT_FALSE(store.remove(0, 5));
+}
+
+TEST(PostingStoreTest, RandomizedDifferentialAgainstMultimap) {
+  PostingStore store;
+  constexpr std::uint32_t kLists = 16;
+  store.ensure_lists(kLists);
+  std::map<std::uint32_t, std::vector<std::uint32_t>> reference;
+  Pcg32 rng(321);
+
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint32_t list = rng.bounded(kLists);
+    auto& ref = reference[list];
+    if (ref.empty() || rng.chance(0.55)) {
+      const std::uint32_t item = rng.bounded(50);
+      store.add(list, item);
+      ref.push_back(item);
+    } else {
+      // Remove an item that may or may not be present.
+      const std::uint32_t item = rng.bounded(50);
+      const auto it = std::find(ref.begin(), ref.end(), item);
+      const bool expect_present = it != ref.end();
+      ASSERT_EQ(store.remove(list, item), expect_present) << "op " << op;
+      if (expect_present) ref.erase(it);
+    }
+    if (op % 500 == 0) {
+      for (std::uint32_t l = 0; l < kLists; ++l) {
+        auto sorted_ref = reference[l];
+        std::sort(sorted_ref.begin(), sorted_ref.end());
+        ASSERT_EQ(collect(store, l), sorted_ref) << "list " << l << " op " << op;
+      }
+    }
+  }
+}
+
+TEST(PostingStoreTest, MemoryIsCompactForUniquePredicateShape) {
+  // The paper's workload: millions of one-entry lists. Budget: ≤ 16 bytes
+  // per list (12-byte head + growth slack), no chunk allocations.
+  PostingStore store;
+  constexpr std::size_t kLists = 100000;
+  store.ensure_lists(kLists);
+  for (std::uint32_t i = 0; i < kLists; ++i) store.add(i, i);
+  EXPECT_LE(store.memory_bytes(), kLists * 16);
+}
+
+}  // namespace
+}  // namespace ncps

@@ -1,0 +1,134 @@
+#include "workload/random_workload.h"
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "workload/zipf.h"
+
+namespace ncps {
+namespace {
+
+TEST(RandomWorkloadTest, GeneratesWellFormedTrees) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  RandomWorkloadConfig config;
+  config.seed = 1;
+  RandomWorkload workload(config, attrs, table);
+  for (int i = 0; i < 200; ++i) {
+    const ast::Expr e = workload.next_subscription();
+    EXPECT_GE(ast::leaf_count(e.root()), 1u);
+    EXPECT_LE(ast::depth(e.root()), config.max_depth + 1);
+    // Flattened: no And directly under And, no Or under Or, no Not(Not).
+    const std::function<void(const ast::Node&)> check =
+        [&](const ast::Node& n) {
+          for (const auto& c : n.children) {
+            if (n.kind == ast::NodeKind::And || n.kind == ast::NodeKind::Or) {
+              EXPECT_NE(c->kind, n.kind);
+            }
+            if (n.kind == ast::NodeKind::Not) {
+              EXPECT_NE(c->kind, ast::NodeKind::Not);
+            }
+            check(*c);
+          }
+        };
+    check(e.root());
+  }
+}
+
+TEST(RandomWorkloadTest, RespectsTypedSchema) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  RandomWorkloadConfig config;
+  config.rich_operators = true;
+  config.seed = 2;
+  RandomWorkload workload(config, attrs, table);
+  for (int i = 0; i < 100; ++i) { (void)workload.next_subscription(); }
+  // Every predicate's operand type matches its attribute's type: operand
+  // strings appear only on string attributes (rnd0, rnd3, rnd6, …).
+  table.for_each([&](PredicateId, const Predicate& p) {
+    if (p.op == Operator::Exists) return;
+    const std::string& name = attrs.name(p.attribute);
+    const int index = std::stoi(name.substr(3));
+    if (index % 3 == 0) {
+      EXPECT_EQ(p.lo.type(), ValueType::String) << name;
+    } else {
+      EXPECT_TRUE(p.lo.is_numeric()) << name;
+    }
+  });
+}
+
+TEST(RandomWorkloadTest, EventsRespectPresenceProbability) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  RandomWorkloadConfig config;
+  config.attribute_presence = 0.5;
+  config.attribute_count = 10;
+  config.seed = 3;
+  RandomWorkload workload(config, attrs, table);
+  std::size_t total = 0;
+  for (int i = 0; i < 400; ++i) total += workload.next_event().size();
+  // Mean 5 attributes/event; 2000 expected, generous bounds.
+  EXPECT_GT(total, 1600u);
+  EXPECT_LT(total, 2400u);
+}
+
+TEST(RandomWorkloadTest, TotalEventsCoverEveryAttribute) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  RandomWorkloadConfig config;
+  config.attribute_presence = 1.0;
+  config.attribute_count = 7;
+  config.seed = 4;
+  RandomWorkload workload(config, attrs, table);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(workload.next_event().size(), 7u);
+  }
+}
+
+TEST(RandomWorkloadTest, DeterministicUnderSeed) {
+  AttributeRegistry attrs1, attrs2;
+  PredicateTable table1, table2;
+  RandomWorkloadConfig config;
+  config.seed = 42;
+  RandomWorkload a(config, attrs1, table1);
+  RandomWorkload b(config, attrs2, table2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(ast::equal(a.next_subscription().root(),
+                           b.next_subscription().root()));
+  }
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfSampler zipf(10, 0.0);
+  Pcg32 rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 1600);  // expectation 2000 each
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfSampler zipf(100, 1.2);
+  Pcg32 rng(6);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  // Rank 0 dominates rank 10 dominates rank 90.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+  // Head-heaviness: top 10 ranks carry the majority.
+  int head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, 10000);
+}
+
+TEST(ZipfTest, SingleRankAlwaysZero) {
+  ZipfSampler zipf(1, 1.0);
+  Pcg32 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace ncps

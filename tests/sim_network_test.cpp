@@ -1,0 +1,126 @@
+#include "net/sim_network.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ncps {
+namespace {
+
+using Net = SimNetwork<std::string>;
+
+TEST(SimNetworkTest, TopologyBasics) {
+  Net net;
+  const BrokerId a = net.add_node();
+  const BrokerId b = net.add_node();
+  const BrokerId c = net.add_node();
+  net.connect(a, b, 10);
+  EXPECT_TRUE(net.linked(a, b));
+  EXPECT_TRUE(net.linked(b, a));
+  EXPECT_FALSE(net.linked(a, c));
+  EXPECT_EQ(net.neighbors(a).size(), 1u);
+  net.connect(a, c, 5);
+  EXPECT_EQ(net.neighbors(a).size(), 2u);
+}
+
+TEST(SimNetworkTest, RejectsSelfAndDuplicateLinks) {
+  Net net;
+  const BrokerId a = net.add_node();
+  const BrokerId b = net.add_node();
+  net.connect(a, b, 1);
+  EXPECT_THROW(net.connect(a, b, 2), ContractViolation);
+  EXPECT_THROW(net.connect(b, a, 2), ContractViolation);
+  EXPECT_THROW(net.connect(a, a, 1), ContractViolation);
+}
+
+TEST(SimNetworkTest, DeliveryAdvancesClockByLatency) {
+  Net net;
+  const BrokerId a = net.add_node();
+  const BrokerId b = net.add_node();
+  net.connect(a, b, 25);
+  net.send(a, b, "hello");
+  EXPECT_FALSE(net.idle());
+  std::string received;
+  net.run([&](const Net::Delivery& d) {
+    received = d.payload;
+    EXPECT_EQ(d.from, a);
+    EXPECT_EQ(d.to, b);
+  });
+  EXPECT_EQ(received, "hello");
+  EXPECT_EQ(net.now(), 25u);
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(SimNetworkTest, DeliveriesOrderedByTimeThenFifo) {
+  Net net;
+  const BrokerId a = net.add_node();
+  const BrokerId b = net.add_node();
+  const BrokerId c = net.add_node();
+  net.connect(a, b, 100);  // slow link
+  net.connect(a, c, 1);    // fast link
+  net.send(a, b, "slow");
+  net.send(a, c, "fast1");
+  net.send(a, c, "fast2");
+  std::vector<std::string> order;
+  net.run([&](const Net::Delivery& d) { order.push_back(d.payload); });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "fast1");
+  EXPECT_EQ(order[1], "fast2");  // FIFO among equal timestamps
+  EXPECT_EQ(order[2], "slow");
+}
+
+TEST(SimNetworkTest, HandlersCanSendMore) {
+  // A relays everything it gets to C (multi-hop).
+  Net net;
+  const BrokerId a = net.add_node();
+  const BrokerId b = net.add_node();
+  const BrokerId c = net.add_node();
+  net.connect(a, b, 10);
+  net.connect(b, c, 10);
+  net.send(a, b, "ping");
+  std::vector<std::string> at_c;
+  const std::size_t delivered = net.run([&](const Net::Delivery& d) {
+    if (d.to == b) net.send(b, c, d.payload + "-forwarded");
+    if (d.to == c) at_c.push_back(d.payload);
+  });
+  EXPECT_EQ(delivered, 2u);
+  ASSERT_EQ(at_c.size(), 1u);
+  EXPECT_EQ(at_c[0], "ping-forwarded");
+  EXPECT_EQ(net.now(), 20u);
+}
+
+TEST(SimNetworkTest, SendWithoutLinkViolatesContract) {
+  Net net;
+  const BrokerId a = net.add_node();
+  const BrokerId b = net.add_node();
+  EXPECT_THROW(net.send(a, b, "x"), ContractViolation);
+}
+
+TEST(SimNetworkTest, MessageCounting) {
+  Net net;
+  const BrokerId a = net.add_node();
+  const BrokerId b = net.add_node();
+  net.connect(a, b, 1);
+  for (int i = 0; i < 5; ++i) net.send(a, b, "m");
+  EXPECT_EQ(net.messages_sent(), 5u);
+  net.run([](const Net::Delivery&) {});
+  EXPECT_EQ(net.messages_sent(), 5u);
+}
+
+TEST(SimNetworkTest, StepProcessesOneDelivery) {
+  Net net;
+  const BrokerId a = net.add_node();
+  const BrokerId b = net.add_node();
+  net.connect(a, b, 1);
+  net.send(a, b, "1");
+  net.send(a, b, "2");
+  int count = 0;
+  EXPECT_TRUE(net.step([&](const Net::Delivery&) { ++count; }));
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(net.step([&](const Net::Delivery&) { ++count; }));
+  EXPECT_FALSE(net.step([&](const Net::Delivery&) { ++count; }));
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace ncps

@@ -1,0 +1,161 @@
+#include "subscription/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "subscription/parser.h"
+#include "subscription/printer.h"
+#include "workload/random_workload.h"
+
+namespace ncps {
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  ast::Expr parse(std::string_view text) {
+    return parse_subscription(text, attrs_, table_);
+  }
+
+  std::string simplified(std::string_view text) {
+    const ast::Expr in = parse(text);
+    const ast::Expr out = simplify(in.root(), table_);
+    return print_expression(out.root(), table_, attrs_);
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+};
+
+TEST_F(SimplifyTest, LeafIsUnchanged) {
+  EXPECT_EQ(simplified("x > 10"), "x > 10");
+}
+
+TEST_F(SimplifyTest, DuplicateConjunctsCollapse) {
+  EXPECT_EQ(simplified("x > 10 and x > 10"), "x > 10");
+  EXPECT_EQ(simplified("x > 10 or x > 10"), "x > 10");
+}
+
+TEST_F(SimplifyTest, ImpliedConjunctDropped) {
+  // x > 10 implies x > 5 → the weaker conjunct is redundant.
+  EXPECT_EQ(simplified("x > 10 and x > 5"), "x > 10");
+  EXPECT_EQ(simplified("x > 5 and x > 10"), "x > 10");
+  EXPECT_EQ(simplified("x == 7 and x < 10 and x exists"), "x == 7");
+}
+
+TEST_F(SimplifyTest, NarrowerDisjunctDropped) {
+  // x > 10 implies x > 5 → in a disjunction the narrower branch is redundant.
+  EXPECT_EQ(simplified("x > 10 or x > 5"), "x > 5");
+  EXPECT_EQ(simplified("x > 5 or x > 10"), "x > 5");
+}
+
+TEST_F(SimplifyTest, UnrelatedChildrenKept) {
+  EXPECT_EQ(simplified("x > 10 and y > 5"), "x > 10 and y > 5");
+  EXPECT_EQ(simplified("x > 10 or x < 5"), "x > 10 or x < 5");
+}
+
+TEST_F(SimplifyTest, SubtreeAbsorption) {
+  // (x > 10 and y == 2) implies x > 5: the OR keeps only the wider branch.
+  EXPECT_EQ(simplified("(x > 10 and y == 2) or x > 5"), "x > 5");
+  // …and inside an AND the composite (stronger) branch wins.
+  EXPECT_EQ(simplified("(x > 10 and y == 2) and x > 5"),
+            "x > 10 and y == 2");
+}
+
+TEST_F(SimplifyTest, StringImplication) {
+  EXPECT_EQ(simplified("s prefix \"abc\" or s prefix \"ab\""),
+            "s prefix \"ab\"");
+  EXPECT_EQ(simplified("s prefix \"abc\" and s prefix \"ab\""),
+            "s prefix \"abc\"");
+}
+
+TEST_F(SimplifyTest, NestedSimplification) {
+  EXPECT_EQ(simplified("(x > 10 and x > 5) or (y == 1 or y == 1)"),
+            "x > 10 or y == 1");
+}
+
+TEST_F(SimplifyTest, NeverLarger) {
+  const char* cases[] = {
+      "x > 1 and x > 2 and x > 3 and y == 1",
+      "a == 1 or (a == 1 and b == 2) or c == 3",
+      "not (x > 5) and not (x > 5)",
+      "(p between 1 and 9 or p between 2 and 5) and q exists",
+  };
+  for (const char* text : cases) {
+    const ast::Expr in = parse(text);
+    const ast::Expr out = simplify(in.root(), table_);
+    EXPECT_LE(ast::node_count(out.root()), ast::node_count(in.root())) << text;
+  }
+}
+
+TEST_F(SimplifyTest, RandomizedEventEquivalence) {
+  // Property: the simplified expression matches exactly the same events.
+  RandomWorkloadConfig config;
+  config.rich_operators = false;
+  config.not_probability = 0.25;
+  config.sharing_probability = 0.6;
+  config.attribute_count = 4;
+  config.domain_size = 8;
+  config.seed = 777;
+  RandomWorkload workload(config, attrs_, table_);
+  std::size_t shrunk = 0;
+  for (int i = 0; i < 150; ++i) {
+    const ast::Expr in = workload.next_subscription();
+    const ast::Expr out = simplify(in.root(), table_);
+    if (ast::node_count(out.root()) < ast::node_count(in.root())) ++shrunk;
+    for (int trial = 0; trial < 60; ++trial) {
+      const Event e = workload.next_event();
+      ASSERT_EQ(ast::evaluate_against_event(in.root(), table_, e),
+                ast::evaluate_against_event(out.root(), table_, e))
+          << "subscription " << i << " diverged on "
+          << e.to_display_string(attrs_);
+    }
+  }
+  // With heavy sharing and tiny domains, the optimiser must find real wins.
+  EXPECT_GT(shrunk, 10u);
+}
+
+class MergeTest : public SimplifyTest {};
+
+TEST_F(MergeTest, CoveringInputAbsorbsTheOther) {
+  const ast::Expr wide = parse("x > 5");
+  const ast::Expr narrow = parse("x > 10 and y == 2");
+  const ast::Expr merged = merge_subscriptions(wide.root(), narrow.root(),
+                                               table_);
+  EXPECT_EQ(print_expression(merged.root(), table_, attrs_), "x > 5");
+  // Symmetric call gives the same result.
+  const ast::Expr merged2 = merge_subscriptions(narrow.root(), wide.root(),
+                                                table_);
+  EXPECT_EQ(print_expression(merged2.root(), table_, attrs_), "x > 5");
+}
+
+TEST_F(MergeTest, DisjointInputsBecomeDisjunction) {
+  const ast::Expr a = parse("x == 1");
+  const ast::Expr b = parse("y == 2");
+  const ast::Expr merged = merge_subscriptions(a.root(), b.root(), table_);
+  EXPECT_EQ(merged.root().kind, ast::NodeKind::Or);
+  EXPECT_EQ(merged.root().children.size(), 2u);
+}
+
+TEST_F(MergeTest, MergePreservesUnionSemantics) {
+  RandomWorkloadConfig config;
+  config.rich_operators = false;
+  config.not_probability = 0.2;
+  config.attribute_count = 3;
+  config.domain_size = 6;
+  config.seed = 888;
+  RandomWorkload workload(config, attrs_, table_);
+  for (int i = 0; i < 80; ++i) {
+    const ast::Expr a = workload.next_subscription();
+    const ast::Expr b = workload.next_subscription();
+    const ast::Expr merged = merge_subscriptions(a.root(), b.root(), table_);
+    for (int trial = 0; trial < 60; ++trial) {
+      const Event e = workload.next_event();
+      const bool expect = ast::evaluate_against_event(a.root(), table_, e) ||
+                          ast::evaluate_against_event(b.root(), table_, e);
+      ASSERT_EQ(ast::evaluate_against_event(merged.root(), table_, e), expect)
+          << "pair " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncps

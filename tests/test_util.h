@@ -1,0 +1,57 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+#include "engine/engine.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "predicate/predicate_table.h"
+#include "subscription/ast.h"
+
+namespace ncps::testing {
+
+/// Sorted copy, for order-insensitive match-set comparison.
+inline std::vector<SubscriptionId> sorted(std::vector<SubscriptionId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+inline std::vector<PredicateId> sorted(std::vector<PredicateId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Run an engine's full pipeline and return the sorted match set.
+inline std::vector<SubscriptionId> match_event(FilterEngine& engine,
+                                               const Event& event) {
+  std::vector<SubscriptionId> out;
+  engine.match(event, out);
+  return sorted(std::move(out));
+}
+
+/// Run phase 2 only and return the sorted match set.
+inline std::vector<SubscriptionId> match_predicates(
+    FilterEngine& engine, const std::vector<PredicateId>& fulfilled) {
+  std::vector<SubscriptionId> out;
+  engine.match_predicates(fulfilled, out);
+  return sorted(std::move(out));
+}
+
+/// Brute-force oracle: evaluate every registered expression against the
+/// event directly (no indexes, no encodings, no candidate pruning).
+inline std::vector<SubscriptionId> oracle_match(
+    const std::vector<std::pair<SubscriptionId, const ast::Node*>>& subs,
+    const PredicateTable& table, const Event& event) {
+  std::vector<SubscriptionId> out;
+  for (const auto& [id, root] : subs) {
+    if (ast::evaluate_against_event(*root, table, event)) out.push_back(id);
+  }
+  return sorted(std::move(out));
+}
+
+}  // namespace ncps::testing

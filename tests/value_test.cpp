@@ -1,0 +1,102 @@
+#include "event/value.h"
+
+#include <gtest/gtest.h>
+
+namespace ncps {
+namespace {
+
+TEST(ValueTest, TypeClassification) {
+  EXPECT_EQ(Value(std::int64_t{5}).type(), ValueType::Int64);
+  EXPECT_EQ(Value(5).type(), ValueType::Int64);
+  EXPECT_EQ(Value(5.0).type(), ValueType::Float64);
+  EXPECT_EQ(Value("abc").type(), ValueType::String);
+  EXPECT_EQ(Value(true).type(), ValueType::Bool);
+}
+
+TEST(ValueTest, NumericPredicate) {
+  EXPECT_TRUE(Value(1).is_numeric());
+  EXPECT_TRUE(Value(1.5).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+  EXPECT_FALSE(Value(false).is_numeric());
+}
+
+TEST(ValueTest, EqualitySameType) {
+  EXPECT_EQ(Value(7), Value(7));
+  EXPECT_NE(Value(7), Value(8));
+  EXPECT_EQ(Value("abc"), Value("abc"));
+  EXPECT_NE(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value(true), Value(true));
+  EXPECT_NE(Value(true), Value(false));
+}
+
+TEST(ValueTest, EqualityCrossNumeric) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_EQ(Value(2.0), Value(2));
+  EXPECT_NE(Value(2), Value(2.5));
+}
+
+TEST(ValueTest, EqualityCrossFamilyIsFalse) {
+  EXPECT_NE(Value(1), Value("1"));
+  EXPECT_NE(Value(1), Value(true));
+  EXPECT_NE(Value("true"), Value(true));
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_EQ(compare(Value(1), Value(2)), std::strong_ordering::less);
+  EXPECT_EQ(compare(Value(2), Value(1)), std::strong_ordering::greater);
+  EXPECT_EQ(compare(Value(2), Value(2)), std::strong_ordering::equal);
+  EXPECT_EQ(compare(Value(1), Value(1.5)), std::strong_ordering::less);
+  EXPECT_EQ(compare(Value(2.5), Value(2)), std::strong_ordering::greater);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_EQ(compare(Value("abc"), Value("abd")), std::strong_ordering::less);
+  EXPECT_EQ(compare(Value("b"), Value("ab")), std::strong_ordering::greater);
+  EXPECT_EQ(compare(Value("x"), Value("x")), std::strong_ordering::equal);
+}
+
+TEST(ValueTest, CompareIncomparableFamilies) {
+  EXPECT_EQ(compare(Value(1), Value("1")), std::nullopt);
+  EXPECT_EQ(compare(Value("1"), Value(1)), std::nullopt);
+  EXPECT_EQ(compare(Value(true), Value(1)), std::nullopt);
+}
+
+TEST(ValueTest, CompareBoolsEqualityOnly) {
+  EXPECT_EQ(compare(Value(true), Value(true)), std::strong_ordering::equal);
+  EXPECT_EQ(compare(Value(true), Value(false)), std::nullopt);
+}
+
+TEST(ValueTest, CompareNaNIsIncomparable) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(compare(Value(nan), Value(1.0)), std::nullopt);
+  EXPECT_EQ(compare(Value(1.0), Value(nan)), std::nullopt);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(2).hash(), Value(2.0).hash());
+  EXPECT_EQ(Value("abc").hash(), Value("abc").hash());
+  EXPECT_EQ(Value(7).hash(), Value(7).hash());
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value(42).to_display_string(), "42");
+  EXPECT_EQ(Value("hi").to_display_string(), "\"hi\"");
+  EXPECT_EQ(Value(true).to_display_string(), "true");
+  EXPECT_EQ(Value(false).to_display_string(), "false");
+}
+
+TEST(ValueTest, FloatDisplayRoundTripsThroughParse) {
+  // %.17g keeps full precision; the token must re-lex as a float.
+  const std::string s = Value(0.1).to_display_string();
+  EXPECT_NE(s.find_first_of(".eE"), std::string::npos);
+  EXPECT_EQ(std::stod(s), 0.1);
+}
+
+TEST(ValueTest, HeapBytesOnlyForLongStrings) {
+  EXPECT_EQ(Value(5).heap_bytes(), 0u);
+  EXPECT_EQ(Value("tiny").heap_bytes(), 0u);  // SSO
+  EXPECT_GT(Value(std::string(100, 'x')).heap_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ncps
