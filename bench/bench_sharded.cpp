@@ -1,0 +1,163 @@
+// Publish throughput of the sharded broker versus shard count.
+//
+// The paper workload (AND of binary ORs over unique predicates, §4) is
+// registered once as subscription text, then replayed into brokers with
+// 1, 2, 4 and 8 engine shards; full-pipeline events (every schema attribute
+// present, values uniform over the domain) are pushed through
+// publish_batch() and wall-clock publish throughput is reported.
+//
+// Each shard runs phase 1 + phase 2 over ~1/N of the subscriptions in
+// parallel, so on a multi-core host throughput rises with the shard count
+// until cores (or the per-shard phase-1 repetition) saturate. On a
+// single-core host the sweep degenerates to measuring sharding overhead —
+// the JSON rows record hardware_concurrency so downstream tooling can tell
+// the regimes apart.
+//
+// Output: one JSON row per (engine, shard count) via bench_util.h's JsonRow,
+// plus a human-readable speedup summary per engine.
+//
+// Scale via REPRO_SCALE (quick | big | paper); engines via
+// NCPS_SHARDED_ENGINES=all (default: non-canonical only).
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "broker/sharded_broker.h"
+#include "subscription/printer.h"
+
+namespace {
+
+using namespace ncps;
+using namespace ncps::bench;
+
+struct SweepConfig {
+  std::size_t subscriptions;
+  std::size_t batch_size;
+  std::size_t batches;
+};
+
+SweepConfig sweep_config(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick: return {20'000, 64, 4};
+    case Scale::kBig: return {100'000, 128, 8};
+    case Scale::kPaper: return {500'000, 256, 8};
+  }
+  return {20'000, 64, 4};
+}
+
+/// Discards notifications; delivery cost stays in the measurement, callback
+/// work stays out of it.
+std::size_t g_notifications = 0;
+
+double run_once(AttributeRegistry& attrs, EngineKind kind, std::size_t shards,
+                const std::vector<std::string>& texts,
+                const std::vector<Event>& events, std::size_t batch_size,
+                std::size_t* notifications_out) {
+  ShardedBroker broker(
+      attrs, ShardedBrokerConfig{.shard_count = shards, .engine = kind});
+  const SubscriberId consumer = broker.register_subscriber(
+      [](const Notification&) { ++g_notifications; });
+  for (const std::string& text : texts) broker.subscribe(consumer, text);
+
+  // Warm-up batch: fault in scratch buffers and per-shard caches.
+  broker.publish_batch(
+      std::span<const Event>(events.data(), batch_size));
+
+  const double seconds = time_seconds(
+      [&] {
+        g_notifications = 0;  // keep the count per-pass, not per-repetition
+        for (std::size_t off = 0; off + batch_size <= events.size();
+             off += batch_size) {
+          broker.publish_batch(
+              std::span<const Event>(events.data() + off, batch_size));
+        }
+      },
+      /*repetitions=*/3);
+  *notifications_out = g_notifications;
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  const SweepConfig config = sweep_config(scale);
+  const char* engines_env = std::getenv("NCPS_SHARDED_ENGINES");
+  const bool all_engines =
+      engines_env != nullptr && std::string_view(engines_env) == "all";
+
+  std::printf(
+      "# Sharded publish throughput (scale=%s, %zu subscriptions, "
+      "%zu x %zu events, hw threads=%u)\n",
+      to_string(scale), config.subscriptions, config.batches,
+      config.batch_size, std::thread::hardware_concurrency());
+
+  AttributeRegistry attrs;
+
+  // One workload instance: identical subscription texts and events for every
+  // (engine, shard count) cell of the sweep.
+  std::vector<std::string> texts;
+  std::vector<Event> events;
+  {
+    PredicateTable scratch;
+    PaperWorkloadConfig workload_config;
+    workload_config.predicates_per_subscription = 6;
+    workload_config.seed = 0x54a12ded;
+    PaperWorkload workload(workload_config, attrs, scratch);
+    texts.reserve(config.subscriptions);
+    std::vector<ast::Expr> exprs;
+    exprs.reserve(config.subscriptions);
+    for (std::size_t i = 0; i < config.subscriptions; ++i) {
+      exprs.push_back(workload.next_subscription());
+      texts.push_back(print_expression(exprs.back().root(), scratch, attrs));
+    }
+    const std::size_t total_events = config.batches * config.batch_size;
+    events.reserve(total_events);
+    for (std::size_t i = 0; i < total_events; ++i) {
+      events.push_back(workload.next_event());
+    }
+  }
+
+  const EngineKind kinds_all[] = {EngineKind::NonCanonical,
+                                  EngineKind::Counting,
+                                  EngineKind::CountingVariant};
+  const std::span<const EngineKind> kinds(kinds_all, all_engines ? 3 : 1);
+
+  for (const EngineKind kind : kinds) {
+    double baseline = 0;
+    double best_speedup = 0;
+    std::size_t best_shards = 1;
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      std::size_t notifications = 0;
+      const double seconds =
+          run_once(attrs, kind, shards, texts, events, config.batch_size,
+                   &notifications);
+      const double events_per_sec =
+          static_cast<double>(config.batches * config.batch_size) / seconds;
+      if (shards == 1) baseline = seconds;
+
+      JsonRow("sharded_publish")
+          .field("engine", to_string(kind))
+          .field("shards", shards)
+          .field("subscriptions", config.subscriptions)
+          .field("batch_size", config.batch_size)
+          .field("events", config.batches * config.batch_size)
+          .field("seconds", seconds)
+          .field("events_per_sec", events_per_sec)
+          .field("notifications", notifications)
+          .field("speedup_vs_1_shard", baseline / seconds)
+          .field("hw_threads",
+                 static_cast<std::size_t>(std::thread::hardware_concurrency()))
+          .emit();
+      if (baseline / seconds > best_speedup) {
+        best_speedup = baseline / seconds;
+        best_shards = shards;
+      }
+    }
+    std::printf("# %s: best %.2fx vs 1 shard at %zu shards\n",
+                std::string(to_string(kind)).c_str(), best_speedup,
+                best_shards);
+  }
+  return 0;
+}

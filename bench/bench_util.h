@@ -84,6 +84,55 @@ double time_seconds(Fn&& fn, int repetitions = 5) {
   return best;
 }
 
+/// One machine-readable result row, emitted to stdout as a single JSON
+/// object per line (the benches' CSV stays for humans; JSON rows are what
+/// downstream tooling scrapes). Field order follows insertion order.
+class JsonRow {
+ public:
+  explicit JsonRow(std::string_view bench) {
+    line_ = "{\"bench\":\"";
+    line_ += bench;
+    line_ += '"';
+  }
+
+  JsonRow& field(std::string_view key, std::string_view value) {
+    open_field(key);
+    line_ += '"';
+    line_ += value;
+    line_ += '"';
+    return *this;
+  }
+
+  JsonRow& field(std::string_view key, double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    open_field(key);
+    line_ += buffer;
+    return *this;
+  }
+
+  JsonRow& field(std::string_view key, std::size_t value) {
+    open_field(key);
+    line_ += std::to_string(value);
+    return *this;
+  }
+
+  /// Print the row (one line) and flush so partial sweeps are scrapable.
+  void emit() {
+    std::printf("%s}\n", line_.c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  void open_field(std::string_view key) {
+    line_ += ",\"";
+    line_ += key;
+    line_ += "\":";
+  }
+
+  std::string line_;
+};
+
 /// The three engines of the paper's comparison over one shared predicate
 /// table, counting engines in the paper's no-unsubscription configuration.
 struct EngineTrio {

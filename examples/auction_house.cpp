@@ -30,12 +30,12 @@ int main() {
   using namespace ncps;
 
   AttributeRegistry attrs;
-  Broker broker(attrs);
+  const auto broker = Broker::create(attrs);
   Pcg32 rng(1815);
 
   std::map<std::uint32_t, std::size_t> alerts_per_bidder;
   const auto make_bidder = [&](std::uint32_t number) {
-    return broker.register_subscriber([&alerts_per_bidder,
+    return broker->register_subscriber([&alerts_per_bidder,
                                        number](const Notification&) {
       ++alerts_per_bidder[number];
     });
@@ -76,12 +76,12 @@ int main() {
     // Bidders drift in and out of interest.
     if (rng.chance(0.08)) {
       Bidder& b = bidders[rng.bounded(static_cast<std::uint32_t>(bidders.size()))];
-      b.watches.push_back(broker.subscribe(b.session, random_watch()));
+      b.watches.push_back(broker->subscribe(b.session, random_watch()));
     }
     if (rng.chance(0.04)) {
       Bidder& b = bidders[rng.bounded(static_cast<std::uint32_t>(bidders.size()))];
       if (!b.watches.empty()) {
-        broker.unsubscribe(b.watches.back());
+        broker->unsubscribe(b.watches.back());
         b.watches.pop_back();
         ++churn_unsubscribes;
       }
@@ -89,7 +89,7 @@ int main() {
 
     // A lot update hits the floor.
     ++total_lots;
-    broker.publish(EventBuilder(attrs)
+    broker->publish(EventBuilder(attrs)
                        .set("category", kCategories[rng.bounded(kCategoryCount)])
                        .set("ask_price", rng.range(50, 12000))
                        .set("bids", rng.range(0, 25))
@@ -98,9 +98,9 @@ int main() {
   }
 
   std::printf("lots published:       %zu\n", total_lots);
-  std::printf("watches live now:     %zu\n", broker.subscription_count());
+  std::printf("watches live now:     %zu\n", broker->subscription_count());
   std::printf("unsubscribes handled: %zu\n", churn_unsubscribes);
-  std::printf("engine memory:        %zu bytes\n", broker.memory().total());
+  std::printf("engine memory:        %zu bytes\n", broker->memory().total());
   std::puts("alerts per bidder:");
   for (const auto& [bidder, alerts] : alerts_per_bidder) {
     std::printf("  bidder #%02u: %zu\n", bidder, alerts);

@@ -14,16 +14,16 @@ int main() {
   // The attribute registry is the shared schema; the broker owns the
   // predicate table and the filtering engine (non-canonical by default).
   AttributeRegistry attrs;
-  Broker broker(attrs);
+  const auto broker = Broker::create(attrs);
 
   // Subscribers receive notifications through callbacks.
   const SubscriberId alice =
-      broker.register_subscriber([&](const Notification& n) {
+      broker->register_subscriber([&](const Notification& n) {
         std::printf("[alice] sub %u matched %s\n", n.subscription.value(),
                     n.event->to_display_string(attrs).c_str());
       });
   const SubscriberId bob =
-      broker.register_subscriber([&](const Notification& n) {
+      broker->register_subscriber([&](const Notification& n) {
         std::printf("[bob]   sub %u matched %s\n", n.subscription.value(),
                     n.event->to_display_string(attrs).c_str());
       });
@@ -31,22 +31,22 @@ int main() {
   // Subscriptions are arbitrary Boolean expressions — the exact shape the
   // paper's Fig. 1 uses, plus negation, which conjunctive-only systems
   // cannot register at all without transformation.
-  broker.subscribe(alice, "price > 100 and symbol == \"ACME\"");
-  broker.subscribe(alice,
+  broker->subscribe(alice, "price > 100 and symbol == \"ACME\"");
+  broker->subscribe(alice,
                    "(price > 10 or price <= 5 or volume == 1) and "
                    "(change <= 20 or change == 30)");
-  const SubscriptionId bobs_sub = broker.subscribe(
+  const SubscriptionId bobs_sub = broker->subscribe(
       bob, "symbol prefix \"AC\" and not (price between 40 and 60)");
 
   // Publish events; matching subscribers are notified synchronously.
   std::puts("-- publishing three events --");
-  broker.publish(EventBuilder(attrs)
+  broker->publish(EventBuilder(attrs)
                      .set("symbol", "ACME")
                      .set("price", 150)
                      .set("volume", 9000)
                      .set("change", 12)
                      .build());
-  broker.publish(EventBuilder(attrs)
+  broker->publish(EventBuilder(attrs)
                      .set("symbol", "ACDC")
                      .set("price", 50)  // inside bob's excluded band
                      .set("volume", 1)
@@ -55,9 +55,9 @@ int main() {
 
   // Unsubscription is first-class (the paper stresses this is hard for
   // engines that do not store subscriptions).
-  broker.unsubscribe(bobs_sub);
+  broker->unsubscribe(bobs_sub);
   std::puts("-- bob unsubscribed; republishing the first event --");
-  broker.publish(EventBuilder(attrs)
+  broker->publish(EventBuilder(attrs)
                      .set("symbol", "ACME")
                      .set("price", 150)
                      .set("volume", 9000)
@@ -65,7 +65,7 @@ int main() {
                      .build());
 
   std::printf("subscriptions live: %zu, engine: %s\n",
-              broker.subscription_count(),
-              std::string(broker.engine().name()).c_str());
+              broker->subscription_count(),
+              std::string(broker->engine().name()).c_str());
   return 0;
 }

@@ -64,12 +64,12 @@ int main() {
 
   for (const EngineKind kind : kAllEngineKinds) {
     AttributeRegistry attrs;
-    Broker broker(attrs, kind);
+    const auto broker = Broker::create(attrs, kind);
     std::size_t notifications = 0;
-    const SubscriberId trader = broker.register_subscriber(
+    const SubscriberId trader = broker->register_subscriber(
         [&](const Notification&) { ++notifications; });
     for (const std::string& rule : rules) {
-      broker.subscribe(trader, rule);
+      broker->subscribe(trader, rule);
     }
 
     // One shared deterministic tick stream.
@@ -86,8 +86,8 @@ int main() {
               .set("change",
                    static_cast<double>(rng.range(-100, 100)) / 10.0)
               .build();
-      broker.publish(e);
-      const MatchStats& stats = broker.engine().last_stats();
+      broker->publish(e);
+      const MatchStats& stats = broker->engine().last_stats();
       candidates += stats.candidates;
       work += stats.tree_evaluations + stats.hit_increments +
               stats.counter_comparisons;
@@ -97,7 +97,7 @@ int main() {
                 std::string(to_string(kind)).c_str(), notifications,
                 static_cast<unsigned long long>(candidates),
                 static_cast<unsigned long long>(work),
-                broker.memory().total());
+                broker->memory().total());
   }
 
   std::puts(

@@ -1,74 +1,10 @@
 #include "broker/broker.h"
 
-#include "common/contracts.h"
-
 namespace ncps {
 
-SubscriberId Broker::register_subscriber(NotifyFn callback) {
-  NCPS_EXPECTS(callback != nullptr);
-  const SubscriberId id(next_subscriber_++);
-  subscribers_.emplace(id, std::move(callback));
-  subscriptions_by_subscriber_.emplace(id, std::vector<SubscriptionId>{});
-  return id;
-}
-
-void Broker::unregister_subscriber(SubscriberId subscriber) {
-  const auto it = subscriptions_by_subscriber_.find(subscriber);
-  if (it == subscriptions_by_subscriber_.end()) return;
-  for (const SubscriptionId sub : it->second) {
-    engine_->remove(sub);
-    subscription_owner_.erase(sub);
-  }
-  subscriptions_by_subscriber_.erase(it);
-  subscribers_.erase(subscriber);
-}
-
-SubscriptionId Broker::subscribe(SubscriberId subscriber,
-                                 std::string_view text) {
-  NCPS_EXPECTS(subscribers_.contains(subscriber));
-  const ast::Expr expr = parse_subscription(text, *attrs_, table_);
-  const SubscriptionId id = engine_->add(expr.root());
-  subscription_owner_.emplace(id, subscriber);
-  subscriptions_by_subscriber_[subscriber].push_back(id);
-  return id;
-}
-
-bool Broker::unsubscribe(SubscriptionId subscription) {
-  const auto owner = subscription_owner_.find(subscription);
-  if (owner == subscription_owner_.end()) return false;
-  engine_->remove(subscription);
-  auto& list = subscriptions_by_subscriber_[owner->second];
-  for (std::size_t i = 0; i < list.size(); ++i) {
-    if (list[i] == subscription) {
-      list[i] = list.back();
-      list.pop_back();
-      break;
-    }
-  }
-  subscription_owner_.erase(owner);
-  return true;
-}
-
-std::size_t Broker::publish(const Event& event) {
-  match_scratch_.clear();
-  engine_->match(event, match_scratch_);
-  std::size_t delivered = 0;
-  for (const SubscriptionId sub : match_scratch_) {
-    const auto owner = subscription_owner_.find(sub);
-    NCPS_ASSERT(owner != subscription_owner_.end());
-    const auto cb = subscribers_.find(owner->second);
-    NCPS_ASSERT(cb != subscribers_.end());
-    cb->second(Notification{owner->second, sub, &event});
-    ++delivered;
-  }
-  return delivered;
-}
-
-MemoryBreakdown Broker::memory() const {
-  MemoryBreakdown mem;
-  mem.add_nested("engine/", engine_->memory());
-  mem.add_nested("predicates/", table_.memory());
-  return mem;
+std::unique_ptr<Broker> Broker::create(AttributeRegistry& attrs,
+                                       EngineKind engine) {
+  return std::make_unique<Broker>(attrs, engine);
 }
 
 }  // namespace ncps

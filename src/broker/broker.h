@@ -1,90 +1,41 @@
 // Single-node broker: subscriber sessions around a filtering engine.
 //
-// The broker is the deployment surface of the library: subscribers register
-// textual subscriptions, publishers push events, and matching subscribers
-// receive notifications through their callbacks. The filtering engine is
-// pluggable (any of the paper's three algorithms), defaulting to the
-// non-canonical engine.
+// Broker is the shards=1 specialisation of ShardedBroker — one engine, one
+// predicate table, no worker threads, the exact seed semantics — kept as its
+// own type because it is the deployment surface most callers want:
+// subscribers register textual subscriptions, publishers push events, and
+// matching subscribers receive notifications through their callbacks. The
+// filtering engine is pluggable (any of the paper's three algorithms),
+// defaulting to the non-canonical engine. For multi-core matching, construct
+// a ShardedBroker with shard_count > 1 instead; both types share one code
+// path, so behaviour (delivery counts, id allocation, memory breakdown
+// names) is identical.
 //
 // The attribute registry is shared across brokers (an overlay-wide schema);
 // the predicate table and engine are per-broker, as in the paper's model
 // where each filtering node owns its index structures.
 #pragma once
 
-#include <functional>
 #include <memory>
-#include <string>
-#include <string_view>
-#include <unordered_map>
-#include <vector>
 
-#include "common/ids.h"
-#include "engine/engine_factory.h"
-#include "event/event.h"
-#include "event/schema.h"
-#include "subscription/parser.h"
+#include "broker/sharded_broker.h"
 
 namespace ncps {
 
-struct Notification {
-  SubscriberId subscriber;
-  SubscriptionId subscription;
-  const Event* event = nullptr;  ///< valid for the duration of the callback
-};
-
-class Broker {
+class Broker : public ShardedBroker {
  public:
-  using NotifyFn = std::function<void(const Notification&)>;
-
   explicit Broker(AttributeRegistry& attrs,
                   EngineKind engine = EngineKind::NonCanonical)
-      : attrs_(&attrs), engine_(make_engine(engine, table_)) {}
+      : ShardedBroker(attrs, ShardedBrokerConfig{.shard_count = 1,
+                                                 .engine = engine}) {}
 
-  // The engine holds a reference to table_; moving a Broker would leave the
-  // engine pointing at the moved-from table. Heap-allocate brokers instead.
-  Broker(const Broker&) = delete;
-  Broker& operator=(const Broker&) = delete;
-  Broker(Broker&&) = delete;
-  Broker& operator=(Broker&&) = delete;
+  /// The engine holds a reference to the broker-owned predicate table, so a
+  /// Broker pins its address (copy and move are deleted in the base class).
+  /// create() is the enforced way to get a relocatable broker handle.
+  [[nodiscard]] static std::unique_ptr<Broker> create(
+      AttributeRegistry& attrs, EngineKind engine = EngineKind::NonCanonical);
 
-  /// Open a subscriber session.
-  SubscriberId register_subscriber(NotifyFn callback);
-
-  /// Close a session, dropping all its subscriptions.
-  void unregister_subscriber(SubscriberId subscriber);
-
-  /// Register a subscription for a subscriber. Throws ParseError on
-  /// malformed text.
-  SubscriptionId subscribe(SubscriberId subscriber, std::string_view text);
-
-  /// Remove one subscription. Returns false if unknown.
-  bool unsubscribe(SubscriptionId subscription);
-
-  /// Match an event and synchronously notify all matching subscribers.
-  /// Returns the number of notifications delivered.
-  std::size_t publish(const Event& event);
-
-  [[nodiscard]] std::size_t subscription_count() const {
-    return engine_->subscription_count();
-  }
-  [[nodiscard]] std::size_t subscriber_count() const {
-    return subscribers_.size();
-  }
-  [[nodiscard]] FilterEngine& engine() { return *engine_; }
-  [[nodiscard]] AttributeRegistry& attributes() { return *attrs_; }
-  [[nodiscard]] MemoryBreakdown memory() const;
-
- private:
-  AttributeRegistry* attrs_;
-  PredicateTable table_;
-  std::unique_ptr<FilterEngine> engine_;
-
-  std::unordered_map<SubscriberId, NotifyFn> subscribers_;
-  std::unordered_map<SubscriptionId, SubscriberId> subscription_owner_;
-  std::unordered_map<SubscriberId, std::vector<SubscriptionId>>
-      subscriptions_by_subscriber_;
-  std::uint32_t next_subscriber_ = 0;
-  std::vector<SubscriptionId> match_scratch_;
+  [[nodiscard]] FilterEngine& engine() { return shard_engine(0); }
 };
 
 }  // namespace ncps

@@ -1,0 +1,30 @@
+#include "broker/shard_router.h"
+
+namespace ncps {
+
+namespace {
+
+/// splitmix64 finaliser: full-avalanche mixing so consecutive sequence
+/// numbers land on uncorrelated shards.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::size_t shard_count) : shard_count_(shard_count) {
+  NCPS_EXPECTS(shard_count >= 1);
+}
+
+std::uint32_t ShardRouter::route(SubscriberId subscriber,
+                                 std::uint64_t sequence) const {
+  if (shard_count_ == 1) return 0;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(subscriber.value()) << 32) ^ sequence;
+  return static_cast<std::uint32_t>(mix64(key) % shard_count_);
+}
+
+}  // namespace ncps

@@ -1,0 +1,38 @@
+// Subscription placement for the sharded broker.
+//
+// Each subscription lives in exactly one engine shard; every published event
+// must therefore visit every shard, and throughput scales because each shard
+// carries ~1/N of the subscription population (phase-2 work is per-shard).
+// The router's job is purely to spread subscriptions evenly.
+//
+// The routing key mixes the subscriber id with a broker-wide registration
+// sequence number: hashing the subscriber alone would pin a heavy
+// subscriber's entire portfolio to one shard, while the sequence component
+// spreads even a single subscriber's subscriptions across all shards.
+// Placement is deterministic for a given registration history, which the
+// shard-equivalence property tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/contracts.h"
+#include "common/ids.h"
+
+namespace ncps {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shard_count);
+
+  /// Shard for the `sequence`-th successful registration by `subscriber`.
+  [[nodiscard]] std::uint32_t route(SubscriberId subscriber,
+                                    std::uint64_t sequence) const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+
+ private:
+  std::size_t shard_count_;
+};
+
+}  // namespace ncps

@@ -1,0 +1,210 @@
+#include "broker/sharded_broker.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+/// Streams one shard's matches into its per-shard buffer, translating
+/// engine-local subscription ids to broker-global ids. Runs on the shard's
+/// worker task; touches only that shard's state.
+class ShardedBroker::ShardSink final : public MatchSink {
+ public:
+  explicit ShardSink(Shard& shard) : shard_(&shard) {}
+
+  void on_match(std::size_t event_index, const Event& /*event*/,
+                SubscriptionId local) override {
+    shard_->matches.push_back(
+        ShardMatch{static_cast<std::uint32_t>(event_index),
+                   shard_->to_global[local.value()]});
+  }
+
+ private:
+  Shard* shard_;
+};
+
+ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
+                             ShardedBrokerConfig config)
+    : attrs_(&attrs), router_(config.shard_count) {
+  NCPS_EXPECTS(config.shard_count >= 1);
+  shards_.reserve(config.shard_count);
+  for (std::size_t s = 0; s < config.shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = make_engine(config.engine, shard->table);
+    shards_.push_back(std::move(shard));
+  }
+  if (config.shard_count > 1) {
+    std::size_t threads = config.worker_threads;
+    if (threads == 0) {
+      const std::size_t hw = std::thread::hardware_concurrency();
+      threads = std::min(config.shard_count, hw == 0 ? std::size_t{1} : hw);
+    }
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+ShardedBroker::~ShardedBroker() = default;
+
+std::unique_ptr<ShardedBroker> ShardedBroker::create(
+    AttributeRegistry& attrs, ShardedBrokerConfig config) {
+  return std::make_unique<ShardedBroker>(attrs, config);
+}
+
+SubscriberId ShardedBroker::register_subscriber(NotifyFn callback) {
+  NCPS_EXPECTS(callback != nullptr);
+  const SubscriberId id(next_subscriber_++);
+  subscribers_.emplace(id, std::move(callback));
+  subscriptions_by_subscriber_.emplace(id, std::vector<SubscriptionId>{});
+  return id;
+}
+
+void ShardedBroker::unregister_subscriber(SubscriberId subscriber) {
+  const auto it = subscriptions_by_subscriber_.find(subscriber);
+  if (it == subscriptions_by_subscriber_.end()) return;
+  for (const SubscriptionId sub : it->second) {
+    remove_subscription(sub);
+  }
+  subscriptions_by_subscriber_.erase(it);
+  subscribers_.erase(subscriber);
+}
+
+SubscriptionId ShardedBroker::allocate_global() {
+  if (!free_globals_.empty()) {
+    const SubscriptionId id = free_globals_.back();
+    free_globals_.pop_back();
+    return id;
+  }
+  const SubscriptionId id(static_cast<std::uint32_t>(routes_.size()));
+  routes_.emplace_back();
+  return id;
+}
+
+SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
+                                        std::string_view text) {
+  NCPS_EXPECTS(subscribers_.contains(subscriber));
+  const std::uint32_t s = router_.route(subscriber, subscribe_sequence_);
+  Shard& shard = *shards_[s];
+  // Parse into the shard's own table: the predicates of a subscription live
+  // (and are refcounted) exactly where its engine lives.
+  const ast::Expr expr = parse_subscription(text, *attrs_, shard.table);
+  const SubscriptionId local = shard.engine->add(expr.root());
+  ++subscribe_sequence_;
+
+  const SubscriptionId global = allocate_global();
+  if (shard.to_global.size() <= local.value()) {
+    shard.to_global.resize(local.value() + 1, SubscriptionId::invalid());
+  }
+  shard.to_global[local.value()] = global;
+  routes_[global.value()] = Route{s, local, subscriber};
+  subscriptions_by_subscriber_[subscriber].push_back(global);
+  return global;
+}
+
+void ShardedBroker::remove_subscription(SubscriptionId global) {
+  Route& route = routes_[global.value()];
+  Shard& shard = *shards_[route.shard];
+  shard.engine->remove(route.local);
+  shard.to_global[route.local.value()] = SubscriptionId::invalid();
+  route = Route{};
+  free_globals_.push_back(global);
+}
+
+bool ShardedBroker::unsubscribe(SubscriptionId subscription) {
+  if (!subscription.valid() || subscription.value() >= routes_.size() ||
+      !routes_[subscription.value()].local.valid()) {
+    return false;
+  }
+  const SubscriberId owner = routes_[subscription.value()].owner;
+  remove_subscription(subscription);
+  auto& list = subscriptions_by_subscriber_[owner];
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == subscription) {
+      list[i] = list.back();
+      list.pop_back();
+      break;
+    }
+  }
+  return true;
+}
+
+void ShardedBroker::run_shard_tasks(std::span<const Event> events) {
+  for (auto& shard : shards_) shard->matches.clear();
+  const auto shard_task = [&](std::size_t s) {
+    Shard& shard = *shards_[s];
+    ShardSink sink(shard);
+    shard.engine->match_batch(events, sink);
+  };
+  if (pool_ == nullptr) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) shard_task(s);
+  } else {
+    pool_->parallel_for(shards_.size(), shard_task);
+  }
+}
+
+std::size_t ShardedBroker::merge_and_deliver(std::span<const Event> events) {
+  // Each shard's buffer is already ordered by event index (engines process
+  // the batch in order), so a cursor per shard gives each event's slice.
+  std::size_t delivered = 0;
+  merge_cursor_.assign(shards_.size(), 0);
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    merge_scratch_.clear();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const auto& matches = shards_[s]->matches;
+      std::size_t& c = merge_cursor_[s];
+      while (c < matches.size() && matches[c].event_index == e) {
+        merge_scratch_.push_back(matches[c++].subscription);
+      }
+    }
+    // Ascending global id: the merged order is independent of shard count
+    // and thread scheduling.
+    std::sort(merge_scratch_.begin(), merge_scratch_.end());
+    for (const SubscriptionId sub : merge_scratch_) {
+      const Route& route = routes_[sub.value()];
+      const auto cb = subscribers_.find(route.owner);
+      NCPS_ASSERT(cb != subscribers_.end());
+      cb->second(Notification{route.owner, sub, &events[e]});
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+std::size_t ShardedBroker::publish(const Event& event) {
+  return publish_batch(std::span<const Event>(&event, 1));
+}
+
+std::size_t ShardedBroker::publish_batch(std::span<const Event> events) {
+  if (events.empty()) return 0;
+  run_shard_tasks(events);
+  return merge_and_deliver(events);
+}
+
+std::size_t ShardedBroker::subscription_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->engine->subscription_count();
+  }
+  return total;
+}
+
+MemoryBreakdown ShardedBroker::memory() const {
+  MemoryBreakdown mem;
+  if (shards_.size() == 1) {
+    // Seed broker component names, so existing breakdown consumers and the
+    // memory benches keep working unchanged.
+    mem.add_nested("engine/", shards_[0]->engine->memory());
+    mem.add_nested("predicates/", shards_[0]->table.memory());
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::string prefix = "shard" + std::to_string(s) + "/";
+      mem.add_nested(prefix + "engine/", shards_[s]->engine->memory());
+      mem.add_nested(prefix + "predicates/", shards_[s]->table.memory());
+    }
+  }
+  return mem;
+}
+
+}  // namespace ncps

@@ -1,0 +1,165 @@
+// Multi-core broker: N independent engine shards behind one session surface.
+//
+// Each shard owns a full matching stack — its own PredicateTable, its own
+// FilterEngine (any of the paper's three algorithms) and therefore its own
+// phase-1 index — preserving the engine invariant of exclusive table
+// ownership. Subscriptions are placed on exactly one shard by the
+// ShardRouter; published events visit every shard, so each shard performs
+// phase 1 + phase 2 over ~1/N of the subscription population.
+//
+// The data plane is batch-oriented: publish_batch() fans the whole batch to
+// the shards through a fixed ThreadPool (one task per shard — each engine is
+// only ever touched by one thread at a time), shards stream matches into
+// per-shard buffers via the engines' MatchSink interface, and the publishing
+// thread merges the buffers deterministically (per event, ascending
+// subscription id) before invoking subscriber callbacks. Callbacks always
+// run on the publishing thread, never concurrently.
+//
+// The control plane (register/subscribe/unsubscribe) is single-threaded, as
+// in the seed broker; it must not be called concurrently with publishing.
+//
+// shard_count=1 is the seed broker, bit for bit: no threads are spawned, the
+// publish path degenerates to match-then-deliver, and subscription ids are
+// allocated in the same LIFO-reuse order the single engine would produce —
+// Broker (broker.h) is a thin specialisation of this class.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/shard_router.h"
+#include "common/ids.h"
+#include "common/thread_pool.h"
+#include "engine/engine_factory.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "subscription/parser.h"
+
+namespace ncps {
+
+struct Notification {
+  SubscriberId subscriber;
+  SubscriptionId subscription;
+  const Event* event = nullptr;  ///< valid for the duration of the callback
+};
+
+struct ShardedBrokerConfig {
+  /// Independent engine shards. 1 reproduces the seed single-engine broker.
+  std::size_t shard_count = 1;
+  EngineKind engine = EngineKind::NonCanonical;
+  /// Worker threads fanning published batches across shards; 0 picks
+  /// min(shard_count, hardware_concurrency). Ignored when shard_count is 1
+  /// (single-shard brokers never spawn threads).
+  std::size_t worker_threads = 0;
+};
+
+class ShardedBroker {
+ public:
+  using NotifyFn = std::function<void(const Notification&)>;
+
+  ShardedBroker(AttributeRegistry& attrs, ShardedBrokerConfig config);
+  explicit ShardedBroker(AttributeRegistry& attrs)
+      : ShardedBroker(attrs, ShardedBrokerConfig{}) {}
+  virtual ~ShardedBroker();
+
+  // Engines hold references into shard-owned tables, so a broker pins its
+  // address: neither copyable nor movable. Use create() for a movable handle.
+  ShardedBroker(const ShardedBroker&) = delete;
+  ShardedBroker& operator=(const ShardedBroker&) = delete;
+  ShardedBroker(ShardedBroker&&) = delete;
+  ShardedBroker& operator=(ShardedBroker&&) = delete;
+
+  [[nodiscard]] static std::unique_ptr<ShardedBroker> create(
+      AttributeRegistry& attrs, ShardedBrokerConfig config = {});
+
+  /// Open a subscriber session.
+  SubscriberId register_subscriber(NotifyFn callback);
+
+  /// Close a session, dropping all its subscriptions.
+  void unregister_subscriber(SubscriberId subscriber);
+
+  /// Register a subscription for a subscriber; the router places it on one
+  /// shard. Throws ParseError on malformed text.
+  SubscriptionId subscribe(SubscriberId subscriber, std::string_view text);
+
+  /// Remove one subscription. Returns false if unknown.
+  bool unsubscribe(SubscriptionId subscription);
+
+  /// Match an event against every shard and synchronously notify all
+  /// matching subscribers. Returns the number of notifications delivered.
+  std::size_t publish(const Event& event);
+
+  /// Batched publish: one parallel fan-out across shards for the whole
+  /// batch. Notifications are delivered per event in batch order, within an
+  /// event in ascending subscription-id order (deterministic regardless of
+  /// shard count or thread scheduling). Returns notifications delivered.
+  std::size_t publish_batch(std::span<const Event> events);
+
+  [[nodiscard]] std::size_t subscription_count() const;
+  [[nodiscard]] std::size_t subscriber_count() const {
+    return subscribers_.size();
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] FilterEngine& shard_engine(std::size_t shard) {
+    NCPS_EXPECTS(shard < shards_.size());
+    return *shards_[shard]->engine;
+  }
+  /// Subscriptions currently placed on one shard (load-balance visibility).
+  [[nodiscard]] std::size_t shard_subscription_count(std::size_t shard) const {
+    NCPS_EXPECTS(shard < shards_.size());
+    return shards_[shard]->engine->subscription_count();
+  }
+  [[nodiscard]] AttributeRegistry& attributes() { return *attrs_; }
+  [[nodiscard]] MemoryBreakdown memory() const;
+
+ private:
+  struct ShardMatch {
+    std::uint32_t event_index;
+    SubscriptionId subscription;  // global id
+  };
+
+  /// One engine shard: exclusive table + engine + per-batch match buffer.
+  struct Shard {
+    PredicateTable table;
+    std::unique_ptr<FilterEngine> engine;
+    /// Engine-local id → broker-global id (dense by local id value).
+    std::vector<SubscriptionId> to_global;
+    /// Matches from the current batch; only touched by this shard's task.
+    std::vector<ShardMatch> matches;
+  };
+
+  /// Where a live global subscription id points.
+  struct Route {
+    std::uint32_t shard = 0;
+    SubscriptionId local;            // invalid() ⇒ slot free
+    SubscriberId owner;
+  };
+
+  class ShardSink;
+
+  SubscriptionId allocate_global();
+  void remove_subscription(SubscriptionId global);
+  void run_shard_tasks(std::span<const Event> events);
+  std::size_t merge_and_deliver(std::span<const Event> events);
+
+  AttributeRegistry* attrs_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;  // null when shard_count == 1
+
+  std::unordered_map<SubscriberId, NotifyFn> subscribers_;
+  std::unordered_map<SubscriberId, std::vector<SubscriptionId>>
+      subscriptions_by_subscriber_;
+  std::vector<Route> routes_;  // dense by global subscription id
+  std::vector<SubscriptionId> free_globals_;
+  std::uint32_t next_subscriber_ = 0;
+  std::uint64_t subscribe_sequence_ = 0;  // router key component
+  std::vector<SubscriptionId> merge_scratch_;
+  std::vector<std::size_t> merge_cursor_;
+};
+
+}  // namespace ncps

@@ -1,0 +1,119 @@
+// Fixed-size worker pool for fanning shard work across cores.
+//
+// The broker's data plane is batch-oriented: a published batch is split into
+// one task per engine shard, and the publishing thread blocks until every
+// task has drained (parallel_for). The pool is deliberately minimal — fixed
+// thread count chosen at construction, no work stealing, no task futures —
+// because the sharded broker's tasks are coarse (one whole batch × shard)
+// and the join point is always "all shards done".
+//
+// Exceptions thrown by a task are captured and rethrown on the joining
+// thread (first one wins); the pool itself stays usable afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ncps {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Pair with wait_idle() to join.
+  void submit(std::function<void()> task) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    work_available_.notify_one();
+  }
+
+  /// Block until every submitted task has finished; rethrows the first
+  /// exception any task raised since the previous join.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) {
+      std::exception_ptr error = std::exchange(first_error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+  /// Run body(0), …, body(count-1) across the pool and block until all
+  /// complete. The calling thread only coordinates (the pool sizes itself to
+  /// the hardware; having the caller compete for shards adds nothing).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body) {
+    for (std::size_t i = 0; i < count; ++i) {
+      submit([&body, i] { body(i); });
+    }
+    wait_idle();
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_available_.wait(lock,
+                             [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      try {
+        task();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) all_done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ncps

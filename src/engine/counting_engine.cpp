@@ -6,6 +6,20 @@ namespace ncps {
 
 void CountingEngine::match_predicates(std::span<const PredicateId> fulfilled,
                                       std::vector<SubscriptionId>& out) {
+  match_impl(fulfilled, [&out](SubscriptionId sid) { out.push_back(sid); });
+}
+
+void CountingEngine::match_predicates(std::span<const PredicateId> fulfilled,
+                                      std::size_t event_index,
+                                      const Event& event, MatchSink& sink) {
+  match_impl(fulfilled, [&](SubscriptionId sid) {
+    sink.on_match(event_index, event, sid);
+  });
+}
+
+template <typename Emit>
+void CountingEngine::match_impl(std::span<const PredicateId> fulfilled,
+                                Emit&& emit) {
   stats_.reset();
   matched_subs_.clear();
 
@@ -25,7 +39,7 @@ void CountingEngine::match_predicates(std::span<const PredicateId> fulfilled,
     ++stats_.counter_comparisons;
     if (required_[tid] != kDeadTid && hits_[tid] == required_[tid]) {
       if (matched_subs_.insert(owner_[tid])) {
-        out.push_back(SubscriptionId(owner_[tid]));
+        emit(SubscriptionId(owner_[tid]));
         ++stats_.matches;
       }
     }

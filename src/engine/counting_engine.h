@@ -19,8 +19,15 @@ class CountingEngine final : public CountingBase {
 
   void match_predicates(std::span<const PredicateId> fulfilled,
                         std::vector<SubscriptionId>& out) override;
+  void match_predicates(std::span<const PredicateId> fulfilled,
+                        std::size_t event_index, const Event& event,
+                        MatchSink& sink) override;
 
   [[nodiscard]] std::string_view name() const override { return "counting"; }
+
+ private:
+  template <typename Emit>
+  void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);
 };
 
 }  // namespace ncps

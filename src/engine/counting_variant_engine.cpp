@@ -4,6 +4,20 @@ namespace ncps {
 
 void CountingVariantEngine::match_predicates(
     std::span<const PredicateId> fulfilled, std::vector<SubscriptionId>& out) {
+  match_impl(fulfilled, [&out](SubscriptionId sid) { out.push_back(sid); });
+}
+
+void CountingVariantEngine::match_predicates(
+    std::span<const PredicateId> fulfilled, std::size_t event_index,
+    const Event& event, MatchSink& sink) {
+  match_impl(fulfilled, [&](SubscriptionId sid) {
+    sink.on_match(event_index, event, sid);
+  });
+}
+
+template <typename Emit>
+void CountingVariantEngine::match_impl(std::span<const PredicateId> fulfilled,
+                                       Emit&& emit) {
   stats_.reset();
   matched_subs_.clear();
   touched_.clear();
@@ -28,7 +42,7 @@ void CountingVariantEngine::match_predicates(
     ++stats_.counter_comparisons;
     if (hits_[tid] == required_[tid]) {
       if (matched_subs_.insert(owner_[tid])) {
-        out.push_back(SubscriptionId(owner_[tid]));
+        emit(SubscriptionId(owner_[tid]));
         ++stats_.matches;
       }
     }

@@ -23,6 +23,9 @@ class CountingVariantEngine final : public CountingBase {
 
   void match_predicates(std::span<const PredicateId> fulfilled,
                         std::vector<SubscriptionId>& out) override;
+  void match_predicates(std::span<const PredicateId> fulfilled,
+                        std::size_t event_index, const Event& event,
+                        MatchSink& sink) override;
 
   [[nodiscard]] std::string_view name() const override {
     return "counting-variant";
@@ -36,6 +39,9 @@ class CountingVariantEngine final : public CountingBase {
   }
 
  private:
+  template <typename Emit>
+  void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);
+
   std::vector<Tid> touched_;  // tids whose counters were bumped this event
   EpochSet touched_set_;
 };

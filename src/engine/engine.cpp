@@ -1,0 +1,28 @@
+#include "engine/engine.h"
+
+namespace ncps {
+
+void FilterEngine::match_predicates(std::span<const PredicateId> fulfilled,
+                                    std::size_t event_index,
+                                    const Event& event, MatchSink& sink) {
+  sink_adapter_scratch_.clear();
+  match_predicates(fulfilled, sink_adapter_scratch_);
+  for (const SubscriptionId id : sink_adapter_scratch_) {
+    sink.on_match(event_index, event, id);
+  }
+}
+
+void FilterEngine::match_batch(std::span<const Event> events,
+                               MatchSink& sink) {
+  batch_fulfilled_.clear();
+  batch_offsets_.clear();
+  index_.match_batch(events, *table_, batch_fulfilled_, batch_offsets_);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::span<const PredicateId> fulfilled(
+        batch_fulfilled_.data() + batch_offsets_[i],
+        batch_offsets_[i + 1] - batch_offsets_[i]);
+    match_predicates(fulfilled, i, events[i], sink);
+  }
+}
+
+}  // namespace ncps

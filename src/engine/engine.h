@@ -12,11 +12,17 @@
 // the figure benchmarks reproduce the paper's methodology (fulfilled counts
 // of 5 000/10 000 are workload parameters there, not event outcomes).
 //
+// match_batch(events, sink) is the batch-oriented entry point the sharded
+// broker drives: phase 1 runs once over the whole batch (index lookups and
+// scratch buffers amortise across events) and phase-2 results stream into a
+// MatchSink instead of accumulating in one vector.
+//
 // Engines own their predicate references: add() takes one PredicateTable
 // reference per unique predicate stored, remove() releases them, and index
 // registration follows the 0→1/1→0 refcount transitions. Engines are
 // single-threaded by design (the paper's prototype is too); the broker layer
-// serialises access.
+// serialises access — in the sharded broker, one shard = one engine = at
+// most one worker thread at a time.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +51,16 @@ struct MatchStats {
   void reset() { *this = MatchStats{}; }
 };
 
+/// Receives subscription matches as they are found, so results stream out of
+/// the engine instead of accumulating in one vector. Events arrive in batch
+/// order; matches within one event arrive in unspecified order, each once.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual void on_match(std::size_t event_index, const Event& event,
+                        SubscriptionId subscription) = 0;
+};
+
 class FilterEngine {
  public:
   explicit FilterEngine(PredicateTable& table) : table_(&table) {}
@@ -66,12 +82,25 @@ class FilterEngine {
   virtual void match_predicates(std::span<const PredicateId> fulfilled,
                                 std::vector<SubscriptionId>& out) = 0;
 
+  /// Phase 2, streaming form: emits each match to `sink` with the event
+  /// context instead of appending to a vector. The base version adapts the
+  /// vector overload; all three engines override it to emit directly from
+  /// their matching loops (no intermediate accumulation).
+  virtual void match_predicates(std::span<const PredicateId> fulfilled,
+                                std::size_t event_index, const Event& event,
+                                MatchSink& sink);
+
   /// Full pipeline: phase 1 through this engine's index, then phase 2.
   void match(const Event& event, std::vector<SubscriptionId>& out) {
     fulfilled_scratch_.clear();
     index_.match(event, *table_, fulfilled_scratch_);
     match_predicates(fulfilled_scratch_, out);
   }
+
+  /// Batched full pipeline: phase 1 once over the whole batch (one index
+  /// traversal, shared fulfilled-set buffers), then phase 2 per event with
+  /// results streamed into `sink`.
+  virtual void match_batch(std::span<const Event> events, MatchSink& sink);
 
   [[nodiscard]] virtual std::size_t subscription_count() const = 0;
   [[nodiscard]] virtual MemoryBreakdown memory() const = 0;
@@ -122,6 +151,10 @@ class FilterEngine {
 
  private:
   std::vector<PredicateId> fulfilled_scratch_;
+  // Batch scratch: all events' fulfilled sets concatenated + slice bounds.
+  std::vector<PredicateId> batch_fulfilled_;
+  std::vector<std::uint32_t> batch_offsets_;
+  std::vector<SubscriptionId> sink_adapter_scratch_;
 };
 
 }  // namespace ncps

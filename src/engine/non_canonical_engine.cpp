@@ -84,6 +84,20 @@ bool NonCanonicalEngine::remove(SubscriptionId id) {
 
 void NonCanonicalEngine::match_predicates(
     std::span<const PredicateId> fulfilled, std::vector<SubscriptionId>& out) {
+  match_impl(fulfilled, [&out](SubscriptionId sid) { out.push_back(sid); });
+}
+
+void NonCanonicalEngine::match_predicates(
+    std::span<const PredicateId> fulfilled, std::size_t event_index,
+    const Event& event, MatchSink& sink) {
+  match_impl(fulfilled, [&](SubscriptionId sid) {
+    sink.on_match(event_index, event, sid);
+  });
+}
+
+template <typename Emit>
+void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
+                                    Emit&& emit) {
   stats_.reset();
   truth_.clear();
   seen_subs_.clear();
@@ -125,7 +139,7 @@ void NonCanonicalEngine::match_predicates(
     const bool matched =
         v2 ? evaluate_encoded_v2(tree, truth) : evaluate_encoded(tree, truth);
     if (matched) {
-      out.push_back(sid);
+      emit(sid);
       ++stats_.matches;
     }
   };

@@ -49,6 +49,9 @@ class NonCanonicalEngine final : public FilterEngine {
   bool remove(SubscriptionId id) override;
   void match_predicates(std::span<const PredicateId> fulfilled,
                         std::vector<SubscriptionId>& out) override;
+  void match_predicates(std::span<const PredicateId> fulfilled,
+                        std::size_t event_index, const Event& event,
+                        MatchSink& sink) override;
 
   [[nodiscard]] std::size_t subscription_count() const override {
     return live_count_;
@@ -84,6 +87,11 @@ class NonCanonicalEngine final : public FilterEngine {
   [[nodiscard]] std::uint64_t observed_events() const { return events_seen_; }
 
  private:
+  /// The one phase-2 matching loop; both match_predicates overloads feed it
+  /// an emit callable (vector append or sink streaming).
+  template <typename Emit>
+  void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);
+
   struct Location {
     std::uint32_t offset = 0;
     std::uint32_t length = 0;

@@ -45,6 +45,18 @@ void PredicateIndex::match(const Event& event, const PredicateTable& table,
   }
 }
 
+void PredicateIndex::match_batch(std::span<const Event> events,
+                                 const PredicateTable& table,
+                                 std::vector<PredicateId>& flat,
+                                 std::vector<std::uint32_t>& offsets) const {
+  offsets.reserve(events.size() + 1);
+  offsets.push_back(static_cast<std::uint32_t>(flat.size()));
+  for (const Event& event : events) {
+    match(event, table, flat);
+    offsets.push_back(static_cast<std::uint32_t>(flat.size()));
+  }
+}
+
 MemoryBreakdown PredicateIndex::memory() const {
   MemoryBreakdown mem;
   std::size_t attribute_bytes =

@@ -10,6 +10,8 @@
 // — the {id(p)} set handed to phase 2.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.h"
@@ -28,6 +30,14 @@ class PredicateIndex {
   /// Append every registered predicate matching `event` to `out`.
   void match(const Event& event, const PredicateTable& table,
              std::vector<PredicateId>& out) const;
+
+  /// Phase 1 for a whole batch: every event's fulfilled set, concatenated
+  /// into `flat`; `offsets` gets events.size()+1 entries delimiting each
+  /// event's slice. One traversal of the index structures serves the whole
+  /// batch, so lookup setup and buffer growth amortise across events.
+  void match_batch(std::span<const Event> events, const PredicateTable& table,
+                   std::vector<PredicateId>& flat,
+                   std::vector<std::uint32_t>& offsets) const;
 
   [[nodiscard]] std::size_t attribute_count() const { return per_attribute_.size(); }
   [[nodiscard]] MemoryBreakdown memory() const;

@@ -72,6 +72,14 @@ ast::Expr PaperWorkload::next_subscription() {
   return ast::Expr(std::move(root), *table_, ast::Expr::AdoptRefs{});
 }
 
+Event PaperWorkload::next_event() {
+  Event event;
+  for (const AttributeId attribute : attributes_) {
+    event.set(attribute, Value(rng_.range(0, config_.domain_size - 1)));
+  }
+  return event;
+}
+
 std::vector<PredicateId> PaperWorkload::sample_fulfilled(std::size_t count) {
   NCPS_EXPECTS(count <= predicate_pool_.size());
   // Partial Fisher–Yates over a copy: O(pool) copy + O(count) shuffle.

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "event/event.h"
 #include "event/schema.h"
 #include "predicate/predicate_table.h"
 #include "subscription/ast.h"
@@ -69,6 +70,13 @@ class PaperWorkload {
   /// the paper's "matching predicates per event" parameter. Deterministic
   /// given the generator's RNG state.
   [[nodiscard]] std::vector<PredicateId> sample_fulfilled(std::size_t count);
+
+  /// A random event over the workload schema: every attribute present,
+  /// values uniform over the domain. Under the paper's {>, <=, ==} operator
+  /// family each registered inequality predicate is fulfilled with
+  /// probability ≈ 1/2, so full-pipeline benchmarks see fulfilled-set sizes
+  /// of the magnitude the paper's phase-2 parameters assume.
+  [[nodiscard]] Event next_event();
 
   /// Expected DNF size for this configuration: 2^(|p|/2) disjuncts of
   /// |p|/2 predicates.
