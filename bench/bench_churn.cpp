@@ -1,0 +1,202 @@
+// Sustained publish throughput under concurrent subscription churn.
+//
+// A publisher thread pushes event batches through ShardedBroker while a
+// control thread replays the same stream's subscribe/unsubscribe operations
+// against the live broker, paced against the publisher's progress so the
+// configured churn rate (control ops per published event) holds at any
+// publish speed. This exercises the concurrent control plane end to end:
+// control ops land on the shards' MPSC command queues whenever a batch is
+// in flight and are applied between batches.
+//
+// Sweep: shard count {1, 4} × churn rate {0, 1%, 10% ops/event}; one JSON
+// row per cell (bench_util.h JsonRow) with sustained events/sec, control
+// ops applied, and notification counts. The churn-rate-0 row is the
+// static-population baseline, so the churn overhead is directly readable
+// per shard count.
+//
+// Scale via REPRO_SCALE (quick | big | paper).
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "broker/sharded_broker.h"
+#include "workload/churn_workload.h"
+
+namespace {
+
+using namespace ncps;
+using namespace ncps::bench;
+
+struct ChurnScale {
+  std::size_t population;
+  std::size_t events;
+  std::size_t batch_size;
+};
+
+ChurnScale churn_scale(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick: return {5'000, 4'096, 64};
+    case Scale::kBig: return {50'000, 16'384, 128};
+    case Scale::kPaper: return {250'000, 65'536, 256};
+  }
+  return {5'000, 4'096, 64};
+}
+
+/// One pre-generated churn stream: the warm-up population, the event
+/// sequence, and the control ops tagged with the event ordinal they should
+/// trail (so the control thread can pace itself against the publisher).
+struct ChurnScript {
+  std::vector<ChurnWorkload::Op> warmup;       // initial Subscribe ops
+  std::vector<Event> events;
+  struct PacedOp {
+    std::uint64_t after_event;                 // issue once published >= this
+    ChurnWorkload::Op op;
+  };
+  std::vector<PacedOp> control;
+};
+
+ChurnScript generate_script(AttributeRegistry& attrs, const ChurnScale& scale,
+                            double churn_rate) {
+  ChurnWorkloadConfig config;
+  config.target_population = scale.population;
+  config.churn_rate = churn_rate;
+  config.subscriber_count = 8;
+  config.seed = 0xbeef01;
+  ChurnWorkload workload(config, attrs);
+
+  ChurnScript script;
+  while (script.events.size() < scale.events) {
+    ChurnWorkload::Op op = workload.next();
+    switch (op.kind) {
+      case ChurnWorkload::Op::Kind::Publish:
+        script.events.push_back(std::move(op.event));
+        break;
+      case ChurnWorkload::Op::Kind::Subscribe:
+      case ChurnWorkload::Op::Kind::Unsubscribe:
+        if (workload.event_clock() == 0) {
+          script.warmup.push_back(std::move(op));
+        } else {
+          script.control.push_back(
+              ChurnScript::PacedOp{workload.event_clock(), std::move(op)});
+        }
+        break;
+    }
+  }
+  return script;
+}
+
+struct RunResult {
+  double seconds;
+  std::size_t notifications;
+  std::size_t control_ops;
+};
+
+RunResult run_cell(AttributeRegistry& attrs, std::size_t shards,
+                   const ChurnScript& script, std::size_t batch_size) {
+  ShardedBroker broker(
+      attrs, ShardedBrokerConfig{.shard_count = shards,
+                                 .engine = EngineKind::NonCanonical});
+  std::atomic<std::size_t> notifications{0};
+  std::vector<SubscriberId> sessions;
+  for (std::size_t i = 0; i < 8; ++i) {
+    sessions.push_back(broker.register_subscriber(
+        [&notifications](const Notification&) {
+          notifications.fetch_add(1, std::memory_order_relaxed);
+        }));
+  }
+
+  std::unordered_map<std::uint64_t, SubscriptionId> by_handle;
+  for (const ChurnWorkload::Op& op : script.warmup) {
+    by_handle.emplace(op.handle,
+                      broker.subscribe(sessions[op.subscriber], op.text));
+  }
+
+  std::atomic<std::uint64_t> published{0};
+  std::atomic<bool> done{false};
+  std::size_t control_ops = 0;
+
+  std::thread control([&] {
+    for (const ChurnScript::PacedOp& paced : script.control) {
+      // Trail the publisher: never run ahead of the event ordinal this op
+      // followed in the generated stream.
+      while (!done.load(std::memory_order_acquire) &&
+             published.load(std::memory_order_acquire) < paced.after_event) {
+        std::this_thread::yield();
+      }
+      if (done.load(std::memory_order_acquire)) break;
+      const ChurnWorkload::Op& op = paced.op;
+      if (op.kind == ChurnWorkload::Op::Kind::Subscribe) {
+        by_handle.emplace(op.handle,
+                          broker.subscribe(sessions[op.subscriber], op.text));
+      } else {
+        const auto it = by_handle.find(op.handle);
+        broker.unsubscribe(it->second);
+        by_handle.erase(it);
+      }
+      ++control_ops;
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t off = 0; off + batch_size <= script.events.size();
+       off += batch_size) {
+    broker.publish_batch(
+        std::span<const Event>(script.events.data() + off, batch_size));
+    published.fetch_add(batch_size, std::memory_order_release);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  done.store(true, std::memory_order_release);
+  control.join();
+  broker.quiesce();
+
+  return RunResult{
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count(),
+      notifications.load(), control_ops};
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  const ChurnScale sizes = churn_scale(scale);
+  std::printf(
+      "# Publish throughput vs subscription churn (scale=%s, %zu "
+      "subscriptions, %zu events, batch=%zu, hw threads=%u)\n",
+      to_string(scale), sizes.population, sizes.events, sizes.batch_size,
+      std::thread::hardware_concurrency());
+
+  for (const std::size_t shards : {1u, 4u}) {
+    double baseline = 0.0;
+    for (const double churn_rate : {0.0, 0.01, 0.10}) {
+      // A fresh registry/script per cell keeps cells independent; the seed
+      // keeps subscription shapes identical across cells.
+      AttributeRegistry attrs;
+      const ChurnScript script = generate_script(attrs, sizes, churn_rate);
+      const RunResult result = run_cell(attrs, shards, script,
+                                        sizes.batch_size);
+      const double events_per_sec =
+          static_cast<double>(sizes.events) / result.seconds;
+      if (churn_rate == 0.0) baseline = result.seconds;
+
+      JsonRow("churn_publish")
+          .field("shards", shards)
+          .field("churn_rate", churn_rate)
+          .field("subscriptions", sizes.population)
+          .field("events", sizes.events)
+          .field("batch_size", sizes.batch_size)
+          .field("control_ops", result.control_ops)
+          .field("seconds", result.seconds)
+          .field("events_per_sec", events_per_sec)
+          .field("notifications", result.notifications)
+          .field("slowdown_vs_static", result.seconds / baseline)
+          .field("hw_threads",
+                 static_cast<std::size_t>(std::thread::hardware_concurrency()))
+          .emit();
+    }
+  }
+  return 0;
+}

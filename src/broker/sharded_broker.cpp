@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/contracts.h"
 
 namespace ncps {
 
 /// Streams one shard's matches into its per-shard buffer, translating
-/// engine-local subscription ids to broker-global ids. Runs on the shard's
-/// worker task; touches only that shard's state.
+/// engine-local subscription ids to broker-global ids and attaching the
+/// owning subscriber (so delivery never reads control-plane maps). Runs
+/// under the shard's mutex; touches only that shard's state.
 class ShardedBroker::ShardSink final : public MatchSink {
  public:
   explicit ShardSink(Shard& shard) : shard_(&shard) {}
@@ -19,7 +21,8 @@ class ShardedBroker::ShardSink final : public MatchSink {
                 SubscriptionId local) override {
     shard_->matches.push_back(
         ShardMatch{static_cast<std::uint32_t>(event_index),
-                   shard_->to_global[local.value()]});
+                   shard_->to_global[local.value()],
+                   shard_->owner_of[local.value()]});
   }
 
  private:
@@ -36,6 +39,7 @@ ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
     shard->engine = make_engine(config.engine, shard->table);
     shards_.push_back(std::move(shard));
   }
+  callbacks_.store(std::make_shared<const CallbackMap>());
   if (config.shard_count > 1) {
     std::size_t threads = config.worker_threads;
     if (threads == 0) {
@@ -55,23 +59,60 @@ std::unique_ptr<ShardedBroker> ShardedBroker::create(
 
 SubscriberId ShardedBroker::register_subscriber(NotifyFn callback) {
   NCPS_EXPECTS(callback != nullptr);
+  const std::lock_guard<std::mutex> lock(control_mutex_);
   const SubscriberId id(next_subscriber_++);
-  subscribers_.emplace(id, std::move(callback));
+  auto updated = std::make_shared<CallbackMap>(*callbacks_.load());
+  updated->emplace(id, std::move(callback));
+  callbacks_.store(std::shared_ptr<const CallbackMap>(std::move(updated)));
   subscriptions_by_subscriber_.emplace(id, std::vector<SubscriptionId>{});
   return id;
 }
 
 void ShardedBroker::unregister_subscriber(SubscriberId subscriber) {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
   const auto it = subscriptions_by_subscriber_.find(subscriber);
   if (it == subscriptions_by_subscriber_.end()) return;
   for (const SubscriptionId sub : it->second) {
-    remove_subscription(sub);
+    Route& route = routes_[sub.value()];
+    route.live = false;
+    issue_unsubscribe_locked(sub, route);
   }
   subscriptions_by_subscriber_.erase(it);
-  subscribers_.erase(subscriber);
+  auto updated = std::make_shared<CallbackMap>(*callbacks_.load());
+  updated->erase(subscriber);
+  callbacks_.store(std::shared_ptr<const CallbackMap>(std::move(updated)));
 }
 
-SubscriptionId ShardedBroker::allocate_global() {
+SubscriptionId ShardedBroker::allocate_global_locked() {
+  // Reclaim retired ids (see RetiredGlobal): the owning shard must have
+  // applied the removal, and every batch that could still hold the id in
+  // its buffered match records must have finished delivering. A free
+  // publish mutex proves the latter outright (prior batches hold it
+  // through delivery; later batches match after the removal); otherwise
+  // wait for the publish epoch to tick past the in-flight batch.
+  if (!retired_globals_.empty()) {
+    const bool publish_idle = publish_idle_probe();
+    const std::uint64_t epoch_now =
+        publish_epoch_.load(std::memory_order_acquire);
+    std::size_t kept = 0;
+    for (RetiredGlobal& retired : retired_globals_) {
+      bool reusable = false;
+      if (shards_[retired.shard]->fence.applied() >= retired.generation) {
+        if (publish_idle ||
+            (retired.safe_epoch != 0 && epoch_now >= retired.safe_epoch)) {
+          reusable = true;
+        } else if (retired.safe_epoch == 0) {
+          retired.safe_epoch = epoch_now + 1;
+        }
+      }
+      if (reusable) {
+        free_globals_.push_back(retired.global);
+      } else {
+        retired_globals_[kept++] = retired;
+      }
+    }
+    retired_globals_.resize(kept);
+  }
   if (!free_globals_.empty()) {
     const SubscriptionId id = free_globals_.back();
     free_globals_.pop_back();
@@ -84,42 +125,111 @@ SubscriptionId ShardedBroker::allocate_global() {
 
 SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
                                         std::string_view text) {
-  NCPS_EXPECTS(subscribers_.contains(subscriber));
+  // Phase one of the parse runs on the calling thread so ParseError is
+  // synchronous and leaves no trace; only attribute names are interned
+  // (idempotent, thread-safe).
+  parser_detail::RawNodePtr raw = parse_raw(text, *attrs_);
+
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  NCPS_EXPECTS(subscriptions_by_subscriber_.contains(subscriber));
   const std::uint32_t s = router_.route(subscriber, subscribe_sequence_);
   Shard& shard = *shards_[s];
-  // Parse into the shard's own table: the predicates of a subscription live
-  // (and are refcounted) exactly where its engine lives.
-  const ast::Expr expr = parse_subscription(text, *attrs_, shard.table);
-  const SubscriptionId local = shard.engine->add(expr.root());
-  ++subscribe_sequence_;
 
-  const SubscriptionId global = allocate_global();
-  if (shard.to_global.size() <= local.value()) {
-    shard.to_global.resize(local.value() + 1, SubscriptionId::invalid());
+  SubscriptionId global;
+  const std::uint64_t generation =
+      issue_generation_.load(std::memory_order_relaxed) + 1;
+  std::unique_lock<std::mutex> shard_lock(shard.mutex, std::try_to_lock);
+  if (shard_lock.owns_lock()) {
+    // Shard idle: apply inline (after anything already queued, preserving
+    // command order). The engine's add() validates as it registers, so a
+    // failure (e.g. DNF explosion in a counting engine) propagates here
+    // with no broker state change — the seed broker's exact semantics.
+    drain_shard(shard);
+    global = allocate_global_locked();
+    try {
+      apply_subscribe(shard, global, subscriber, *raw);
+    } catch (...) {
+      free_globals_.push_back(global);  // nothing was registered
+      throw;
+    }
+    issue_generation_.store(generation, std::memory_order_release);
+    shard.fence.advance(generation);
+  } else {
+    // Shard busy with a batch: pre-validate everything that could fail at
+    // application time, then hand the command to the shard's queue. The
+    // engine's own validate() (a no-op for non-canonical, the add()-time
+    // canonicalisation checks for the counting family) surfaces
+    // DnfExplosionError / SubscriptionTooLargeError synchronously, so a
+    // queued command can no longer fail; it touches no mutable engine
+    // state, so calling it while the engine matches is safe.
+    {
+      PredicateTable scratch;
+      const ast::Expr expr = intern_tree(*raw, scratch);
+      shard.engine->validate(expr.root(), scratch);
+    }
+    global = allocate_global_locked();
+    ShardCommand command;
+    command.kind = ShardCommand::Kind::Subscribe;
+    command.global = global;
+    command.owner = subscriber;
+    command.raw = std::move(raw);
+    command.generation = generation;
+    shard.commands.push(std::move(command));
+    // Publish the generation only after the push: a drain that snapshots
+    // issue_generation_ must find every command at or below its snapshot
+    // already linked in the queue.
+    issue_generation_.store(generation, std::memory_order_release);
   }
-  shard.to_global[local.value()] = global;
-  routes_[global.value()] = Route{s, local, subscriber};
+
+  ++subscribe_sequence_;
+  routes_[global.value()] = Route{s, subscriber, /*live=*/true};
   subscriptions_by_subscriber_[subscriber].push_back(global);
   return global;
 }
 
-void ShardedBroker::remove_subscription(SubscriptionId global) {
-  Route& route = routes_[global.value()];
+void ShardedBroker::issue_unsubscribe_locked(SubscriptionId global,
+                                             const Route& route) {
   Shard& shard = *shards_[route.shard];
-  shard.engine->remove(route.local);
-  shard.to_global[route.local.value()] = SubscriptionId::invalid();
-  route = Route{};
-  free_globals_.push_back(global);
+  const std::uint64_t generation =
+      issue_generation_.load(std::memory_order_relaxed) + 1;
+  std::unique_lock<std::mutex> shard_lock(shard.mutex, std::try_to_lock);
+  if (shard_lock.owns_lock()) {
+    drain_shard(shard);
+    apply_unsubscribe(shard, global);
+    issue_generation_.store(generation, std::memory_order_release);
+    shard.fence.advance(generation);
+    // The engine no longer knows the id — but a batch mid-delivery may
+    // still hold it in buffered match records, and immediate reuse would
+    // relabel those stale notifications as the new subscription. Reuse
+    // inline only when no batch is in flight (always true for sequential
+    // callers, preserving the seed's LIFO ids); otherwise quarantine.
+    if (publish_idle_probe()) {
+      free_globals_.push_back(global);
+    } else {
+      retired_globals_.push_back(
+          RetiredGlobal{global, route.shard, generation});
+    }
+  } else {
+    ShardCommand command;
+    command.kind = ShardCommand::Kind::Unsubscribe;
+    command.global = global;
+    command.generation = generation;
+    shard.commands.push(std::move(command));
+    issue_generation_.store(generation, std::memory_order_release);
+    retired_globals_.push_back(
+        RetiredGlobal{global, route.shard, generation});
+  }
 }
 
 bool ShardedBroker::unsubscribe(SubscriptionId subscription) {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
   if (!subscription.valid() || subscription.value() >= routes_.size() ||
-      !routes_[subscription.value()].local.valid()) {
+      !routes_[subscription.value()].live) {
     return false;
   }
-  const SubscriberId owner = routes_[subscription.value()].owner;
-  remove_subscription(subscription);
-  auto& list = subscriptions_by_subscriber_[owner];
+  Route& route = routes_[subscription.value()];
+  route.live = false;
+  auto& list = subscriptions_by_subscriber_[route.owner];
   for (std::size_t i = 0; i < list.size(); ++i) {
     if (list[i] == subscription) {
       list[i] = list.back();
@@ -127,13 +237,65 @@ bool ShardedBroker::unsubscribe(SubscriptionId subscription) {
       break;
     }
   }
+  issue_unsubscribe_locked(subscription, route);
   return true;
 }
 
+void ShardedBroker::drain_shard(Shard& shard) {
+  // Snapshot before popping: every command issued at or below the snapshot
+  // is already fully linked in the queue (generations are published after
+  // the push), so after draining we may advance the fence to it.
+  const std::uint64_t cover =
+      issue_generation_.load(std::memory_order_acquire);
+  while (auto command = shard.commands.pop()) {
+    apply_command(shard, std::move(*command));
+  }
+  shard.fence.advance(cover);
+}
+
+void ShardedBroker::apply_command(Shard& shard, ShardCommand&& command) {
+  if (command.kind == ShardCommand::Kind::Subscribe) {
+    apply_subscribe(shard, command.global, command.owner, *command.raw);
+  } else {
+    apply_unsubscribe(shard, command.global);
+  }
+  shard.fence.advance(command.generation);
+}
+
+SubscriptionId ShardedBroker::apply_subscribe(
+    Shard& shard, SubscriptionId global, SubscriberId owner,
+    const parser_detail::RawNode& raw) {
+  // Intern into the shard's own table: the predicates of a subscription
+  // live (and are refcounted) exactly where its engine lives.
+  const ast::Expr expr = intern_tree(raw, shard.table);
+  const SubscriptionId local = shard.engine->add(expr.root());
+  if (shard.to_global.size() <= local.value()) {
+    shard.to_global.resize(local.value() + 1, SubscriptionId::invalid());
+    shard.owner_of.resize(local.value() + 1, SubscriberId::invalid());
+  }
+  shard.to_global[local.value()] = global;
+  shard.owner_of[local.value()] = owner;
+  shard.local_of[global.value()] = local;
+  return local;
+}
+
+void ShardedBroker::apply_unsubscribe(Shard& shard, SubscriptionId global) {
+  const auto it = shard.local_of.find(global.value());
+  NCPS_ASSERT(it != shard.local_of.end());
+  const SubscriptionId local = it->second;
+  shard.local_of.erase(it);
+  const bool removed = shard.engine->remove(local);
+  NCPS_ASSERT(removed);
+  shard.to_global[local.value()] = SubscriptionId::invalid();
+  shard.owner_of[local.value()] = SubscriberId::invalid();
+}
+
 void ShardedBroker::run_shard_tasks(std::span<const Event> events) {
-  for (auto& shard : shards_) shard->matches.clear();
   const auto shard_task = [&](std::size_t s) {
     Shard& shard = *shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    drain_shard(shard);  // apply control commands between batches
+    shard.matches.clear();
     ShardSink sink(shard);
     shard.engine->match_batch(events, sink);
   };
@@ -144,7 +306,8 @@ void ShardedBroker::run_shard_tasks(std::span<const Event> events) {
   }
 }
 
-std::size_t ShardedBroker::merge_and_deliver(std::span<const Event> events) {
+std::size_t ShardedBroker::merge_and_deliver(std::span<const Event> events,
+                                             const CallbackMap& callbacks) {
   // Each shard's buffer is already ordered by event index (engines process
   // the batch in order), so a cursor per shard gives each event's slice.
   std::size_t delivered = 0;
@@ -155,17 +318,19 @@ std::size_t ShardedBroker::merge_and_deliver(std::span<const Event> events) {
       const auto& matches = shards_[s]->matches;
       std::size_t& c = merge_cursor_[s];
       while (c < matches.size() && matches[c].event_index == e) {
-        merge_scratch_.push_back(matches[c++].subscription);
+        merge_scratch_.push_back(matches[c++]);
       }
     }
     // Ascending global id: the merged order is independent of shard count
     // and thread scheduling.
-    std::sort(merge_scratch_.begin(), merge_scratch_.end());
-    for (const SubscriptionId sub : merge_scratch_) {
-      const Route& route = routes_[sub.value()];
-      const auto cb = subscribers_.find(route.owner);
-      NCPS_ASSERT(cb != subscribers_.end());
-      cb->second(Notification{route.owner, sub, &events[e]});
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const ShardMatch& a, const ShardMatch& b) {
+                return a.subscription < b.subscription;
+              });
+    for (const ShardMatch& match : merge_scratch_) {
+      const auto cb = callbacks.find(match.owner);
+      if (cb == callbacks.end()) continue;  // unregistered mid-batch
+      cb->second(Notification{match.owner, match.subscription, &events[e]});
       ++delivered;
     }
   }
@@ -178,16 +343,68 @@ std::size_t ShardedBroker::publish(const Event& event) {
 
 std::size_t ShardedBroker::publish_batch(std::span<const Event> events) {
   if (events.empty()) return 0;
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  publishing_thread_.store(std::this_thread::get_id(),
+                           std::memory_order_relaxed);
   run_shard_tasks(events);
-  return merge_and_deliver(events);
+  // Snapshot after matching: a subscriber registered while the batch was
+  // matching is deliverable, one unregistered is skipped.
+  const std::shared_ptr<const CallbackMap> callbacks = callbacks_.load();
+  const std::size_t delivered = merge_and_deliver(events, *callbacks);
+  // Delivery done: stale match records from this batch are dead, so
+  // quarantined global ids gated on this epoch become reusable.
+  publishing_thread_.store(std::thread::id(), std::memory_order_relaxed);
+  publish_epoch_.fetch_add(1, std::memory_order_release);
+  return delivered;
+}
+
+bool ShardedBroker::publish_idle_probe() {
+  // A delivery callback re-entering the control plane runs on the thread
+  // that owns publish_mutex_; try_lock there would be UB, and the answer
+  // is known anyway: a batch is in flight.
+  if (publishing_thread_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    return false;
+  }
+  if (publish_mutex_.try_lock()) {
+    publish_mutex_.unlock();
+    return true;
+  }
+  return false;
+}
+
+void ShardedBroker::wait_applied(std::uint64_t generation) {
+  for (auto& shard : shards_) shard->fence.wait_until(generation);
+}
+
+void ShardedBroker::quiesce() {
+  // Taking the publish lock waits out the in-flight batch, deliveries
+  // included; draining then applies everything queued. Batches started
+  // after release see every prior control command applied.
+  const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    drain_shard(*shard);
+  }
 }
 
 std::size_t ShardedBroker::subscription_count() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
     total += shard->engine->subscription_count();
   }
   return total;
+}
+
+std::size_t ShardedBroker::subscriber_count() const {
+  return callbacks_.load()->size();
+}
+
+std::size_t ShardedBroker::shard_subscription_count(std::size_t shard) const {
+  NCPS_EXPECTS(shard < shards_.size());
+  const std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  return shards_[shard]->engine->subscription_count();
 }
 
 MemoryBreakdown ShardedBroker::memory() const {
@@ -195,10 +412,12 @@ MemoryBreakdown ShardedBroker::memory() const {
   if (shards_.size() == 1) {
     // Seed broker component names, so existing breakdown consumers and the
     // memory benches keep working unchanged.
+    const std::lock_guard<std::mutex> lock(shards_[0]->mutex);
     mem.add_nested("engine/", shards_[0]->engine->memory());
     mem.add_nested("predicates/", shards_[0]->table.memory());
   } else {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::lock_guard<std::mutex> lock(shards_[s]->mutex);
       const std::string prefix = "shard" + std::to_string(s) + "/";
       mem.add_nested(prefix + "engine/", shards_[s]->engine->memory());
       mem.add_nested(prefix + "predicates/", shards_[s]->table.memory());

@@ -13,26 +13,60 @@
 // per-shard buffers via the engines' MatchSink interface, and the publishing
 // thread merges the buffers deterministically (per event, ascending
 // subscription id) before invoking subscriber callbacks. Callbacks always
-// run on the publishing thread, never concurrently.
+// run on the publishing thread, never concurrently, and must not publish
+// back into the broker.
 //
-// The control plane (register/subscribe/unsubscribe) is single-threaded, as
-// in the seed broker; it must not be called concurrently with publishing.
+// The control plane (register/subscribe/unsubscribe) may be called from any
+// number of threads concurrently with publishing. Every control operation is
+// turned into a command for the owning shard:
 //
-// shard_count=1 is the seed broker, bit for bit: no threads are spawned, the
-// publish path degenerates to match-then-deliver, and subscription ids are
-// allocated in the same LIFO-reuse order the single engine would produce —
-// Broker (broker.h) is a thin specialisation of this class.
+//   - if the shard is idle (its mutex is free), the command — after any
+//     commands already queued for the shard — is applied inline, so
+//     single-threaded callers observe the exact seed-broker semantics:
+//     a subscription is matchable the instant subscribe() returns;
+//   - if the shard is busy matching a batch, the command is pushed onto the
+//     shard's lock-free MPSC queue and applied by whichever thread next
+//     drains the shard — the shard's worker at the start of the next batch,
+//     or quiesce(). Control threads never wait for the data plane, and the
+//     publisher never takes the control-plane lock.
+//
+// Commands carry a broker-wide issue generation; each shard's
+// GenerationFence records how far it has applied. That gives unsubscribe an
+// epoch-style guarantee without stalling in-flight batches: once every
+// shard's applied generation passes the unsubscribe's issue point (observe
+// via wait_applied(), or force it with quiesce()), no further notification
+// for that subscription will be delivered. quiesce() additionally waits for
+// the in-flight batch's deliveries, so it is the full barrier.
+//
+// Subscription text is parsed in two stages mirroring the parser's own
+// phases: the calling thread runs parse_raw (so ParseError is synchronous
+// and nothing is registered on failure), and the thread applying the command
+// interns the raw tree into the shard's table (predicates live, and are
+// refcounted, exactly where the subscription's engine lives). For the
+// counting engines a deferred subscribe is additionally pre-canonicalised on
+// the calling thread, so DNF-explosion errors are also synchronous and a
+// queued command can no longer fail.
+//
+// shard_count=1 is the seed broker: no threads are spawned and the publish
+// path degenerates to match-then-deliver — Broker (broker.h) is a thin
+// specialisation of this class.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "broker/shard_router.h"
+#include "common/generation_fence.h"
 #include "common/ids.h"
+#include "common/mpsc_queue.h"
 #include "common/thread_pool.h"
 #include "engine/engine_factory.h"
 #include "event/event.h"
@@ -76,17 +110,25 @@ class ShardedBroker {
   [[nodiscard]] static std::unique_ptr<ShardedBroker> create(
       AttributeRegistry& attrs, ShardedBrokerConfig config = {});
 
-  /// Open a subscriber session.
+  /// Open a subscriber session. Thread-safe.
   SubscriberId register_subscriber(NotifyFn callback);
 
-  /// Close a session, dropping all its subscriptions.
+  /// Close a session, dropping all its subscriptions. Thread-safe; an
+  /// in-flight batch may still invoke the callback (quiesce() to fence).
   void unregister_subscriber(SubscriberId subscriber);
 
   /// Register a subscription for a subscriber; the router places it on one
-  /// shard. Throws ParseError on malformed text.
+  /// shard. Throws ParseError on malformed text (and, for counting engines,
+  /// DnfExplosionError/SubscriptionTooLargeError) with no state change.
+  /// Thread-safe; the subscription is matched by every batch that starts
+  /// after this returns.
   SubscriptionId subscribe(SubscriberId subscriber, std::string_view text);
 
-  /// Remove one subscription. Returns false if unknown.
+  /// Remove one subscription. Returns false if unknown or already removed.
+  /// Thread-safe. On return the removal is issued: batches starting after
+  /// every shard passes control_generation() (see wait_applied/quiesce)
+  /// deliver no further notifications for it; with no batch in flight the
+  /// removal has already been applied when this returns.
   bool unsubscribe(SubscriptionId subscription);
 
   /// Match an event against every shard and synchronously notify all
@@ -97,22 +139,50 @@ class ShardedBroker {
   /// batch. Notifications are delivered per event in batch order, within an
   /// event in ascending subscription-id order (deterministic regardless of
   /// shard count or thread scheduling). Returns notifications delivered.
+  /// Thread-safe (concurrent publishers are serialised internally; control
+  /// operations are not blocked).
   std::size_t publish_batch(std::span<const Event> events);
 
-  [[nodiscard]] std::size_t subscription_count() const;
-  [[nodiscard]] std::size_t subscriber_count() const {
-    return subscribers_.size();
+  /// Generation of the most recently issued control command. A command's
+  /// effects are visible to every batch started after each shard's applied
+  /// generation (shard_applied_generation) reaches the command's issue
+  /// point; control_generation() right after a control call is a
+  /// conservative fence for it.
+  [[nodiscard]] std::uint64_t control_generation() const {
+    return issue_generation_.load(std::memory_order_acquire);
   }
+
+  [[nodiscard]] std::uint64_t shard_applied_generation(
+      std::size_t shard) const {
+    NCPS_EXPECTS(shard < shards_.size());
+    return shards_[shard]->fence.applied();
+  }
+
+  /// Block until every shard has applied all control commands issued at or
+  /// before `generation`. Purely passive: some thread must be driving
+  /// batches (or quiesce) forward, otherwise this waits indefinitely — use
+  /// quiesce() for a self-draining barrier.
+  void wait_applied(std::uint64_t generation);
+
+  /// Full control-plane barrier: waits for the in-flight batch (deliveries
+  /// included), then applies every queued command on every shard. After
+  /// quiesce() returns, subscriptions unsubscribed (and subscribers
+  /// unregistered) before the call receive no further notifications.
+  void quiesce();
+
+  /// Subscriptions currently applied to the engines (excludes commands
+  /// still queued behind an in-flight batch; exact after quiesce()).
+  [[nodiscard]] std::size_t subscription_count() const;
+  [[nodiscard]] std::size_t subscriber_count() const;
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Direct engine access for tests/inspection; callers must ensure no
+  /// batch or control command is concurrently touching the shard.
   [[nodiscard]] FilterEngine& shard_engine(std::size_t shard) {
     NCPS_EXPECTS(shard < shards_.size());
     return *shards_[shard]->engine;
   }
   /// Subscriptions currently placed on one shard (load-balance visibility).
-  [[nodiscard]] std::size_t shard_subscription_count(std::size_t shard) const {
-    NCPS_EXPECTS(shard < shards_.size());
-    return shards_[shard]->engine->subscription_count();
-  }
+  [[nodiscard]] std::size_t shard_subscription_count(std::size_t shard) const;
   [[nodiscard]] AttributeRegistry& attributes() { return *attrs_; }
   [[nodiscard]] MemoryBreakdown memory() const;
 
@@ -120,45 +190,124 @@ class ShardedBroker {
   struct ShardMatch {
     std::uint32_t event_index;
     SubscriptionId subscription;  // global id
+    SubscriberId owner;
   };
 
-  /// One engine shard: exclusive table + engine + per-batch match buffer.
+  /// A control-plane operation bound for one shard's engine.
+  struct ShardCommand {
+    enum class Kind : std::uint8_t { Subscribe, Unsubscribe };
+    Kind kind = Kind::Subscribe;
+    SubscriptionId global;
+    SubscriberId owner;                // Subscribe
+    parser_detail::RawNodePtr raw;     // Subscribe: pre-parsed tree
+    std::uint64_t generation = 0;      // broker-wide issue generation
+  };
+
+  /// One engine shard: exclusive table + engine + per-batch match buffer +
+  /// its command queue. `mutex` serialises every touch of the matching
+  /// stack; whoever holds it is "the shard's worker" for that moment.
   struct Shard {
     PredicateTable table;
     std::unique_ptr<FilterEngine> engine;
     /// Engine-local id → broker-global id (dense by local id value).
     std::vector<SubscriptionId> to_global;
-    /// Matches from the current batch; only touched by this shard's task.
+    /// Engine-local id → owning subscriber (dense by local id value), so
+    /// delivery never reads control-plane maps.
+    std::vector<SubscriberId> owner_of;
+    /// Broker-global id value → engine-local id, for routing removals.
+    std::unordered_map<std::uint32_t, SubscriptionId> local_of;
+    /// Matches from the current batch; only touched under `mutex`.
     std::vector<ShardMatch> matches;
+    MpscQueue<ShardCommand> commands;
+    GenerationFence fence;
+    std::mutex mutex;
   };
 
-  /// Where a live global subscription id points.
+  /// Where a live global subscription id points (control-plane only).
   struct Route {
     std::uint32_t shard = 0;
-    SubscriptionId local;            // invalid() ⇒ slot free
     SubscriberId owner;
+    bool live = false;
+  };
+
+  /// A global id whose unsubscribe has been issued but whose reuse is not
+  /// yet safe. Two conditions gate reclamation: the owning shard must have
+  /// applied the removal (fence >= generation), and any batch whose
+  /// *matching* preceded the application must have finished *delivering* —
+  /// its buffered match records still carry the id, and reusing it mid
+  /// delivery would misattribute a stale notification to the new
+  /// subscription. Delivery completion is observed either directly (the
+  /// publish mutex is momentarily free) or via the publish epoch ticking
+  /// past `safe_epoch` (set to current+1 once the fence condition holds).
+  struct RetiredGlobal {
+    SubscriptionId global;
+    std::uint32_t shard;
+    std::uint64_t generation;
+    std::uint64_t safe_epoch = 0;  // 0 = fence not yet observed applied
   };
 
   class ShardSink;
+  using CallbackMap = std::unordered_map<SubscriberId, NotifyFn>;
 
-  SubscriptionId allocate_global();
-  void remove_subscription(SubscriptionId global);
+  SubscriptionId allocate_global_locked();
+  void issue_unsubscribe_locked(SubscriptionId global, const Route& route);
+  /// Apply every queued command on `shard` and advance its fence. Caller
+  /// holds shard.mutex.
+  void drain_shard(Shard& shard);
+  void apply_command(Shard& shard, ShardCommand&& command);
+  SubscriptionId apply_subscribe(Shard& shard, SubscriptionId global,
+                                 SubscriberId owner,
+                                 const parser_detail::RawNode& raw);
+  void apply_unsubscribe(Shard& shard, SubscriptionId global);
   void run_shard_tasks(std::span<const Event> events);
-  std::size_t merge_and_deliver(std::span<const Event> events);
+  std::size_t merge_and_deliver(std::span<const Event> events,
+                                const CallbackMap& callbacks);
 
   AttributeRegistry* attrs_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;  // null when shard_count == 1
 
-  std::unordered_map<SubscriberId, NotifyFn> subscribers_;
+  /// Serialises publish_batch (and quiesce) — data-plane only; control
+  /// operations never take it.
+  std::mutex publish_mutex_;
+
+  /// Guards all control-plane bookkeeping below. Publishers never take it:
+  /// delivery works off owner ids carried in the match records plus the
+  /// copy-on-write callback snapshot.
+  mutable std::mutex control_mutex_;
   std::unordered_map<SubscriberId, std::vector<SubscriptionId>>
       subscriptions_by_subscriber_;
   std::vector<Route> routes_;  // dense by global subscription id
   std::vector<SubscriptionId> free_globals_;
+  std::vector<RetiredGlobal> retired_globals_;
   std::uint32_t next_subscriber_ = 0;
   std::uint64_t subscribe_sequence_ = 0;  // router key component
-  std::vector<SubscriptionId> merge_scratch_;
+
+  /// Written under control_mutex_ *after* the command is enqueued, so a
+  /// drain that snapshots it covers every command at or below the snapshot.
+  std::atomic<std::uint64_t> issue_generation_{0};
+
+  /// Completed publish batches (bumped after delivery, still under the
+  /// publish mutex). Orders global-id reuse after stale-match delivery.
+  std::atomic<std::uint64_t> publish_epoch_{0};
+
+  /// Thread currently holding publish_mutex_, so control operations
+  /// re-entered from a delivery callback (which runs on that thread) never
+  /// try_lock a mutex their own thread holds — they see "batch in flight"
+  /// directly.
+  std::atomic<std::thread::id> publishing_thread_{};
+
+  /// True when no batch is in flight — prior batches have delivered, and
+  /// any later batch starts after the caller's control command. Safe from
+  /// any thread, including delivery callbacks.
+  [[nodiscard]] bool publish_idle_probe();
+
+  /// Immutable snapshot of subscriber callbacks; swapped copy-on-write by
+  /// the control plane, loaded once per batch by the publisher.
+  std::atomic<std::shared_ptr<const CallbackMap>> callbacks_;
+
+  std::vector<ShardMatch> merge_scratch_;
   std::vector<std::size_t> merge_cursor_;
 };
 

@@ -1,0 +1,65 @@
+// Monotonic generation counter with blocking waiters — the control-plane
+// cousin of EpochSet (epoch_set.h). EpochSet stamps per-id scratch state
+// with an epoch so "clear" is a counter bump; GenerationFence stamps a whole
+// shard's applied-command history with a generation so "has command #g taken
+// effect?" is a counter comparison, and "wait until it has" is a condvar
+// wait instead of a stop-the-world lock.
+//
+// The sharded broker gives every shard one fence. Control commands carry a
+// broker-wide issue generation; whichever thread applies a shard's queued
+// commands advances that shard's fence to the last generation it is known to
+// cover. Observers (unsubscribe fences, quiesce, tests) then get the
+// "nothing issued at or before g is still pending" guarantee from
+// `applied() >= g` without ever touching the shard's engine.
+//
+// advance() may be called by different threads over time but never
+// concurrently (it is always made under the shard's mutex); applied() and
+// wait_until() are safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace ncps {
+
+class GenerationFence {
+ public:
+  /// Last generation known applied (acquire: observers see the effects of
+  /// everything applied up to it).
+  [[nodiscard]] std::uint64_t applied() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+
+  /// Publish that every generation up to `generation` has been applied.
+  /// Monotonic: calls with a lower value are no-ops.
+  void advance(std::uint64_t generation) {
+    if (generation <= applied_.load(std::memory_order_relaxed)) return;
+    {
+      // The lock pairs the store with wait_until's predicate check so a
+      // waiter cannot miss the notify between its check and its sleep.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      applied_.store(generation, std::memory_order_release);
+    }
+    waiters_.notify_all();
+  }
+
+  /// Block until applied() >= generation. Only meaningful when some thread
+  /// is still driving applications forward (a publisher draining command
+  /// queues); use the broker's quiesce() for a self-draining wait.
+  void wait_until(std::uint64_t generation) {
+    if (applied() >= generation) return;  // fast path, no lock
+    std::unique_lock<std::mutex> lock(mutex_);
+    waiters_.wait(lock, [&] {
+      return applied_.load(std::memory_order_acquire) >= generation;
+    });
+  }
+
+ private:
+  std::atomic<std::uint64_t> applied_{0};
+  std::mutex mutex_;
+  std::condition_variable waiters_;
+};
+
+}  // namespace ncps

@@ -1,0 +1,77 @@
+// Unbounded lock-free multi-producer single-consumer queue.
+//
+// The sharded broker's control plane routes subscribe/unsubscribe commands
+// to the shard that owns the subscription; any number of control threads may
+// produce while exactly one consumer (whichever thread currently holds the
+// shard — a worker between batches, or a control thread applying inline)
+// drains. Vyukov's MPSC algorithm fits exactly: push is two atomic
+// operations and never blocks or spins against other producers, pop is
+// consumer-only and wait-free except for the momentary window where a
+// producer has exchanged the head but not yet linked its node (pop reports
+// "empty-for-now" rather than spinning, which is fine here — an unlinked
+// command is concurrent with the batch and may legally miss it).
+//
+// Reference: D. Vyukov, "Non-intrusive MPSC node-based queue".
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+namespace ncps {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(new Node), tail_(head_.load(std::memory_order_relaxed)) {}
+
+  ~MpscQueue() {
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Producer side: safe from any number of threads concurrently.
+  void push(T value) {
+    Node* node = new Node(std::move(value));
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Consumer side: at most one thread at a time. Returns nullopt when the
+  /// queue is empty (or a concurrent push has not finished linking yet).
+  std::optional<T> pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    std::optional<T> value(std::move(next->value));
+    tail_ = next;
+    delete tail;
+    return value;
+  }
+
+  /// Consumer-side emptiness probe; subject to the same linking window as
+  /// pop (may say "empty" while a push is mid-flight).
+  [[nodiscard]] bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T&& v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  std::atomic<Node*> head_;  // producers exchange here
+  Node* tail_;               // consumer-owned stub/oldest node
+};
+
+}  // namespace ncps

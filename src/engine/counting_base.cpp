@@ -26,13 +26,26 @@ CountingBase::Tid CountingBase::allocate_tid() {
   return tid;
 }
 
+void CountingBase::validate(const ast::Node& expression,
+                            PredicateTable& scratch) const {
+  ast::Expr nnf_holder;
+  const Dnf dnf = canonicalize(expression, scratch, nnf_holder, options_);
+  for (const Disjunct& d : dnf.disjuncts) {
+    if (d.size() > kMaxPredicatesPerDisjunct) {
+      throw SubscriptionTooLargeError(d.size());
+    }
+  }
+}
+
 SubscriptionId CountingBase::add(const ast::Node& expression) {
   // Canonicalise: the transformation this engine family cannot avoid.
   ast::Expr nnf_holder;
   Dnf dnf = canonicalize(expression, *table_, nnf_holder, options_);
   NCPS_ASSERT(!dnf.disjuncts.empty());
   for (const Disjunct& d : dnf.disjuncts) {
-    if (d.size() > 255) throw SubscriptionTooLargeError(d.size());
+    if (d.size() > kMaxPredicatesPerDisjunct) {
+      throw SubscriptionTooLargeError(d.size());
+    }
   }
 
   const SubscriptionId id = allocate_id();
@@ -47,6 +60,10 @@ SubscriptionId CountingBase::add(const ast::Node& expression) {
     for (const PredicateId pid : d) {
       acquire_predicate(pid);
       assoc_.ensure_lists(pid.value() + 1);
+      // First engine-local use of this id (possibly a recycled one): stale
+      // postings from its previous life must not have survived removal.
+      NCPS_DASSERT(use_count_[pid.value()] > 1 ||
+                   assoc_.size(pid.value()) == 0);
       assoc_.add(pid.value(), tid);
     }
     ++live_tids_;
@@ -77,7 +94,8 @@ bool CountingBase::remove(SubscriptionId id) {
   for (std::size_t i = 0; i < record.tids.size(); ++i) {
     const Tid tid = record.tids[i];
     for (const PredicateId pid : record.disjuncts[i]) {
-      assoc_.remove(pid.value(), tid);
+      const bool removed = assoc_.remove(pid.value(), tid);
+      NCPS_ASSERT(removed);  // every registered posting must still be present
       release_predicate(pid);
     }
     required_[tid] = kDeadTid;

@@ -49,8 +49,14 @@ class CountingBase : public FilterEngine {
         options_(options),
         support_unsubscription_(support_unsubscription) {}
 
+  /// Disjuncts wider than this overflow the 1-byte counters (the paper
+  /// assumes 256 predicates per subscription).
+  static constexpr std::size_t kMaxPredicatesPerDisjunct = 255;
+
   SubscriptionId add(const ast::Node& expression) override;
   bool remove(SubscriptionId id) override;
+  void validate(const ast::Node& expression,
+                PredicateTable& scratch) const override;
 
   [[nodiscard]] std::size_t subscription_count() const override {
     return live_count_;

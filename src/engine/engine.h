@@ -73,6 +73,20 @@ class FilterEngine {
   /// expression (the caller keeps ownership of `expression`).
   virtual SubscriptionId add(const ast::Node& expression) = 0;
 
+  /// Throw exactly what add() would throw for `expression`, registering
+  /// nothing. `scratch` is a caller-owned table holding the expression's
+  /// predicates (complements intern into it during canonicalisation). The
+  /// base engine accepts everything; engines that canonicalise on add
+  /// override. Touches no mutable engine state, so the broker may call it
+  /// while the engine is concurrently matching — it pre-validates control
+  /// commands that will be applied asynchronously, where a throw would
+  /// otherwise surface on the data plane.
+  virtual void validate(const ast::Node& expression,
+                        PredicateTable& scratch) const {
+    (void)expression;
+    (void)scratch;
+  }
+
   /// Unregister. Returns false if the id is unknown or already removed.
   virtual bool remove(SubscriptionId id) = 0;
 

@@ -45,6 +45,11 @@ SubscriptionId NonCanonicalEngine::add(const ast::Node& expression) {
   for (const PredicateId pid : record.unique_predicates) {
     acquire_predicate(pid);
     assoc_.ensure_lists(pid.value() + 1);
+    // A predicate id entering this engine for the first time — including a
+    // freed id recycled by the table for a structurally different predicate
+    // — must have an empty association list, or stale postings from its
+    // previous life would resurrect dead candidates.
+    NCPS_DASSERT(use_count_[pid.value()] > 1 || assoc_.size(pid.value()) == 0);
     assoc_.add(pid.value(), id.value());
   }
 
@@ -67,7 +72,8 @@ bool NonCanonicalEngine::remove(SubscriptionId id) {
   }
   SubRecord& record = subs_[id.value()];
   for (const PredicateId pid : record.unique_predicates) {
-    assoc_.remove(pid.value(), id.value());
+    const bool removed = assoc_.remove(pid.value(), id.value());
+    NCPS_ASSERT(removed);  // every registered posting must still be present
     release_predicate(pid);
   }
   if (record.always_candidate) {

@@ -1,14 +1,20 @@
 #include "event/schema.h"
 
+#include <mutex>
+
 #include "common/contracts.h"
 
 namespace ncps {
 
 AttributeId AttributeRegistry::intern(std::string_view name) {
   NCPS_EXPECTS(!name.empty());
-  if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
-    return it->second;
+  {
+    const std::shared_lock lock(mutex_);
+    if (auto it = ids_.find(name); it != ids_.end()) return it->second;
   }
+  const std::unique_lock lock(mutex_);
+  // Re-check: another thread may have interned it between the locks.
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;
   const AttributeId id(static_cast<std::uint32_t>(names_.size()));
   names_.emplace_back(name);
   ids_.emplace(names_.back(), id);
@@ -16,25 +22,31 @@ AttributeId AttributeRegistry::intern(std::string_view name) {
 }
 
 AttributeId AttributeRegistry::find(std::string_view name) const {
-  if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
-    return it->second;
-  }
+  const std::shared_lock lock(mutex_);
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;
   return AttributeId::invalid();
 }
 
 const std::string& AttributeRegistry::name(AttributeId id) const {
+  const std::shared_lock lock(mutex_);
   NCPS_EXPECTS(id.valid() && id.value() < names_.size());
   return names_[id.value()];
 }
 
+std::size_t AttributeRegistry::size() const {
+  const std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
 MemoryBreakdown AttributeRegistry::memory() const {
+  const std::shared_lock lock(mutex_);
   MemoryBreakdown mem;
-  std::size_t name_bytes = names_.capacity() * sizeof(std::string);
+  std::size_t name_bytes = names_.size() * sizeof(std::string);
   for (const auto& n : names_) name_bytes += string_bytes(n);
   mem.add("attribute_names", name_bytes);
   mem.add("attribute_id_map",
           ids_.bucket_count() * sizeof(void*) +
-              ids_.size() * (sizeof(std::string) + sizeof(AttributeId) +
+              ids_.size() * (sizeof(std::string_view) + sizeof(AttributeId) +
                              2 * sizeof(void*)));
   return mem;
 }

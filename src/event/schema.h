@@ -4,12 +4,21 @@
 // event names one); interning maps each distinct name to a dense AttributeId
 // so the hot path works on integers and per-attribute index arrays, never on
 // strings.
+//
+// The registry is shared by every broker and every shard (an overlay-wide
+// schema) and is therefore internally synchronised: parse_raw may intern new
+// names from concurrent control threads while publisher threads build events
+// against the same registry. Lookups take a shared lock; interning a *new*
+// name takes the exclusive lock (a one-time event per attribute — steady
+// state is all-reader). Names live in a deque so the references handed out
+// by name() stay valid across concurrent growth.
 #pragma once
 
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "common/ids.h"
 #include "common/memory_tracker.h"
@@ -19,20 +28,24 @@ namespace ncps {
 class AttributeRegistry {
  public:
   /// Intern a name, returning its stable id (allocating one if new).
+  /// Thread-safe.
   AttributeId intern(std::string_view name);
 
-  /// Look up an existing name; invalid() if never interned.
+  /// Look up an existing name; invalid() if never interned. Thread-safe.
   [[nodiscard]] AttributeId find(std::string_view name) const;
 
+  /// The interned name for an id. The returned reference is stable for the
+  /// registry's lifetime (names are never removed). Thread-safe.
   [[nodiscard]] const std::string& name(AttributeId id) const;
 
-  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
   [[nodiscard]] MemoryBreakdown memory() const;
 
  private:
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, AttributeId> ids_;
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, AttributeId> ids_;  // views into names_
 };
 
 }  // namespace ncps

@@ -1,0 +1,105 @@
+#include "workload/churn_workload.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+#include "subscription/printer.h"
+
+namespace ncps {
+
+namespace {
+
+PaperWorkloadConfig derive_generator_config(const ChurnWorkloadConfig& c) {
+  PaperWorkloadConfig config = c.subscriptions;
+  config.seed = c.seed;  // one seed drives the whole stream
+  return config;
+}
+
+}  // namespace
+
+ChurnWorkload::ChurnWorkload(ChurnWorkloadConfig config,
+                             AttributeRegistry& attrs)
+    : config_(config),
+      attrs_(&attrs),
+      generator_(derive_generator_config(config), attrs, scratch_),
+      rng_(config.seed, /*stream=*/0x5c0e),
+      lifetimes_(config.lifetime_ranks == 0 ? 1 : config.lifetime_ranks,
+                 config.lifetime_skew) {
+  NCPS_EXPECTS(config.churn_rate >= 0.0);
+  NCPS_EXPECTS(config.subscriber_count >= 1);
+  NCPS_EXPECTS(config.base_lifetime_events >= 1);
+}
+
+ChurnWorkload::Op ChurnWorkload::make_subscribe() {
+  Op op;
+  op.kind = Op::Kind::Subscribe;
+  op.handle = next_handle_++;
+  op.subscriber = rng_.bounded(
+      static_cast<std::uint32_t>(config_.subscriber_count));
+  const ast::Expr expr = generator_.next_subscription();
+  op.text = print_expression(expr.root(), scratch_, *attrs_);
+  // Zipf rank r ⇒ lifetime (r+1) × base: rank 0 (the most likely under
+  // skew > 0) is the shortest-lived.
+  const std::size_t rank = lifetimes_.sample(rng_);
+  const std::uint64_t lifetime =
+      static_cast<std::uint64_t>(rank + 1) * config_.base_lifetime_events;
+  live_.push(Lease{event_clock_ + lifetime, op.handle});
+  return op;
+}
+
+ChurnWorkload::Op ChurnWorkload::make_unsubscribe() {
+  NCPS_EXPECTS(!live_.empty());
+  Op op;
+  op.kind = Op::Kind::Unsubscribe;
+  op.handle = live_.top().handle;
+  live_.pop();
+  return op;
+}
+
+ChurnWorkload::Op ChurnWorkload::next() {
+  // Warm-up: fill to the target population before any event flows.
+  if (event_clock_ == 0 && live_.size() < config_.target_population) {
+    return make_subscribe();
+  }
+
+  // Credit accrues per *published event* (below), so churn_rate is exact at
+  // any rate: 0.1 yields one control op per ten events, 3.0 yields three
+  // control ops between consecutive events.
+  if (credit_ >= 1.0) {
+    credit_ -= 1.0;
+    if (live_.empty()) return make_subscribe();
+    // Balance the population around the target: expired leases (deadline
+    // passed) are reclaimed first; while at or above target the next
+    // expiry goes, below target a replacement arrives. Subscribe and
+    // unsubscribe therefore alternate in steady state, realising the
+    // assigned Zipf lifetimes.
+    const bool expired = live_.top().deadline <= event_clock_;
+    if (expired || live_.size() > config_.target_population) {
+      return make_unsubscribe();
+    }
+    if (live_.size() < config_.target_population) {
+      return make_subscribe();
+    }
+    return make_unsubscribe();
+  }
+
+  Op op;
+  op.kind = Op::Kind::Publish;
+  op.event = generator_.next_event();
+  ++event_clock_;
+  credit_ += config_.churn_rate;
+  return op;
+}
+
+std::vector<std::uint64_t> ChurnWorkload::live_handles() const {
+  auto copy = live_;
+  std::vector<std::uint64_t> handles;
+  handles.reserve(copy.size());
+  while (!copy.empty()) {
+    handles.push_back(copy.top().handle);
+    copy.pop();
+  }
+  return handles;
+}
+
+}  // namespace ncps

@@ -120,6 +120,60 @@ TEST_F(PredicateImpliesTest, StringFamilies) {
       predicate_implies(con, make("s", Operator::Contains, Value("dim"))));
 }
 
+TEST_F(PredicateImpliesTest, StringBoundaryPairs) {
+  // The empty prefix accepts every string: implied by any string predicate,
+  // implies nothing but itself (and Ne targets it can rule out — none).
+  const Predicate empty_prefix = make("s", Operator::Prefix, Value(""));
+  EXPECT_TRUE(predicate_implies(make("s", Operator::Prefix, Value("abc")),
+                                empty_prefix));
+  EXPECT_TRUE(predicate_implies(make("s", Operator::Eq, Value("anything")),
+                                empty_prefix));
+  EXPECT_FALSE(predicate_implies(empty_prefix,
+                                 make("s", Operator::Prefix, Value("a"))));
+  EXPECT_TRUE(predicate_implies(empty_prefix, empty_prefix));
+  // Empty suffix and contains behave the same way.
+  EXPECT_TRUE(predicate_implies(make("s", Operator::Suffix, Value("xyz")),
+                                make("s", Operator::Suffix, Value(""))));
+  EXPECT_TRUE(predicate_implies(make("s", Operator::Contains, Value("mid")),
+                                make("s", Operator::Contains, Value(""))));
+
+  // Equal operands: reflexive for every string operator.
+  const Predicate pre = make("s", Operator::Prefix, Value("ab"));
+  EXPECT_TRUE(predicate_implies(pre, make("s", Operator::Prefix, Value("ab"))));
+  const Predicate suf = make("s", Operator::Suffix, Value("ab"));
+  EXPECT_TRUE(predicate_implies(suf, make("s", Operator::Suffix, Value("ab"))));
+  // …but prefix and suffix of the same operand do not imply each other.
+  EXPECT_FALSE(predicate_implies(pre, suf));
+  EXPECT_FALSE(predicate_implies(suf, pre));
+  // The prefix is itself a possible value: prefix "ab" cannot rule out
+  // s == "ab", but rules out any string not starting with it.
+  EXPECT_FALSE(predicate_implies(pre, make("s", Operator::Ne, Value("ab"))));
+  EXPECT_TRUE(predicate_implies(pre, make("s", Operator::Ne, Value("ba"))));
+}
+
+TEST_F(PredicateImpliesTest, EqualityAtRangeEndpoints) {
+  const Predicate eq10 = make("x", Operator::Eq, Value(10));
+  // Closed endpoints admit the point, open endpoints exclude it.
+  EXPECT_TRUE(predicate_implies(eq10, make("x", Operator::Le, Value(10))));
+  EXPECT_TRUE(predicate_implies(eq10, make("x", Operator::Ge, Value(10))));
+  EXPECT_FALSE(predicate_implies(eq10, make("x", Operator::Lt, Value(10))));
+  EXPECT_FALSE(predicate_implies(eq10, make("x", Operator::Gt, Value(10))));
+  EXPECT_TRUE(predicate_implies(
+      eq10, make("x", Operator::Between, Value(10), Value(20))));
+  EXPECT_TRUE(predicate_implies(
+      eq10, make("x", Operator::Between, Value(0), Value(10))));
+  EXPECT_FALSE(predicate_implies(
+      eq10, make("x", Operator::NotBetween, Value(10), Value(20))));
+
+  // The reverse direction: only the degenerate one-point interval collapses
+  // to equality.
+  const Predicate point = make("x", Operator::Between, Value(10), Value(10));
+  EXPECT_TRUE(predicate_implies(point, eq10));
+  EXPECT_TRUE(predicate_implies(eq10, point));
+  EXPECT_FALSE(predicate_implies(make("x", Operator::Le, Value(10)), eq10));
+  EXPECT_FALSE(predicate_implies(make("x", Operator::Ge, Value(10)), eq10));
+}
+
 TEST_F(PredicateImpliesTest, PresenceAndAbsence) {
   const Predicate gt = make("x", Operator::Gt, Value(1));
   EXPECT_TRUE(predicate_implies(gt, make("x", Operator::Exists, Value())));
@@ -200,6 +254,44 @@ TEST_F(CoversTest, ExplosionBudgetAnswersFalse) {
   const ast::Expr a = parse(wide);
   const ast::Expr b = parse(wide);
   EXPECT_FALSE(covers(a.root(), b.root(), table_, options));
+}
+
+TEST_F(CoversTest, StringBoundaryCovering) {
+  // Empty-prefix subscriptions cover every prefix refinement…
+  EXPECT_TRUE(check("sym prefix \"\"", "sym prefix \"ABC\""));
+  EXPECT_FALSE(check("sym prefix \"ABC\"", "sym prefix \"\""));
+  // …and equal prefixes cover each other (equivalence, both directions).
+  EXPECT_TRUE(check("sym prefix \"AB\"", "sym prefix \"AB\""));
+  EXPECT_TRUE(
+      check("sym prefix \"AB\" or sym prefix \"CD\"", "sym prefix \"AB\""));
+}
+
+TEST_F(CoversTest, EqualityAtRangeEndpoints) {
+  EXPECT_TRUE(check("x <= 10", "x == 10"));
+  EXPECT_FALSE(check("x < 10", "x == 10"));
+  EXPECT_TRUE(check("x >= 10 and x <= 10", "x == 10"));
+  EXPECT_TRUE(check("x == 10", "x between 10 and 10"));
+  EXPECT_TRUE(check("x between 10 and 10", "x == 10"));
+  EXPECT_FALSE(check("x between 10 and 20", "x <= 20"));
+  EXPECT_TRUE(check("x <= 20", "x between 10 and 20"));
+}
+
+TEST_F(CoversTest, AsymmetricExplosionBudgetAnswersFalse) {
+  // Semantically `a >= 0` covers `a >= 0 AND (wide)`, but proving it
+  // requires canonicalising the covered side past the budget: the answer
+  // must be the conservative false, never unsound, never a throw.
+  std::string wide = "a >= 0";
+  for (int i = 0; i < 12; ++i) {
+    wide += " and (g" + std::to_string(i) + " == 1 or g" + std::to_string(i) +
+            " == 2)";
+  }
+  DnfOptions options;
+  options.max_disjuncts = 16;
+  const ast::Expr covering = parse("a >= 0");
+  const ast::Expr covered = parse(wide);
+  EXPECT_FALSE(covers(covering.root(), covered.root(), table_, options));
+  // With the budget lifted the same pair proves fine.
+  EXPECT_TRUE(covers(covering.root(), covered.root(), table_));
 }
 
 // Soundness property: whenever covers() says yes, no sampled event may match
