@@ -193,8 +193,6 @@ int main() {
           .field("events_per_sec", events_per_sec)
           .field("notifications", result.notifications)
           .field("slowdown_vs_static", result.seconds / baseline)
-          .field("hw_threads",
-                 static_cast<std::size_t>(std::thread::hardware_concurrency()))
           .emit();
     }
   }

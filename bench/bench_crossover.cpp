@@ -77,9 +77,23 @@ int main() {
       crossover_n = n;
     }
     std::printf("%zu,%.6e,%.6e,%.6e,%s\n", n, nc, var, cnt, fastest);
+    JsonRow("crossover")
+        .field("predicates", kPredicates)
+        .field("fulfilled", fulfilled_count)
+        .field("subscriptions", n)
+        .field("non_canonical_s", nc)
+        .field("counting_variant_s", var)
+        .field("counting_s", cnt)
+        .field("fastest", fastest)
+        .emit();
     std::fflush(stdout);
   }
 
+  JsonRow("crossover_summary")
+      .field("predicates", kPredicates)
+      .field("counting_was_fastest", counting_was_fastest ? "yes" : "no")
+      .field("crossover_n", crossover_n)
+      .emit();
   if (crossover_n != 0) {
     std::printf("# counting stops being fastest at N = %zu\n", crossover_n);
   } else if (counting_was_fastest) {

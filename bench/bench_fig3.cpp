@@ -81,6 +81,15 @@ std::vector<PanelResult> run_panel(char label, std::size_t predicates,
     results.push_back(r);
     std::printf("%zu,%.6e,%.6e,%.6e\n", r.n, r.non_canonical,
                 r.counting_variant, r.counting);
+    JsonRow("fig3")
+        .field("panel", std::string_view(&label, 1))
+        .field("predicates", predicates)
+        .field("fulfilled", fulfilled_count)
+        .field("subscriptions", r.n)
+        .field("non_canonical_s", r.non_canonical)
+        .field("counting_variant_s", r.counting_variant)
+        .field("counting_s", r.counting)
+        .emit();
     std::fflush(stdout);
   }
   return results;

@@ -147,6 +147,14 @@ int main() {
       std::printf("%s,%.1f,%.0f,%.0f,%.0f\n", name, rate, kBudgetBytes / rate,
                   kBudgetBytes / (rate + compact_shared),
                   kBudgetBytes / (rate + shared_rate));
+      JsonRow("memory")
+          .field("predicates", predicates)
+          .field("engine", name)
+          .field("phase2_bytes_per_sub", rate)
+          .field("max_subs_model_a", kBudgetBytes / rate)
+          .field("max_subs_model_b", kBudgetBytes / (rate + compact_shared))
+          .field("max_subs_model_c", kBudgetBytes / (rate + shared_rate))
+          .emit();
       return rate;
     };
     const double nc =
@@ -174,5 +182,9 @@ int main() {
               "subscriptions of the counting approach (phase-2 model): %s\n",
               claim_holds ? "HOLDS" : "FAILS");
   std::printf("# verification: %s\n", claim_holds ? "PASS" : "FAIL");
+  JsonRow("memory_claim")
+      .field("claim", "noncanonical_4x_capacity_at_p10")
+      .field("verdict", claim_holds ? "PASS" : "FAIL")
+      .emit();
   return claim_holds ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "broker/overlay.h"
 #include "common/random.h"
 #include "workload/zipf.h"
@@ -121,6 +122,20 @@ int main() {
         static_cast<unsigned long long>(control_messages),
         routing_entries, shadowed_entries,
         static_cast<unsigned long long>(net.now() - start_time));
+    ncps::bench::JsonRow("overlay")
+        .field("engine", to_string(kind))
+        .field("covering", setup.covering ? "on" : "off")
+        .field("brokers", kBrokers)
+        .field("subscribers", kBrokers * kSubscribersPerBroker)
+        .field("events", kEvents)
+        .field("notifications",
+               static_cast<std::size_t>(net.notifications_delivered()))
+        .field("event_messages", static_cast<std::size_t>(event_messages))
+        .field("flood_bound", static_cast<std::size_t>(flood_bound))
+        .field("control_messages", static_cast<std::size_t>(control_messages))
+        .field("routing_entries", routing_entries)
+        .field("shadowed_entries", shadowed_entries)
+        .emit();
   }
   return 0;
 }

@@ -147,8 +147,6 @@ int main() {
           .field("events_per_sec", events_per_sec)
           .field("notifications", notifications)
           .field("speedup_vs_1_shard", baseline / seconds)
-          .field("hw_threads",
-                 static_cast<std::size_t>(std::thread::hardware_concurrency()))
           .emit();
       if (baseline / seconds > best_speedup) {
         best_speedup = baseline / seconds;

@@ -8,6 +8,7 @@
 // Fig. 1 example (9 disjunctions).
 #include <cstdio>
 
+#include "bench_util.h"
 #include "subscription/dnf.h"
 #include "subscription/parser.h"
 #include "workload/paper_workload.h"
@@ -56,6 +57,15 @@ int main() {
                 static_cast<unsigned long long>(workload.expected_disjuncts()),
                 dnf.disjuncts.size(), workload.expected_disjunct_width(),
                 measured_width, agrees ? "yes" : "NO");
+    ncps::bench::JsonRow("table1")
+        .field("predicates", preds)
+        .field("expected_disjuncts",
+               static_cast<std::size_t>(workload.expected_disjuncts()))
+        .field("measured_disjuncts", dnf.disjuncts.size())
+        .field("expected_width", workload.expected_disjunct_width())
+        .field("measured_width", measured_width)
+        .field("estimator_agrees", agrees ? "yes" : "no")
+        .emit();
   }
 
   // The paper's Fig. 1 example: 9 disjunctions.
@@ -73,5 +83,8 @@ int main() {
   }
 
   std::printf("# verification: %s\n", all_ok ? "PASS" : "FAIL");
+  ncps::bench::JsonRow("table1_verdict")
+      .field("verdict", all_ok ? "PASS" : "FAIL")
+      .emit();
   return all_ok ? 0 : 1;
 }

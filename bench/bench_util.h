@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "engine/counting_engine.h"
@@ -84,15 +85,42 @@ double time_seconds(Fn&& fn, int repetitions = 5) {
   return best;
 }
 
+/// Run-wide metadata stamped on every JSON row, so a scraped row is
+/// self-describing without the file name or CI context it came from. The
+/// git sha comes from the NCPS_GIT_SHA environment variable (set by
+/// scripts/run_benches.sh and CI); "unknown" outside those harnesses.
+struct RunMetadata {
+  std::string git_sha;
+  Scale scale;
+  std::size_t hw_threads;
+
+  static const RunMetadata& get() {
+    static const RunMetadata meta = [] {
+      RunMetadata m;
+      const char* sha = std::getenv("NCPS_GIT_SHA");
+      m.git_sha = sha == nullptr ? "unknown" : sha;
+      m.scale = scale_from_env();
+      m.hw_threads = std::thread::hardware_concurrency();
+      return m;
+    }();
+    return meta;
+  }
+};
+
 /// One machine-readable result row, emitted to stdout as a single JSON
 /// object per line (the benches' CSV stays for humans; JSON rows are what
-/// downstream tooling scrapes). Field order follows insertion order.
+/// downstream tooling scrapes). Field order follows insertion order; every
+/// row opens with the bench name plus the RunMetadata stamp.
 class JsonRow {
  public:
   explicit JsonRow(std::string_view bench) {
     line_ = "{\"bench\":\"";
     line_ += bench;
     line_ += '"';
+    const RunMetadata& meta = RunMetadata::get();
+    field("git_sha", meta.git_sha);
+    field("scale", to_string(meta.scale));
+    field("hw_threads", meta.hw_threads);
   }
 
   JsonRow& field(std::string_view key, std::string_view value) {

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Run every bench at REPRO_SCALE=quick and persist the machine-readable rows.
+#
+# For each build/bench_* binary this script captures stdout, extracts the
+# one-object-per-line JSON rows (bench_util.h JsonRow; human CSV/summary
+# lines are left behind), and writes them to BENCH_<name>.json at the repo
+# root — the bench trajectory CI uploads as artifacts. Benches that emit no
+# JSON rows (e.g. bench_ablation's Google-Benchmark output) produce an empty
+# file, which is still a record that the bench ran.
+#
+# Usage: scripts/run_benches.sh [build-dir]   (default: build)
+# Environment: REPRO_SCALE is forced to quick unless already set;
+# NCPS_GIT_SHA is derived from git when absent so every row is stamped.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [ ! -d "$build_dir" ]; then
+  echo "error: build directory '$build_dir' not found (configure first)" >&2
+  exit 1
+fi
+
+export REPRO_SCALE="${REPRO_SCALE:-quick}"
+if [ -z "${NCPS_GIT_SHA:-}" ]; then
+  NCPS_GIT_SHA="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  export NCPS_GIT_SHA
+fi
+
+echo "# run_benches: scale=$REPRO_SCALE sha=$NCPS_GIT_SHA build=$build_dir"
+
+status=0
+found=0
+for bench in "$build_dir"/bench_*; do
+  [ -x "$bench" ] || continue
+  found=1
+  name="$(basename "$bench")"
+  out_json="$repo_root/BENCH_${name#bench_}.json"
+  log="$(mktemp)"
+  echo "== $name"
+  # bench_memory/bench_table1 exit non-zero when a paper claim fails to
+  # verify; record the failure but keep running the rest of the suite.
+  if ! "$bench" >"$log" 2>&1; then
+    echo "   (exit != 0 — verification failure recorded)" >&2
+    status=1
+  fi
+  grep '^{' "$log" > "$out_json" || true
+  rows="$(wc -l < "$out_json")"
+  echo "   -> $out_json ($rows rows)"
+  rm -f "$log"
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "error: no bench_* binaries in '$build_dir'" >&2
+  exit 1
+fi
+exit "$status"

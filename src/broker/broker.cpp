@@ -7,4 +7,9 @@ std::unique_ptr<Broker> Broker::create(AttributeRegistry& attrs,
   return std::make_unique<Broker>(attrs, engine);
 }
 
+std::unique_ptr<Broker> Broker::create(AttributeRegistry& attrs,
+                                       BrokerOptions options) {
+  return std::make_unique<Broker>(attrs, options);
+}
+
 }  // namespace ncps

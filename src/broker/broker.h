@@ -22,18 +22,33 @@
 
 namespace ncps {
 
+/// Single-broker configuration surface: the engine choice plus the delivery
+/// plane setup (async delivery with per-subscriber outboxes is opt-in; the
+/// default is the seed's inline delivery).
+struct BrokerOptions {
+  EngineKind engine = EngineKind::NonCanonical;
+  DeliveryOptions delivery{};
+};
+
 class Broker : public ShardedBroker {
  public:
   explicit Broker(AttributeRegistry& attrs,
                   EngineKind engine = EngineKind::NonCanonical)
-      : ShardedBroker(attrs, ShardedBrokerConfig{.shard_count = 1,
-                                                 .engine = engine}) {}
+      : Broker(attrs, BrokerOptions{.engine = engine}) {}
+
+  Broker(AttributeRegistry& attrs, BrokerOptions options)
+      : ShardedBroker(attrs,
+                      ShardedBrokerConfig{.shard_count = 1,
+                                          .engine = options.engine,
+                                          .delivery = options.delivery}) {}
 
   /// The engine holds a reference to the broker-owned predicate table, so a
   /// Broker pins its address (copy and move are deleted in the base class).
   /// create() is the enforced way to get a relocatable broker handle.
   [[nodiscard]] static std::unique_ptr<Broker> create(
       AttributeRegistry& attrs, EngineKind engine = EngineKind::NonCanonical);
+  [[nodiscard]] static std::unique_ptr<Broker> create(AttributeRegistry& attrs,
+                                                      BrokerOptions options);
 
   [[nodiscard]] FilterEngine& engine() { return shard_engine(0); }
 };

@@ -9,7 +9,10 @@ namespace ncps {
 BrokerId BrokerNetwork::add_broker() {
   const BrokerId id = net_.add_node();
   auto node = std::make_unique<NodeState>();
-  node->local = std::make_unique<Broker>(attrs_, engine_kind_);
+  node->local = std::make_unique<Broker>(
+      attrs_,
+      BrokerOptions{.engine = engine_kind_,
+                    .delivery = broker_options_.delivery});
   nodes_.push_back(std::move(node));
   union_find_.push_back(id.value());
   return id;
@@ -237,9 +240,16 @@ std::size_t BrokerNetwork::shadowed_count(BrokerId at, BrokerId neighbor) {
 }
 
 std::size_t BrokerNetwork::run() {
-  return net_.run([this](const SimNetwork<OverlayMessage>::Delivery& d) {
-    handle(d);
-  });
+  const std::size_t delivered =
+      net_.run([this](const SimNetwork<OverlayMessage>::Delivery& d) {
+        handle(d);
+      });
+  // The network is quiescent; drain the delivery planes too, so callers see
+  // every callback implied by the drained traffic before run() returns.
+  if (broker_options_.delivery.mode == DeliveryMode::Async) {
+    for (auto& node : nodes_) node->local->flush();
+  }
+  return delivered;
 }
 
 }  // namespace ncps

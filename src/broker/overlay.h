@@ -61,6 +61,15 @@ class BrokerNetwork {
                          bool enable_covering = false)
       : engine_kind_(engine), covering_enabled_(enable_covering) {}
 
+  /// Full options form: every broker in the overlay is constructed with
+  /// `options` — in particular DeliveryOptions::mode == Async gives each
+  /// node an async delivery plane, so local deliveries come off the routing
+  /// path. run() flushes the planes at quiescence.
+  BrokerNetwork(BrokerOptions options, bool enable_covering)
+      : engine_kind_(options.engine),
+        covering_enabled_(enable_covering),
+        broker_options_(options) {}
+
   BrokerId add_broker();
 
   /// Link two brokers. The topology must stay acyclic; a connect that would
@@ -80,7 +89,10 @@ class BrokerNetwork {
   /// immediately; remote deliveries happen as the network drains.
   void publish(BrokerId at, const Event& event);
 
-  /// Drain the network to quiescence; returns messages delivered.
+  /// Drain the network to quiescence; returns messages delivered. When the
+  /// local brokers run an async delivery plane, their outboxes are flushed
+  /// after the drain, so on return every notification implied by the
+  /// drained traffic has reached its callback.
   std::size_t run();
 
   [[nodiscard]] std::size_t broker_count() const { return nodes_.size(); }
@@ -88,6 +100,9 @@ class BrokerNetwork {
   [[nodiscard]] std::uint64_t messages_sent() const {
     return net_.messages_sent();
   }
+  /// Notifications handed to subscriber callbacks (async delivery planes:
+  /// accepted for delivery; exact again after run()'s flush under the
+  /// lossless Block policy).
   [[nodiscard]] std::uint64_t notifications_delivered() const {
     return notifications_;
   }
@@ -155,6 +170,7 @@ class BrokerNetwork {
 
   EngineKind engine_kind_;
   bool covering_enabled_;
+  BrokerOptions broker_options_{};
   AttributeRegistry attrs_;
   SimNetwork<OverlayMessage> net_;
   std::vector<std::unique_ptr<NodeState>> nodes_;

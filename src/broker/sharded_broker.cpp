@@ -48,6 +48,10 @@ ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
     }
     pool_ = std::make_unique<ThreadPool>(threads);
   }
+  if (config.delivery.mode == DeliveryMode::Async) {
+    delivery_default_policy_ = config.delivery.default_policy;
+    delivery_ = std::make_unique<DeliveryPlane>(config.delivery);
+  }
 }
 
 ShardedBroker::~ShardedBroker() = default;
@@ -58,13 +62,34 @@ std::unique_ptr<ShardedBroker> ShardedBroker::create(
 }
 
 SubscriberId ShardedBroker::register_subscriber(NotifyFn callback) {
+  const BackpressurePolicy policy =
+      delivery_ == nullptr ? BackpressurePolicy::Block
+                           : delivery_default_policy_;
+  return register_subscriber_impl(std::move(callback), policy);
+}
+
+SubscriberId ShardedBroker::register_subscriber(NotifyFn callback,
+                                                BackpressurePolicy policy) {
+  return register_subscriber_impl(std::move(callback), policy);
+}
+
+SubscriberId ShardedBroker::register_subscriber_impl(
+    NotifyFn callback, BackpressurePolicy policy) {
   NCPS_EXPECTS(callback != nullptr);
   const std::lock_guard<std::mutex> lock(control_mutex_);
   const SubscriberId id(next_subscriber_++);
-  auto updated = std::make_shared<CallbackMap>(*callbacks_.load());
-  updated->emplace(id, std::move(callback));
-  callbacks_.store(std::shared_ptr<const CallbackMap>(std::move(updated)));
   subscriptions_by_subscriber_.emplace(id, std::vector<SubscriptionId>{});
+  // Exactly one snapshot store owns the callback: the plane's outbox map in
+  // async mode, the broker's callback map inline. Maintaining both would
+  // double the copy-on-write cost of every control operation for a map the
+  // async publish path never reads.
+  if (delivery_ != nullptr) {
+    delivery_->add_subscriber(id, std::move(callback), policy);
+  } else {
+    auto updated = std::make_shared<CallbackMap>(*callbacks_.load());
+    updated->emplace(id, std::move(callback));
+    callbacks_.store(std::shared_ptr<const CallbackMap>(std::move(updated)));
+  }
   return id;
 }
 
@@ -78,9 +103,13 @@ void ShardedBroker::unregister_subscriber(SubscriberId subscriber) {
     issue_unsubscribe_locked(sub, route);
   }
   subscriptions_by_subscriber_.erase(it);
-  auto updated = std::make_shared<CallbackMap>(*callbacks_.load());
-  updated->erase(subscriber);
-  callbacks_.store(std::shared_ptr<const CallbackMap>(std::move(updated)));
+  if (delivery_ != nullptr) {
+    delivery_->remove_subscriber(subscriber);
+  } else {
+    auto updated = std::make_shared<CallbackMap>(*callbacks_.load());
+    updated->erase(subscriber);
+    callbacks_.store(std::shared_ptr<const CallbackMap>(std::move(updated)));
+  }
 }
 
 SubscriptionId ShardedBroker::allocate_global_locked() {
@@ -104,6 +133,19 @@ SubscriptionId ShardedBroker::allocate_global_locked() {
         } else if (retired.safe_epoch == 0) {
           retired.safe_epoch = epoch_now + 1;
         }
+      }
+      // Async delivery: the batches those publishes enqueued still carry
+      // the id — in the owning subscriber's outbox. First time the epoch
+      // condition holds, every such batch has been accepted there, so
+      // snapshot that outbox's accepted marker; reuse once its completed
+      // marker catches up (everything is delivered, evicted or discarded).
+      if (reusable && delivery_ != nullptr) {
+        if (retired.safe_accepted == kAcceptedUnset) {
+          retired.safe_accepted =
+              delivery_->subscriber_accepted_marker(retired.owner);
+        }
+        reusable = delivery_->subscriber_completed_marker(retired.owner) >=
+                   retired.safe_accepted;
       }
       if (reusable) {
         free_globals_.push_back(retired.global);
@@ -199,15 +241,17 @@ void ShardedBroker::issue_unsubscribe_locked(SubscriptionId global,
     issue_generation_.store(generation, std::memory_order_release);
     shard.fence.advance(generation);
     // The engine no longer knows the id — but a batch mid-delivery may
-    // still hold it in buffered match records, and immediate reuse would
-    // relabel those stale notifications as the new subscription. Reuse
-    // inline only when no batch is in flight (always true for sequential
-    // callers, preserving the seed's LIFO ids); otherwise quarantine.
-    if (publish_idle_probe()) {
+    // still hold it in buffered match records (or, async mode, in pending
+    // outbox batches), and immediate reuse would relabel those stale
+    // notifications as the new subscription. Reuse inline only when no
+    // batch is in flight and no accepted delivery is pending (always true
+    // for sequential inline callers, preserving the seed's LIFO ids);
+    // otherwise quarantine.
+    if (publish_idle_probe() && (delivery_ == nullptr || delivery_->idle())) {
       free_globals_.push_back(global);
     } else {
       retired_globals_.push_back(
-          RetiredGlobal{global, route.shard, generation});
+          RetiredGlobal{global, route.shard, route.owner, generation});
     }
   } else {
     ShardCommand command;
@@ -217,7 +261,7 @@ void ShardedBroker::issue_unsubscribe_locked(SubscriptionId global,
     shard.commands.push(std::move(command));
     issue_generation_.store(generation, std::memory_order_release);
     retired_globals_.push_back(
-        RetiredGlobal{global, route.shard, generation});
+        RetiredGlobal{global, route.shard, route.owner, generation});
   }
 }
 
@@ -306,11 +350,11 @@ void ShardedBroker::run_shard_tasks(std::span<const Event> events) {
   }
 }
 
-std::size_t ShardedBroker::merge_and_deliver(std::span<const Event> events,
-                                             const CallbackMap& callbacks) {
+template <typename PerEvent>
+void ShardedBroker::merge_matches(std::span<const Event> events,
+                                  PerEvent&& per_event) {
   // Each shard's buffer is already ordered by event index (engines process
   // the batch in order), so a cursor per shard gives each event's slice.
-  std::size_t delivered = 0;
   merge_cursor_.assign(shards_.size(), 0);
   for (std::size_t e = 0; e < events.size(); ++e) {
     merge_scratch_.clear();
@@ -327,14 +371,36 @@ std::size_t ShardedBroker::merge_and_deliver(std::span<const Event> events,
               [](const ShardMatch& a, const ShardMatch& b) {
                 return a.subscription < b.subscription;
               });
+    per_event(e);
+  }
+}
+
+std::size_t ShardedBroker::merge_and_deliver(std::span<const Event> events,
+                                             const CallbackMap& callbacks) {
+  std::size_t delivered = 0;
+  merge_matches(events, [&](std::size_t e) {
     for (const ShardMatch& match : merge_scratch_) {
       const auto cb = callbacks.find(match.owner);
       if (cb == callbacks.end()) continue;  // unregistered mid-batch
       cb->second(Notification{match.owner, match.subscription, &events[e]});
       ++delivered;
     }
-  }
+  });
   return delivered;
+}
+
+std::size_t ShardedBroker::merge_and_enqueue(std::span<const Event> events) {
+  // Async mode: the merged matches become per-subscriber outbox batches.
+  // The plane filters subscribers unregistered since matching via its own
+  // snapshot, so no callback map is consulted here.
+  delivery_->begin_batch(events);
+  merge_matches(events, [&](std::size_t e) {
+    for (const ShardMatch& match : merge_scratch_) {
+      delivery_->add_match(static_cast<std::uint32_t>(e), match.owner,
+                           match.subscription);
+    }
+  });
+  return delivery_->commit_batch();
 }
 
 std::size_t ShardedBroker::publish(const Event& event) {
@@ -347,15 +413,31 @@ std::size_t ShardedBroker::publish_batch(std::span<const Event> events) {
   publishing_thread_.store(std::this_thread::get_id(),
                            std::memory_order_relaxed);
   run_shard_tasks(events);
-  // Snapshot after matching: a subscriber registered while the batch was
-  // matching is deliverable, one unregistered is skipped.
-  const std::shared_ptr<const CallbackMap> callbacks = callbacks_.load();
-  const std::size_t delivered = merge_and_deliver(events, *callbacks);
-  // Delivery done: stale match records from this batch are dead, so
-  // quarantined global ids gated on this epoch become reusable.
+  std::size_t delivered;
+  if (delivery_ != nullptr) {
+    delivered = merge_and_enqueue(events);
+  } else {
+    // Snapshot after matching: a subscriber registered while the batch was
+    // matching is deliverable, one unregistered is skipped.
+    const std::shared_ptr<const CallbackMap> callbacks = callbacks_.load();
+    delivered = merge_and_deliver(events, *callbacks);
+  }
+  // Delivery (inline) or hand-off (async) done: stale match records from
+  // this batch are dead, so quarantined global ids gated on this epoch move
+  // to their next reclamation stage.
   publishing_thread_.store(std::thread::id(), std::memory_order_relaxed);
   publish_epoch_.fetch_add(1, std::memory_order_release);
   return delivered;
+}
+
+void ShardedBroker::flush() {
+  if (delivery_ != nullptr) delivery_->flush();
+}
+
+std::optional<DeliveryStats> ShardedBroker::delivery_stats(
+    SubscriberId subscriber) const {
+  if (delivery_ == nullptr) return std::nullopt;
+  return delivery_->stats(subscriber);
 }
 
 bool ShardedBroker::publish_idle_probe() {
@@ -386,6 +468,11 @@ void ShardedBroker::quiesce() {
     const std::lock_guard<std::mutex> shard_lock(shard->mutex);
     drain_shard(*shard);
   }
+  // Async mode: the in-flight batch only *enqueued* its notifications;
+  // the delivery flush completes the barrier (closed outboxes discard, so
+  // unregistered subscribers cannot fire during it). Holding the publish
+  // lock keeps later batches ordered after the fence.
+  if (delivery_ != nullptr) delivery_->flush();
 }
 
 std::size_t ShardedBroker::subscription_count() const {
@@ -398,6 +485,11 @@ std::size_t ShardedBroker::subscription_count() const {
 }
 
 std::size_t ShardedBroker::subscriber_count() const {
+  if (delivery_ != nullptr) {
+    // Async mode keeps no callback map; the session table is authoritative.
+    const std::lock_guard<std::mutex> lock(control_mutex_);
+    return subscriptions_by_subscriber_.size();
+  }
   return callbacks_.load()->size();
 }
 

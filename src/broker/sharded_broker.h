@@ -12,9 +12,13 @@
 // only ever touched by one thread at a time), shards stream matches into
 // per-shard buffers via the engines' MatchSink interface, and the publishing
 // thread merges the buffers deterministically (per event, ascending
-// subscription id) before invoking subscriber callbacks. Callbacks always
-// run on the publishing thread, never concurrently, and must not publish
-// back into the broker.
+// subscription id) before handing them to delivery. In the default inline
+// delivery mode callbacks run on the publishing thread, never concurrently;
+// with DeliveryOptions::mode == Async the merged matches are deposited into
+// per-subscriber bounded outboxes and callbacks run on the delivery
+// executor's threads (delivery/delivery_plane.h), so a slow consumer blocks
+// neither matching nor other subscribers. In both modes callbacks must not
+// publish back into the broker.
 //
 // The control plane (register/subscribe/unsubscribe) may be called from any
 // number of threads concurrently with publishing. Every control operation is
@@ -57,6 +61,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <thread>
@@ -68,18 +73,13 @@
 #include "common/ids.h"
 #include "common/mpsc_queue.h"
 #include "common/thread_pool.h"
+#include "delivery/delivery_plane.h"
 #include "engine/engine_factory.h"
 #include "event/event.h"
 #include "event/schema.h"
 #include "subscription/parser.h"
 
 namespace ncps {
-
-struct Notification {
-  SubscriberId subscriber;
-  SubscriptionId subscription;
-  const Event* event = nullptr;  ///< valid for the duration of the callback
-};
 
 struct ShardedBrokerConfig {
   /// Independent engine shards. 1 reproduces the seed single-engine broker.
@@ -89,6 +89,11 @@ struct ShardedBrokerConfig {
   /// min(shard_count, hardware_concurrency). Ignored when shard_count is 1
   /// (single-shard brokers never spawn threads).
   std::size_t worker_threads = 0;
+  /// Delivery plane configuration. The default (DeliveryMode::Inline) runs
+  /// callbacks on the publishing thread — the seed semantics; Async routes
+  /// them through per-subscriber outboxes and the delivery executor
+  /// (delivery/delivery_plane.h).
+  DeliveryOptions delivery{};
 };
 
 class ShardedBroker {
@@ -110,11 +115,20 @@ class ShardedBroker {
   [[nodiscard]] static std::unique_ptr<ShardedBroker> create(
       AttributeRegistry& attrs, ShardedBrokerConfig config = {});
 
-  /// Open a subscriber session. Thread-safe.
+  /// Open a subscriber session. Thread-safe. In async delivery mode the
+  /// subscriber's outbox uses the configured default backpressure policy.
   SubscriberId register_subscriber(NotifyFn callback);
 
+  /// Open a subscriber session with an explicit backpressure policy for its
+  /// outbox. Only meaningful in async delivery mode (the policy is ignored
+  /// under inline delivery). Thread-safe.
+  SubscriberId register_subscriber(NotifyFn callback,
+                                   BackpressurePolicy policy);
+
   /// Close a session, dropping all its subscriptions. Thread-safe; an
-  /// in-flight batch may still invoke the callback (quiesce() to fence).
+  /// in-flight batch may still invoke the callback (quiesce() to fence). In
+  /// async mode the subscriber's queued-but-undelivered notifications are
+  /// discarded.
   void unregister_subscriber(SubscriberId subscriber);
 
   /// Register a subscription for a subscriber; the router places it on one
@@ -131,17 +145,37 @@ class ShardedBroker {
   /// removal has already been applied when this returns.
   bool unsubscribe(SubscriptionId subscription);
 
-  /// Match an event against every shard and synchronously notify all
-  /// matching subscribers. Returns the number of notifications delivered.
+  /// Match an event against every shard and notify all matching
+  /// subscribers. Inline mode: callbacks run before this returns, and the
+  /// return value is notifications delivered. Async mode: notifications are
+  /// accepted into per-subscriber outboxes (applying backpressure policies)
+  /// and delivered by the executor; the return value is notifications
+  /// accepted.
   std::size_t publish(const Event& event);
 
   /// Batched publish: one parallel fan-out across shards for the whole
-  /// batch. Notifications are delivered per event in batch order, within an
+  /// batch. Notifications are ordered per event in batch order, within an
   /// event in ascending subscription-id order (deterministic regardless of
-  /// shard count or thread scheduling). Returns notifications delivered.
-  /// Thread-safe (concurrent publishers are serialised internally; control
-  /// operations are not blocked).
+  /// shard count or thread scheduling); in async mode that order is the
+  /// per-subscriber FIFO order of the outboxes. Returns notifications
+  /// delivered (inline) or accepted (async). Thread-safe (concurrent
+  /// publishers are serialised internally; control operations are not
+  /// blocked).
   std::size_t publish_batch(std::span<const Event> events);
+
+  /// Async mode: block until every notification accepted by publishes that
+  /// returned before this call has been delivered or dropped. Inline mode:
+  /// no-op. Never call from a delivery callback.
+  void flush();
+
+  /// Per-subscriber delivery counters (async mode; nullopt for unknown
+  /// subscribers or under inline delivery).
+  [[nodiscard]] std::optional<DeliveryStats> delivery_stats(
+      SubscriberId subscriber) const;
+
+  [[nodiscard]] DeliveryMode delivery_mode() const {
+    return delivery_ == nullptr ? DeliveryMode::Inline : DeliveryMode::Async;
+  }
 
   /// Generation of the most recently issued control command. A command's
   /// effects are visible to every batch started after each shard's applied
@@ -165,9 +199,11 @@ class ShardedBroker {
   void wait_applied(std::uint64_t generation);
 
   /// Full control-plane barrier: waits for the in-flight batch (deliveries
-  /// included), then applies every queued command on every shard. After
-  /// quiesce() returns, subscriptions unsubscribed (and subscribers
-  /// unregistered) before the call receive no further notifications.
+  /// included), then applies every queued command on every shard; in async
+  /// mode it additionally flushes the delivery plane. After quiesce()
+  /// returns, subscriptions unsubscribed (and subscribers unregistered)
+  /// before the call receive no further notifications — in either delivery
+  /// mode.
   void quiesce();
 
   /// Subscriptions currently applied to the engines (excludes commands
@@ -239,12 +275,23 @@ class ShardedBroker {
   /// subscription. Delivery completion is observed either directly (the
   /// publish mutex is momentarily free) or via the publish epoch ticking
   /// past `safe_epoch` (set to current+1 once the fence condition holds).
+  /// In async delivery mode a third condition follows: outbox batches
+  /// enqueued by those publishes also carry the id. They can only sit in
+  /// the *owning subscriber's* outbox, so reuse further waits until that
+  /// outbox's completed marker passes `safe_accepted` — a snapshot of its
+  /// accepted marker taken when the first two conditions were observed
+  /// (per-subscriber, because a global counter would be satisfied by other
+  /// subscribers' later completions while the stale batch still waits).
   struct RetiredGlobal {
     SubscriptionId global;
     std::uint32_t shard;
+    SubscriberId owner;
     std::uint64_t generation;
     std::uint64_t safe_epoch = 0;  // 0 = fence not yet observed applied
+    std::uint64_t safe_accepted = kAcceptedUnset;
   };
+
+  static constexpr std::uint64_t kAcceptedUnset = ~std::uint64_t{0};
 
   class ShardSink;
   using CallbackMap = std::unordered_map<SubscriberId, NotifyFn>;
@@ -259,12 +306,21 @@ class ShardedBroker {
                                  SubscriberId owner,
                                  const parser_detail::RawNode& raw);
   void apply_unsubscribe(Shard& shard, SubscriptionId global);
+  SubscriberId register_subscriber_impl(NotifyFn callback,
+                                        BackpressurePolicy policy);
   void run_shard_tasks(std::span<const Event> events);
   std::size_t merge_and_deliver(std::span<const Event> events,
                                 const CallbackMap& callbacks);
+  std::size_t merge_and_enqueue(std::span<const Event> events);
+  /// Per-event deterministic merge of the shard match buffers into
+  /// merge_scratch_ (ascending global subscription id); calls
+  /// per_event(event_index) for each event in batch order.
+  template <typename PerEvent>
+  void merge_matches(std::span<const Event> events, PerEvent&& per_event);
 
   AttributeRegistry* attrs_;
   ShardRouter router_;
+  BackpressurePolicy delivery_default_policy_ = BackpressurePolicy::Block;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;  // null when shard_count == 1
 
@@ -309,6 +365,11 @@ class ShardedBroker {
 
   std::vector<ShardMatch> merge_scratch_;
   std::vector<std::size_t> merge_cursor_;
+
+  /// Async delivery plane; null under inline delivery. Declared last so its
+  /// destruction (which joins the executor workers) precedes everything the
+  /// in-flight callbacks could reference.
+  std::unique_ptr<DeliveryPlane> delivery_;
 };
 
 }  // namespace ncps

@@ -1,0 +1,117 @@
+// Bounded lock-free ring of slots with per-slot sequence stamps — the
+// delivery plane's per-subscriber outbox core.
+//
+// The hot path is single-producer/single-consumer: the publishing thread
+// pushes notification batches, exactly one delivery worker at a time pops
+// them (the executor's scheduled-flag handshake guarantees the "one consumer
+// at a time" part). Slots carry Vyukov-style sequence stamps rather than
+// bare head/tail indexes for one reason: the DropOldest backpressure policy
+// needs the *producer* to evict the oldest batch when the ring is full, i.e.
+// pop() must be safe from two threads (the delivery worker and the
+// publisher) racing for the same end. Sequence stamps make the slot hand-off
+// explicit — a CAS on the pop cursor elects the thread that owns the slot,
+// and a slot is only reusable for push once its value has been moved out —
+// so the race resolves without locks and without the ABA hazards of a plain
+// SPSC index pair.
+//
+// Reference: D. Vyukov, "Bounded MPMC queue" (the algorithm degenerates to
+// uncontended loads/stores in the pure SPSC case).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::vector<Slot>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side (one thread). Returns false when the ring is full — the
+  /// caller applies its backpressure policy (wait, drop the value, or pop()
+  /// an old slot and retry).
+  [[nodiscard]] bool try_push(T&& value) {
+    Slot& slot = slots_[head_ & mask_];
+    const std::size_t sequence = slot.sequence.load(std::memory_order_acquire);
+    if (sequence != head_) return false;  // slot still occupied: full
+    slot.value = std::move(value);
+    slot.sequence.store(head_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  /// Pop the oldest element. Safe from the consumer thread and — unusually
+  /// for an SPSC ring, see the header comment — concurrently from the
+  /// producer thread (DropOldest eviction); at most those two threads.
+  /// Returns nullopt when empty.
+  std::optional<T> pop() {
+    for (;;) {
+      std::size_t tail = tail_.load(std::memory_order_relaxed);
+      Slot& slot = slots_[tail & mask_];
+      const std::size_t sequence =
+          slot.sequence.load(std::memory_order_acquire);
+      if (sequence != tail + 1) return std::nullopt;  // slot not yet pushed
+      if (!tail_.compare_exchange_weak(tail, tail + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        continue;  // the other popper claimed this slot; retry on the next
+      }
+      std::optional<T> value(std::move(slot.value));
+      slot.value = T{};
+      // Free the slot for the producer lap `tail + capacity`.
+      slot.sequence.store(tail + mask_ + 1, std::memory_order_release);
+      return value;
+    }
+  }
+
+  /// Producer side only (reads the producer-owned push cursor): true when
+  /// try_push would fail right now.
+  [[nodiscard]] bool full() const {
+    const Slot& slot = slots_[head_ & mask_];
+    return slot.sequence.load(std::memory_order_acquire) != head_;
+  }
+
+  /// True when no fully pushed element is pending. Exact for the calling
+  /// consumer; a concurrent push may make it stale immediately.
+  [[nodiscard]] bool empty() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const Slot& slot = slots_[tail & mask_];
+    return slot.sequence.load(std::memory_order_acquire) != tail + 1;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  /// Producer-owned push cursor (single producer: plain member, no atomic).
+  alignas(64) std::size_t head_ = 0;
+  /// Pop cursor; CAS-claimed by whichever of the two poppers gets the slot.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ncps

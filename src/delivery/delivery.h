@@ -1,0 +1,104 @@
+// Shared vocabulary of the delivery plane: policies, stats, options, and the
+// batch unit that flows from the matching pipeline to subscriber callbacks.
+//
+// The delivery plane (delivery_plane.h) decouples matching from delivery:
+// the publishing thread deposits each publish batch's notifications into
+// per-subscriber bounded outboxes (outbox.h) and returns; a DeliveryExecutor
+// (delivery_executor.h) pool drains the outboxes and runs the callbacks.
+// One slow consumer therefore stalls only its own outbox — what happens
+// when that outbox fills is the subscriber's BackpressurePolicy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "event/event.h"
+
+namespace ncps {
+
+/// One matched (subscriber, subscription, event) handed to a callback.
+/// Defined here — below the broker layer — because both delivery modes
+/// produce it: inline delivery on the publishing thread, async delivery on
+/// the executor's threads.
+struct Notification {
+  SubscriberId subscriber;
+  SubscriptionId subscription;
+  const Event* event = nullptr;  ///< valid for the duration of the callback
+};
+
+/// What the publisher does when a subscriber's outbox is full.
+enum class BackpressurePolicy : std::uint8_t {
+  /// Wait for the consumer to free a slot: lossless, per-subscriber FIFO
+  /// equals the published sequence exactly — but a saturated subscriber
+  /// eventually throttles the publishing thread (bounded memory is the
+  /// point). The default.
+  Block,
+  /// Evict the oldest queued batch to make room: the subscriber sees the
+  /// freshest events at the cost of a gap; the publisher never waits.
+  DropOldest,
+  /// Discard the incoming batch: the subscriber keeps the backlog it has;
+  /// the publisher never waits.
+  DropNewest,
+};
+
+[[nodiscard]] constexpr const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::Block: return "block";
+    case BackpressurePolicy::DropOldest: return "drop_oldest";
+    case BackpressurePolicy::DropNewest: return "drop_newest";
+  }
+  return "?";
+}
+
+/// Per-subscriber delivery counters (notifications, not batches). Snapshot
+/// semantics: values are monotonically increasing and individually atomic;
+/// a snapshot taken while deliveries are in flight may be mid-batch.
+struct DeliveryStats {
+  std::uint64_t delivered = 0;  ///< callbacks invoked
+  std::uint64_t dropped = 0;    ///< lost to policy drops or outbox close
+  std::size_t max_queue_depth = 0;  ///< high-water mark of pending notifications
+};
+
+/// How a broker hands notifications to subscriber callbacks.
+enum class DeliveryMode : std::uint8_t {
+  /// Callbacks run on the publishing thread before publish() returns — the
+  /// seed semantics, and the default.
+  Inline,
+  /// Callbacks run on the delivery executor's threads; publish() returns
+  /// once the notifications are accepted into outboxes.
+  Async,
+};
+
+struct DeliveryOptions {
+  DeliveryMode mode = DeliveryMode::Inline;
+  /// Outbox capacity in *batches* (one publish_batch deposits at most one
+  /// batch per subscriber), rounded up to a power of two.
+  std::size_t outbox_capacity = 64;
+  /// Delivery executor threads; 0 picks min(2, hardware_concurrency).
+  std::size_t threads = 0;
+  /// Policy for subscribers registered without an explicit one.
+  BackpressurePolicy default_policy = BackpressurePolicy::Block;
+};
+
+/// One publish batch's notifications for one subscriber, in delivery order
+/// (event position in the batch ascending, subscription id ascending within
+/// an event — the broker's deterministic merge order). The events live in a
+/// block shared by every subscriber's batch from the same publish call, so
+/// the publisher copies each matched event once, not once per subscriber.
+struct OutboxBatch {
+  struct Item {
+    std::uint32_t event_index;  ///< index into `events`
+    SubscriptionId subscription;
+  };
+
+  std::shared_ptr<const std::vector<Event>> events;
+  std::vector<Item> items;
+
+  [[nodiscard]] std::size_t notification_count() const { return items.size(); }
+};
+
+}  // namespace ncps

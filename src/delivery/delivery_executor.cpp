@@ -1,0 +1,70 @@
+#include "delivery/delivery_executor.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+DeliveryExecutor::DeliveryExecutor(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DeliveryExecutor::~DeliveryExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void DeliveryExecutor::schedule(std::shared_ptr<Outbox> outbox) {
+  NCPS_EXPECTS(outbox != nullptr);
+  enqueue(std::move(outbox));
+}
+
+void DeliveryExecutor::enqueue(std::shared_ptr<Outbox> outbox) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ready_.push_back(std::move(outbox));
+  }
+  work_cv_.notify_one();
+}
+
+void DeliveryExecutor::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Outbox> outbox;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+      if (stopping_) return;  // undrained outboxes are abandoned by design
+      outbox = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    if (outbox->drain(kDrainQuota)) {
+      // Quota exhausted with work left: back of the line (fairness).
+      enqueue(std::move(outbox));
+      continue;
+    }
+    // Ring observed empty. Release the scheduling slot, then re-check: a
+    // producer that pushed after our last pop but before the release saw
+    // scheduled=true and did not enqueue — that work is now ours to
+    // reschedule (if the producer's own exchange didn't beat us to it).
+    // The fence pairs with the producer's seq_cst exchange in
+    // Outbox::try_schedule (store-buffer litmus: either the producer sees
+    // our cleared flag, or we see its pushed slot).
+    outbox->unschedule();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (outbox->has_pending() && outbox->try_schedule()) {
+      enqueue(std::move(outbox));
+    }
+  }
+}
+
+}  // namespace ncps

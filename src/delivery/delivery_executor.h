@@ -1,0 +1,63 @@
+// Thread pool that drains outboxes — the consumer half of the delivery
+// plane.
+//
+// Ready outboxes wait in one FIFO list; workers pop from the front, drain a
+// bounded quota of batches (coalescing: one wakeup delivers everything the
+// subscriber has queued, up to the quota), and requeue the outbox at the
+// back if it still has work. The quota + requeue discipline is what makes
+// draining round-robin fair: a subscriber with a deep backlog cannot
+// monopolise a worker while other ready subscribers starve.
+//
+// The scheduled-flag handshake (Outbox::try_schedule/unschedule) guarantees
+// an outbox is in the ready list at most once, and therefore drained by at
+// most one worker at a time — which is what lets the outbox ring be
+// single-consumer. The flag protocol has the standard shape: producers
+// schedule after pushing; the worker unschedules only after observing the
+// ring empty, then re-checks and re-schedules itself if a push slipped in
+// between (no lost wakeups).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "delivery/outbox.h"
+
+namespace ncps {
+
+class DeliveryExecutor {
+ public:
+  /// Batches one worker drains from one outbox before requeueing it.
+  static constexpr std::size_t kDrainQuota = 32;
+
+  explicit DeliveryExecutor(std::size_t threads);
+
+  /// Stops workers without draining what remains queued — the plane flushes
+  /// first when it wants loss-free shutdown.
+  ~DeliveryExecutor();
+
+  DeliveryExecutor(const DeliveryExecutor&) = delete;
+  DeliveryExecutor& operator=(const DeliveryExecutor&) = delete;
+
+  /// Hand a ready outbox to the workers. The caller must have just claimed
+  /// the outbox's scheduling slot (Outbox::try_schedule() returned true).
+  void schedule(std::shared_ptr<Outbox> outbox);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+  void enqueue(std::shared_ptr<Outbox> outbox);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Outbox>> ready_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace ncps

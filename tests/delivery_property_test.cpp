@@ -1,0 +1,243 @@
+// Delivery-plane ordering and equivalence properties (the PR's acceptance
+// criteria):
+//
+//   1. Per-subscriber FIFO: in async mode, every subscriber's delivered
+//      sequence is a subsequence of its published-match sequence — and
+//      equals it exactly under the lossless Block policy.
+//   2. Differential: an async Block broker delivers the exact notification
+//      multiset of a synchronous (inline) broker, across all three engines
+//      × shard counts {1, 4}.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "broker/sharded_broker.h"
+#include "common/random.h"
+
+namespace ncps {
+namespace {
+
+/// (subscriber, subscription, event seq) — one delivered notification.
+using Delivered = std::tuple<std::uint32_t, std::uint32_t, std::int64_t>;
+
+/// Thread-safe per-subscriber recorder (async callbacks run on executor
+/// threads; one subscriber's callback never runs concurrently with itself,
+/// but different subscribers' do).
+struct Recorder {
+  std::mutex mutex;
+  std::vector<std::vector<Delivered>> per_subscriber;
+
+  void record(std::size_t subscriber_slot, const Notification& n,
+              AttributeId seq_attr) {
+    const std::int64_t seq = n.event->find(seq_attr)->as_int();
+    const std::lock_guard<std::mutex> lock(mutex);
+    per_subscriber[subscriber_slot].push_back(
+        Delivered{n.subscriber.value(), n.subscription.value(), seq});
+  }
+};
+
+std::vector<std::string> make_rules(std::size_t count) {
+  // A small mixed family: selective ranges, equalities, disjunctions. Kept
+  // DNF-friendly so the counting engines register the same population.
+  std::vector<std::string> rules;
+  Pcg32 rng(0x5eed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const long lo = rng.range(0, 900);
+    switch (i % 4) {
+      case 0:
+        rules.push_back("price > " + std::to_string(lo));
+        break;
+      case 1:
+        rules.push_back("price between " + std::to_string(lo) + " and " +
+                        std::to_string(lo + 100));
+        break;
+      case 2:
+        rules.push_back("sym == \"S" + std::to_string(rng.bounded(8)) +
+                        "\" and price < " + std::to_string(lo + 200));
+        break;
+      default:
+        rules.push_back("price < " + std::to_string(lo) + " or price > " +
+                        std::to_string(lo + 500));
+        break;
+    }
+  }
+  return rules;
+}
+
+std::vector<Event> make_events(AttributeRegistry& attrs, std::size_t count) {
+  std::vector<Event> events;
+  Pcg32 rng(0xeeee);
+  for (std::size_t i = 0; i < count; ++i) {
+    events.push_back(EventBuilder(attrs)
+                         .set("seq", static_cast<long>(i))
+                         .set("price", rng.range(0, 1000))
+                         .set("sym", "S" + std::to_string(rng.bounded(8)))
+                         .build());
+  }
+  return events;
+}
+
+/// Register `subscribers` sessions round-robin over `rules`, publish
+/// `events` in batches, and return every delivered notification sorted.
+std::vector<Delivered> run_cell(EngineKind engine, std::size_t shards,
+                                DeliveryMode mode,
+                                const std::vector<std::string>& rules,
+                                const std::vector<Event>& events,
+                                AttributeRegistry& attrs,
+                                std::size_t subscribers) {
+  ShardedBrokerConfig config;
+  config.shard_count = shards;
+  config.engine = engine;
+  config.delivery.mode = mode;
+  config.delivery.default_policy = BackpressurePolicy::Block;
+  config.delivery.outbox_capacity = 16;  // small: exercises Block waits
+  config.delivery.threads = 2;
+  ShardedBroker broker(attrs, config);
+
+  const AttributeId seq_attr = attrs.intern("seq");
+  Recorder recorder;
+  recorder.per_subscriber.resize(subscribers);
+  std::vector<SubscriberId> sessions;
+  for (std::size_t s = 0; s < subscribers; ++s) {
+    sessions.push_back(broker.register_subscriber(
+        [&recorder, s, seq_attr](const Notification& n) {
+          recorder.record(s, n, seq_attr);
+        }));
+  }
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    broker.subscribe(sessions[i % subscribers], rules[i]);
+  }
+
+  constexpr std::size_t kBatch = 32;
+  for (std::size_t off = 0; off < events.size(); off += kBatch) {
+    const std::size_t n = std::min(kBatch, events.size() - off);
+    broker.publish_batch(std::span<const Event>(events.data() + off, n));
+  }
+  broker.flush();
+
+  std::vector<Delivered> all;
+  for (const auto& list : recorder.per_subscriber) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(DeliveryDifferentialTest, AsyncBlockMatchesInlineAcrossEnginesAndShards) {
+  AttributeRegistry attrs;
+  const std::vector<std::string> rules = make_rules(96);
+  const std::vector<Event> events = make_events(attrs, 512);
+  constexpr std::size_t kSubscribers = 8;
+
+  std::vector<Delivered> reference;
+  bool have_reference = false;
+  for (const EngineKind engine : kAllEngineKinds) {
+    for (const std::size_t shards : {1u, 4u}) {
+      const std::vector<Delivered> inline_result =
+          run_cell(engine, shards, DeliveryMode::Inline, rules, events, attrs,
+                   kSubscribers);
+      const std::vector<Delivered> async_result =
+          run_cell(engine, shards, DeliveryMode::Async, rules, events, attrs,
+                   kSubscribers);
+      ASSERT_FALSE(inline_result.empty());
+      EXPECT_EQ(async_result, inline_result)
+          << "engine=" << to_string(engine) << " shards=" << shards;
+      if (!have_reference) {
+        reference = inline_result;
+        have_reference = true;
+      } else {
+        // All engines and shard counts agree with each other too.
+        EXPECT_EQ(inline_result, reference)
+            << "engine=" << to_string(engine) << " shards=" << shards;
+      }
+    }
+  }
+}
+
+/// One match-all subscription per subscriber; each policy gets a slow
+/// subscriber. Delivered seqs must be strictly increasing (FIFO, no
+/// duplicates, no reordering) and a subsequence of 0..N-1; the Block
+/// subscriber must see every event.
+TEST(DeliveryFifoPropertyTest, DeliveredIsSubsequencePerPolicy) {
+  AttributeRegistry attrs;
+  ShardedBrokerConfig config;
+  config.shard_count = 2;
+  config.delivery.mode = DeliveryMode::Async;
+  config.delivery.outbox_capacity = 4;  // tiny: force policy decisions
+  config.delivery.threads = 2;
+  ShardedBroker broker(attrs, config);
+
+  const AttributeId seq_attr = attrs.intern("seq");
+  struct Sub {
+    BackpressurePolicy policy;
+    bool slow;
+    std::vector<std::int64_t> seqs;
+  };
+  std::vector<Sub> subs;
+  subs.push_back({BackpressurePolicy::Block, false, {}});
+  subs.push_back({BackpressurePolicy::Block, true, {}});
+  subs.push_back({BackpressurePolicy::DropOldest, true, {}});
+  subs.push_back({BackpressurePolicy::DropNewest, true, {}});
+
+  std::vector<SubscriberId> sessions;
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    Sub* sub = &subs[i];
+    sessions.push_back(broker.register_subscriber(
+        [sub, seq_attr](const Notification& n) {
+          if (sub->slow) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+          // Single-consumer per outbox: no lock needed on sub->seqs.
+          sub->seqs.push_back(n.event->find(seq_attr)->as_int());
+        },
+        sub->policy));
+    broker.subscribe(sessions.back(), "seq >= 0");
+  }
+
+  constexpr std::int64_t kEvents = 1024;
+  constexpr std::size_t kBatch = 16;
+  std::vector<Event> events;
+  for (std::int64_t i = 0; i < kEvents; ++i) {
+    events.push_back(
+        EventBuilder(attrs).set("seq", static_cast<long>(i)).build());
+  }
+  for (std::size_t off = 0; off < events.size(); off += kBatch) {
+    broker.publish_batch(std::span<const Event>(events.data() + off, kBatch));
+  }
+  broker.flush();
+
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    const Sub& sub = subs[i];
+    // Strictly increasing ⇒ subsequence of the published 0..N-1 sequence.
+    for (std::size_t k = 1; k < sub.seqs.size(); ++k) {
+      ASSERT_LT(sub.seqs[k - 1], sub.seqs[k])
+          << "subscriber " << i << " (" << to_string(sub.policy) << ")";
+    }
+    if (!sub.seqs.empty()) {
+      EXPECT_GE(sub.seqs.front(), 0);
+      EXPECT_LT(sub.seqs.back(), kEvents);
+    }
+    const auto stats = broker.delivery_stats(sessions[i]);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->delivered, sub.seqs.size());
+    if (sub.policy == BackpressurePolicy::Block) {
+      // Lossless: the delivered sequence IS the published sequence.
+      EXPECT_EQ(sub.seqs.size(), static_cast<std::size_t>(kEvents));
+      EXPECT_EQ(stats->dropped, 0u);
+    } else {
+      EXPECT_EQ(stats->delivered + stats->dropped,
+                static_cast<std::uint64_t>(kEvents));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncps

@@ -1,0 +1,320 @@
+// Covering × churn differential: a covering-enabled overlay must deliver
+// exactly what a covering-disabled overlay delivers while covered
+// subscriptions come and go — the regime where shadowing and reinstatement
+// actually fire. Routing-table reinstatement is checked structurally too:
+// after a cover is unsubscribed, its shadows reappear as registered
+// interests (or land under another cover), and the covering network's
+// (registered + shadowed) totals track the reference's registered totals.
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "broker/overlay.h"
+#include "common/random.h"
+
+namespace ncps {
+namespace {
+
+/// Two overlays driven in lockstep: identical topology, sessions and
+/// operations; only `enable_covering` differs. Broker/subscriber ids stay
+/// aligned because the creation order is identical.
+struct TwinOverlays {
+  BrokerNetwork with_covering{EngineKind::NonCanonical, true};
+  BrokerNetwork reference{EngineKind::NonCanonical, false};
+  std::vector<BrokerId> brokers;
+  // Per (broker, session) delivery counters, one map per network.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> covered_seen;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> reference_seen;
+
+  BrokerId add_broker() {
+    const BrokerId a = with_covering.add_broker();
+    const BrokerId b = reference.add_broker();
+    EXPECT_EQ(a.value(), b.value());
+    brokers.push_back(a);
+    return a;
+  }
+
+  void connect(BrokerId x, BrokerId y, SimTime latency) {
+    with_covering.connect(x, y, latency);
+    reference.connect(x, y, latency);
+  }
+
+  /// One logical subscriber attached to both networks.
+  SubscriberId attach(BrokerId at) {
+    const SubscriberId a = with_covering.add_subscriber(
+        at, [this, at](const Notification& n) {
+          ++covered_seen[{at.value(), n.subscriber.value()}];
+        });
+    const SubscriberId b =
+        reference.add_subscriber(at, [this, at](const Notification& n) {
+          ++reference_seen[{at.value(), n.subscriber.value()}];
+        });
+    EXPECT_EQ(a.value(), b.value());
+    return a;
+  }
+
+  struct SubPair {
+    GlobalSubId covered;
+    GlobalSubId reference;
+  };
+
+  SubPair subscribe(BrokerId at, SubscriberId session,
+                    const std::string& text) {
+    return SubPair{with_covering.subscribe(at, session, text),
+                   reference.subscribe(at, session, text)};
+  }
+
+  void unsubscribe(const SubPair& pair) {
+    EXPECT_TRUE(with_covering.unsubscribe(pair.covered));
+    EXPECT_TRUE(reference.unsubscribe(pair.reference));
+  }
+
+  void publish(BrokerId at, const Event& event_covered,
+               const Event& event_reference) {
+    with_covering.publish(at, event_covered);
+    reference.publish(at, event_reference);
+  }
+
+  void run() {
+    with_covering.run();
+    reference.run();
+  }
+
+  /// Structural invariants. Covering prunes both the link tables and the
+  /// propagation beyond the shadowing broker, so in general the covering
+  /// network's view is a subset of the reference's: registered ≤ reference,
+  /// and registered + locally-shadowed ≤ reference. When the caller knows
+  /// no covering relationship exists among the live subscriptions (e.g.
+  /// after every cover was unsubscribed and its shadows reinstated),
+  /// `expect_exact` tightens this to equality with zero shadows — the
+  /// reinstatement property.
+  void check_routing_tables(bool expect_exact = false) {
+    for (const BrokerId b : brokers) {
+      for (const BrokerId n : with_covering.neighbors(b)) {
+        const std::size_t reg = with_covering.remote_interest_count(b, n);
+        const std::size_t shadowed = with_covering.shadowed_count(b, n);
+        const std::size_t ref = reference.remote_interest_count(b, n);
+        if (expect_exact) {
+          EXPECT_EQ(reg, ref) << "link " << b.value() << "->" << n.value();
+          EXPECT_EQ(shadowed, 0u)
+              << "link " << b.value() << "->" << n.value();
+        } else {
+          EXPECT_LE(reg, ref) << "link " << b.value() << "->" << n.value();
+          EXPECT_LE(reg + shadowed, ref)
+              << "link " << b.value() << "->" << n.value();
+        }
+      }
+    }
+  }
+
+  void check_deliveries() { EXPECT_EQ(covered_seen, reference_seen); }
+};
+
+TEST(OverlayCoveringChurnTest, CoverUnsubscribeReinstatesShadows) {
+  TwinOverlays net;
+  // Chain a—b—c: interest must propagate through b, so shadowing happens on
+  // interior links too.
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  const BrokerId c = net.add_broker();
+  net.connect(a, b, 1);
+  net.connect(b, c, 1);
+
+  const SubscriberId wide_session = net.attach(c);
+  const SubscriberId narrow_session = net.attach(c);
+
+  // The wide subscription covers the narrow one.
+  const auto wide = net.subscribe(c, wide_session, "price > 10");
+  const auto narrow =
+      net.subscribe(c, narrow_session, "price > 20 and sym == \"X\"");
+  net.run();
+
+  // The narrow interest must be shadowed somewhere along a—b—c.
+  std::size_t shadow_total = 0;
+  for (const BrokerId broker : net.brokers) {
+    for (const BrokerId neighbor : net.with_covering.neighbors(broker)) {
+      shadow_total += net.with_covering.shadowed_count(broker, neighbor);
+    }
+  }
+  EXPECT_GT(shadow_total, 0u);
+  net.check_routing_tables();
+
+  const auto event_at = [](BrokerNetwork& n, long price, const char* sym) {
+    return EventBuilder(n.attributes())
+        .set("price", price)
+        .set("sym", sym)
+        .build();
+  };
+  net.publish(a, event_at(net.with_covering, 25, "X"),
+              event_at(net.reference, 25, "X"));
+  net.run();
+  net.check_deliveries();
+
+  // Unsubscribing the cover must reinstate the narrow interest: with no
+  // cover left, the routing tables re-align with the reference exactly and
+  // routing still works.
+  net.unsubscribe(wide);
+  net.run();
+  net.check_routing_tables(/*expect_exact=*/true);
+  net.publish(a, event_at(net.with_covering, 30, "X"),
+              event_at(net.reference, 30, "X"));
+  net.run();
+  net.check_deliveries();
+
+  net.unsubscribe(narrow);
+  net.run();
+  net.check_routing_tables(/*expect_exact=*/true);
+}
+
+/// The overlay's async-delivery integration: local brokers run delivery
+/// planes, run() flushes them, and deliveries match a synchronous overlay
+/// exactly (Block policy is lossless).
+TEST(OverlayAsyncDeliveryTest, AsyncBrokersMatchInlineOverlay) {
+  BrokerOptions async_options;
+  async_options.delivery.mode = DeliveryMode::Async;
+  async_options.delivery.threads = 2;
+  BrokerNetwork async_net(async_options, /*enable_covering=*/true);
+  BrokerNetwork sync_net(EngineKind::NonCanonical, /*enable_covering=*/true);
+
+  // Chain a—b—c in both networks.
+  std::vector<BrokerId> async_brokers;
+  std::vector<BrokerId> sync_brokers;
+  for (int i = 0; i < 3; ++i) {
+    async_brokers.push_back(async_net.add_broker());
+    sync_brokers.push_back(sync_net.add_broker());
+  }
+  for (int i = 0; i + 1 < 3; ++i) {
+    async_net.connect(async_brokers[i], async_brokers[i + 1], 1);
+    sync_net.connect(sync_brokers[i], sync_brokers[i + 1], 1);
+  }
+
+  std::atomic<std::size_t> async_seen{0};
+  std::size_t sync_seen = 0;
+  const SubscriberId async_sub = async_net.add_subscriber(
+      async_brokers[2],
+      [&](const Notification&) { async_seen.fetch_add(1); });
+  const SubscriberId sync_sub = sync_net.add_subscriber(
+      sync_brokers[2], [&](const Notification&) { ++sync_seen; });
+
+  async_net.subscribe(async_brokers[2], async_sub, "price > 10");
+  sync_net.subscribe(sync_brokers[2], sync_sub, "price > 10");
+  async_net.run();
+  sync_net.run();
+
+  for (long price = 0; price < 40; ++price) {
+    async_net.publish(async_brokers[0],
+                      EventBuilder(async_net.attributes())
+                          .set("price", price)
+                          .build());
+    sync_net.publish(
+        sync_brokers[0],
+        EventBuilder(sync_net.attributes()).set("price", price).build());
+  }
+  // run() drains the simulated network AND flushes the delivery planes, so
+  // the async count is final when it returns.
+  async_net.run();
+  sync_net.run();
+  EXPECT_EQ(async_seen.load(), sync_seen);
+  EXPECT_EQ(async_net.notifications_delivered(),
+            sync_net.notifications_delivered());
+  EXPECT_EQ(sync_seen, 29u);  // prices 11..39
+}
+
+TEST(OverlayCoveringChurnTest, RandomChurnOfCoveredPairsStaysDifferential) {
+  Pcg32 rng(0xc0de2);
+  TwinOverlays net;
+
+  // Random tree of 8 brokers.
+  net.add_broker();
+  for (int i = 1; i < 8; ++i) {
+    const BrokerId b = net.add_broker();
+    net.connect(
+        net.brokers[rng.bounded(static_cast<std::uint32_t>(i))], b,
+        1 + rng.bounded(5));
+  }
+
+  // Sessions everywhere; subscriptions come in covered families: a wide
+  // "v > X" plus narrower refinements of it, so churn repeatedly creates
+  // and destroys cover relationships.
+  std::vector<SubscriberId> sessions;
+  for (const BrokerId b : net.brokers) sessions.push_back(net.attach(b));
+
+  struct Live {
+    TwinOverlays::SubPair pair;
+  };
+  std::vector<Live> live;
+  const auto subscribe_random = [&] {
+    const std::uint32_t slot =
+        rng.bounded(static_cast<std::uint32_t>(net.brokers.size()));
+    const BrokerId at = net.brokers[slot];
+    const int x = static_cast<int>(rng.range(0, 6));
+    std::string text;
+    switch (rng.bounded(3)) {
+      case 0: text = "v > " + std::to_string(x); break;
+      case 1:
+        text = "v > " + std::to_string(x + 2) + " and w == " +
+               std::to_string(x % 3);
+        break;
+      default:
+        text = "v between " + std::to_string(x + 1) + " and " +
+               std::to_string(x + 4);
+        break;
+    }
+    live.push_back(Live{net.subscribe(at, sessions[slot], text)});
+  };
+
+  for (int i = 0; i < 12; ++i) subscribe_random();
+  net.run();
+  net.check_routing_tables();
+
+  for (int round = 0; round < 40; ++round) {
+    const std::uint32_t action = rng.bounded(10);
+    if (action < 3 && !live.empty()) {
+      const std::uint32_t victim =
+          rng.bounded(static_cast<std::uint32_t>(live.size()));
+      net.unsubscribe(live[victim].pair);
+      live[victim] = live.back();
+      live.pop_back();
+    } else if (action < 6) {
+      subscribe_random();
+    } else {
+      const BrokerId origin = net.brokers[rng.bounded(
+          static_cast<std::uint32_t>(net.brokers.size()))];
+      const long v = rng.range(0, 10);
+      const long w = rng.range(0, 3);
+      const Event e1 = EventBuilder(net.with_covering.attributes())
+                           .set("v", v)
+                           .set("w", w)
+                           .build();
+      const Event e2 = EventBuilder(net.reference.attributes())
+                           .set("v", v)
+                           .set("w", w)
+                           .build();
+      net.publish(origin, e1, e2);
+    }
+    // Quiesce both networks each round: the differential comparison needs a
+    // consistent view (propagation races are the overlay's documented
+    // eventual consistency, not a covering bug).
+    net.run();
+    net.check_routing_tables();
+    net.check_deliveries();
+  }
+
+  // Teardown: everything unsubscribed, all routing state drains to empty.
+  for (const Live& l : live) net.unsubscribe(l.pair);
+  net.run();
+  for (const BrokerId b : net.brokers) {
+    for (const BrokerId n : net.with_covering.neighbors(b)) {
+      EXPECT_EQ(net.with_covering.remote_interest_count(b, n), 0u);
+      EXPECT_EQ(net.with_covering.shadowed_count(b, n), 0u);
+      EXPECT_EQ(net.reference.remote_interest_count(b, n), 0u);
+    }
+  }
+  net.check_deliveries();
+}
+
+}  // namespace
+}  // namespace ncps
