@@ -1,30 +1,32 @@
-// Ablation micro-benchmarks (google-benchmark) for the design decisions
-// DESIGN.md calls out:
+// Ablation micro-benchmarks for the design decisions DESIGN.md calls out:
 //
 //   1. Encoded byte trees vs pointer ASTs (heap and arena) for evaluation —
-//      the paper's §3.3 encoding choice.
-//   2. Child reordering at encode time (cheapest-first) — the paper's
-//      "reordering subscription trees" future-work optimisation.
-//   3. Predicate sharing: phase-2 cost as the workload moves away from the
-//      paper's unique-predicate regime.
-//   4. B+ tree stab vs linear scan for range-predicate matching — the
+//      the paper's §3.3 encoding choice (v1, v2 and encode-time reordering).
+//   2. Phase-2 cost vs predicate sharing, unshared tree engine against the
+//      shared-forest engine, as the workload leaves the paper's
+//      unique-predicate regime.
+//   3. B+ tree stab vs linear scan for range-predicate matching — the
 //      phase-1 index choice.
-//   5. Registration cost: DNF-transforming registration vs direct encoding.
-#include <benchmark/benchmark.h>
+//   4. Registration cost: direct encoding vs forest interning vs
+//      DNF-transforming registration.
+//
+// Previously written against Google Benchmark, which emitted no JsonRow
+// output and left BENCH_ablation.json empty; now hand-timed like the other
+// benches (bench_util.h time_seconds) with one JSON row per case, and no
+// external benchmark dependency.
+#include <cstdio>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/arena.h"
-#include "engine/counting_engine.h"
-#include "engine/non_canonical_engine.h"
 #include "index/bplus_tree.h"
-#include "subscription/dnf.h"
 #include "subscription/encoded_tree.h"
 #include "subscription/encoded_tree_v2.h"
-#include "workload/paper_workload.h"
-#include "workload/random_workload.h"
 
 namespace {
 
 using namespace ncps;
+using namespace ncps::bench;
 
 // ---- 1. Evaluation representation -----------------------------------------
 
@@ -71,252 +73,255 @@ bool eval_arena(const ArenaNode& node, TruthFn&& truth) {
   return false;
 }
 
-struct EvalFixture {
-  EvalFixture() : workload(make_config(), attrs, table) {
-    for (int i = 0; i < kTrees; ++i) {
-      exprs.push_back(workload.next_subscription());
-      offsets.push_back(encoded.size());
-      widths.push_back(encode_tree(exprs.back().root(), encoded));
-      reordered_offsets.push_back(reordered.size());
-      (void)encode_tree(exprs.back().root(), reordered,
-                        ReorderPolicy::kCheapestFirst);
-      v2_offsets.push_back(encoded_v2.size());
-      v2_widths.push_back(encode_tree_v2(exprs.back().root(), encoded_v2));
-      arena_roots.push_back(build_arena_tree(exprs.back().root(), arena));
-    }
-  }
-
-  static PaperWorkloadConfig make_config() {
-    PaperWorkloadConfig config;
-    config.predicates_per_subscription = 10;
-    config.seed = 555;
-    return config;
-  }
-
-  static constexpr int kTrees = 256;
-  AttributeRegistry attrs;
-  PredicateTable table;
-  PaperWorkload workload;
-  std::vector<ast::Expr> exprs;
-  std::vector<std::byte> encoded;
-  std::vector<std::byte> reordered;
-  std::vector<std::byte> encoded_v2;
-  std::vector<std::size_t> v2_offsets;
-  std::vector<std::size_t> v2_widths;
-  std::vector<std::size_t> offsets;
-  std::vector<std::size_t> reordered_offsets;
-  std::vector<std::size_t> widths;
-  Arena arena;
-  std::vector<ArenaNode*> arena_roots;
-};
-
-EvalFixture& eval_fixture() {
-  static EvalFixture fixture;
-  return fixture;
-}
-
 // A cheap deterministic pseudo-truth: ~1/3 of predicates true.
 bool truth_of(PredicateId id, std::uint32_t salt) {
   return ((id.value() * 0x9e3779b9u) ^ salt) % 3 == 0;
 }
 
-void BM_EvalEncoded(benchmark::State& state) {
-  EvalFixture& f = eval_fixture();
-  std::uint32_t salt = 0;
-  for (auto _ : state) {
-    ++salt;
+void eval_representation_study(int passes) {
+  constexpr int kTrees = 256;
+  AttributeRegistry attrs;
+  PredicateTable table;
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 10;
+  config.seed = 555;
+  PaperWorkload workload(config, attrs, table);
+
+  std::vector<ast::Expr> exprs;
+  std::vector<std::byte> encoded, reordered, encoded_v2;
+  std::vector<std::size_t> offsets, r_offsets, v2_offsets, widths, v2_widths;
+  Arena arena;
+  std::vector<ArenaNode*> arena_roots;
+  for (int i = 0; i < kTrees; ++i) {
+    exprs.push_back(workload.next_subscription());
+    offsets.push_back(encoded.size());
+    widths.push_back(encode_tree(exprs.back().root(), encoded));
+    r_offsets.push_back(reordered.size());
+    (void)encode_tree(exprs.back().root(), reordered,
+                      ReorderPolicy::kCheapestFirst);
+    v2_offsets.push_back(encoded_v2.size());
+    v2_widths.push_back(encode_tree_v2(exprs.back().root(), encoded_v2));
+    arena_roots.push_back(build_arena_tree(exprs.back().root(), arena));
+  }
+
+  // Per-representation resident bytes for the 256 trees, so the rows
+  // carry the memory side of the trade-off alongside the timing.
+  std::size_t pointer_bytes = 0;
+  const auto count_pointer_bytes = [&](const ast::Node& n,
+                                       auto&& self) -> void {
+    pointer_bytes += sizeof(ast::Node) +
+                     n.children.capacity() * sizeof(ast::NodePtr);
+    for (const auto& c : n.children) self(*c, self);
+  };
+  for (const ast::Expr& e : exprs) {
+    count_pointer_bytes(e.root(), count_pointer_bytes);
+  }
+
+  volatile bool guard = false;  // keep the evaluations observable
+  const auto run = [&](const char* variant, std::size_t variant_bytes,
+                       auto&& eval_pass) {
+    std::uint32_t salt = 0;
+    const double seconds = time_seconds([&] {
+      bool acc = false;
+      for (int p = 0; p < passes; ++p) {
+        ++salt;
+        acc ^= eval_pass(salt);
+      }
+      guard = guard ^ acc;
+    });
+    const double per_eval =
+        seconds / (static_cast<double>(passes) * kTrees);
+    std::printf("eval_representation,%s,%.3e s/tree,%zu B\n", variant,
+                per_eval, variant_bytes);
+    JsonRow("ablation")
+        .field("study", "eval_representation")
+        .field("variant", variant)
+        .field("seconds_per_tree", per_eval)
+        .field("bytes_total", variant_bytes)
+        .emit();
+  };
+
+  run("encoded_v1", encoded.size(), [&](std::uint32_t salt) {
     bool acc = false;
-    for (int i = 0; i < EvalFixture::kTrees; ++i) {
-      const std::span<const std::byte> tree(f.encoded.data() + f.offsets[i],
-                                            f.widths[i]);
+    for (int i = 0; i < kTrees; ++i) {
+      const std::span<const std::byte> tree(encoded.data() + offsets[i],
+                                            widths[i]);
       acc ^= evaluate_encoded(
           tree, [&](PredicateId id) { return truth_of(id, salt); });
     }
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
-}
-BENCHMARK(BM_EvalEncoded);
-
-void BM_EvalEncodedReordered(benchmark::State& state) {
-  EvalFixture& f = eval_fixture();
-  std::uint32_t salt = 0;
-  for (auto _ : state) {
-    ++salt;
+    return acc;
+  });
+  run("encoded_v1_reordered", reordered.size(),
+      [&](std::uint32_t salt) {
     bool acc = false;
-    for (int i = 0; i < EvalFixture::kTrees; ++i) {
-      const std::span<const std::byte> tree(
-          f.reordered.data() + f.reordered_offsets[i], f.widths[i]);
+    for (int i = 0; i < kTrees; ++i) {
+      const std::span<const std::byte> tree(reordered.data() + r_offsets[i],
+                                            widths[i]);
       acc ^= evaluate_encoded(
           tree, [&](PredicateId id) { return truth_of(id, salt); });
     }
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
-}
-BENCHMARK(BM_EvalEncodedReordered);
-
-void BM_EvalEncodedV2(benchmark::State& state) {
-  EvalFixture& f = eval_fixture();
-  std::uint32_t salt = 0;
-  for (auto _ : state) {
-    ++salt;
+    return acc;
+  });
+  run("encoded_v2", encoded_v2.size(), [&](std::uint32_t salt) {
     bool acc = false;
-    for (int i = 0; i < EvalFixture::kTrees; ++i) {
+    for (int i = 0; i < kTrees; ++i) {
       const std::span<const std::byte> tree(
-          f.encoded_v2.data() + f.v2_offsets[i], f.v2_widths[i]);
+          encoded_v2.data() + v2_offsets[i], v2_widths[i]);
       acc ^= evaluate_encoded_v2(
           tree, [&](PredicateId id) { return truth_of(id, salt); });
     }
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
-  state.counters["bytes_v1"] = static_cast<double>(f.encoded.size());
-  state.counters["bytes_v2"] = static_cast<double>(f.encoded_v2.size());
-}
-BENCHMARK(BM_EvalEncodedV2);
-
-void BM_EvalPointerAst(benchmark::State& state) {
-  EvalFixture& f = eval_fixture();
-  std::uint32_t salt = 0;
-  for (auto _ : state) {
-    ++salt;
+    return acc;
+  });
+  run("pointer_ast", pointer_bytes, [&](std::uint32_t salt) {
     bool acc = false;
-    for (int i = 0; i < EvalFixture::kTrees; ++i) {
-      acc ^= ast::evaluate(f.exprs[i].root(), [&](PredicateId id) {
+    for (int i = 0; i < kTrees; ++i) {
+      acc ^= ast::evaluate(exprs[i].root(), [&](PredicateId id) {
         return truth_of(id, salt);
       });
     }
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
-}
-BENCHMARK(BM_EvalPointerAst);
-
-void BM_EvalArenaAst(benchmark::State& state) {
-  EvalFixture& f = eval_fixture();
-  std::uint32_t salt = 0;
-  for (auto _ : state) {
-    ++salt;
+    return acc;
+  });
+  run("arena_ast", arena.allocated_bytes(),
+      [&](std::uint32_t salt) {
     bool acc = false;
-    for (int i = 0; i < EvalFixture::kTrees; ++i) {
-      acc ^= eval_arena(*f.arena_roots[i], [&](PredicateId id) {
+    for (int i = 0; i < kTrees; ++i) {
+      acc ^= eval_arena(*arena_roots[i], [&](PredicateId id) {
         return truth_of(id, salt);
       });
     }
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetItemsProcessed(state.iterations() * EvalFixture::kTrees);
+    return acc;
+  });
 }
-BENCHMARK(BM_EvalArenaAst);
 
-// ---- 3. Predicate sharing --------------------------------------------------
+// ---- 2. Phase-2 cost vs predicate sharing ---------------------------------
 
-void BM_Phase2_Sharing(benchmark::State& state) {
-  const double sharing = static_cast<double>(state.range(0)) / 100.0;
-  AttributeRegistry attrs;
-  PredicateTable table;
-  PaperWorkloadConfig config;
-  config.predicates_per_subscription = 6;
-  config.sharing_probability = sharing;
-  config.domain_size = 200000;
-  config.seed = 777;
-  PaperWorkload workload(config, attrs, table);
-  NonCanonicalEngine engine(table);
-  for (int i = 0; i < 20000; ++i) {
-    const ast::Expr expr = workload.next_subscription();
-    engine.add(expr.root());
+void sharing_study() {
+  for (const int sharing_pct : {0, 50, 90}) {
+    AttributeRegistry attrs;
+    PredicateTable table;
+    PaperWorkloadConfig config;
+    config.predicates_per_subscription = 6;
+    config.sharing_probability = sharing_pct / 100.0;
+    config.domain_size = 200000;
+    config.seed = 777;
+    PaperWorkload workload(config, attrs, table);
+    NonCanonicalEngine forest_engine(table);
+    NonCanonicalTreeEngine tree_engine(table);
+    for (int i = 0; i < 20000; ++i) {
+      const ast::Expr expr = workload.next_subscription();
+      forest_engine.add(expr.root());
+      tree_engine.add(expr.root());
+    }
+    const std::vector<PredicateId> fulfilled = workload.sample_fulfilled(
+        std::min<std::size_t>(2000, workload.predicate_pool().size()));
+
+    const auto run = [&](const char* engine_name, FilterEngine& engine) {
+      std::vector<SubscriptionId> out;
+      const double seconds = time_seconds([&] {
+        out.clear();
+        engine.match_predicates(fulfilled, out);
+      });
+      std::printf("phase2_sharing,%d%%,%s,%.3e s/event,%zu matches\n",
+                  sharing_pct, engine_name, seconds, out.size());
+      JsonRow("ablation")
+          .field("study", "phase2_sharing")
+          .field("sharing_pct", static_cast<std::size_t>(sharing_pct))
+          .field("engine", engine_name)
+          .field("seconds_per_event", seconds)
+          .field("matches", out.size())
+          .emit();
+    };
+    run("non-canonical", forest_engine);
+    run("non-canonical-tree", tree_engine);
   }
-  const std::vector<PredicateId> fulfilled = workload.sample_fulfilled(
-      std::min<std::size_t>(2000, workload.predicate_pool().size()));
-  std::vector<SubscriptionId> out;
-  for (auto _ : state) {
-    out.clear();
-    engine.match_predicates(fulfilled, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.counters["matches"] = static_cast<double>(out.size());
-  state.counters["sharing_pct"] = static_cast<double>(state.range(0));
 }
-BENCHMARK(BM_Phase2_Sharing)->Arg(0)->Arg(50)->Arg(90);
 
-// ---- 4. Range index vs linear scan ----------------------------------------
+// ---- 3. Range index vs linear scan ----------------------------------------
 
-void BM_RangeStab_BPlusTree(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  BPlusTree<double, std::uint32_t> tree;
-  Pcg32 rng(1);
-  for (std::size_t i = 0; i < n; ++i) {
-    tree.try_emplace(static_cast<double>(rng.range(0, 1000000)),
-                     static_cast<std::uint32_t>(i));
-  }
-  std::size_t hits = 0;
-  for (auto _ : state) {
-    // Stab: predicates `a < c` with c > v, v in the top 1% of the domain —
+void range_index_study() {
+  for (const std::size_t n : {10000u, 100000u, 1000000u}) {
+    BPlusTree<double, std::uint32_t> tree;
+    std::vector<double> thresholds(n);
+    Pcg32 rng(1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = static_cast<double>(rng.range(0, 1000000));
+      tree.try_emplace(v, static_cast<std::uint32_t>(i));
+      thresholds[i] = v;
+    }
+    // Stab: predicates `a < c` with c in the top 1% of the domain —
     // output-bound work, like phase 1.
-    const double v = 990000.0 + static_cast<double>(rng.bounded(10000));
-    for (auto it = tree.lower_bound(v); it != tree.end(); ++it) ++hits;
-    benchmark::DoNotOptimize(hits);
+    volatile std::size_t guard = 0;
+    const double stab_s = time_seconds([&] {
+      std::size_t hits = 0;
+      const double v = 990000.0 + static_cast<double>(rng.bounded(10000));
+      for (auto it = tree.lower_bound(v); it != tree.end(); ++it) ++hits;
+      guard = guard + hits;
+    });
+    const double scan_s = time_seconds([&] {
+      std::size_t hits = 0;
+      const double v = 990000.0 + static_cast<double>(rng.bounded(10000));
+      for (const double t : thresholds) {
+        if (t > v) ++hits;
+      }
+      guard = guard + hits;
+    });
+    std::printf("range_stab,n=%zu,bplus %.3e s,linear %.3e s\n", n, stab_s,
+                scan_s);
+    JsonRow("ablation")
+        .field("study", "range_stab")
+        .field("n", n)
+        .field("bplus_seconds", stab_s)
+        .field("linear_seconds", scan_s)
+        .emit();
   }
-  state.SetLabel("n=" + std::to_string(n));
 }
-BENCHMARK(BM_RangeStab_BPlusTree)->Arg(10000)->Arg(100000)->Arg(1000000);
 
-void BM_RangeStab_LinearScan(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<double> thresholds(n);
-  Pcg32 rng(1);
-  for (auto& t : thresholds) {
-    t = static_cast<double>(rng.range(0, 1000000));
-  }
-  std::size_t hits = 0;
-  for (auto _ : state) {
-    const double v = 990000.0 + static_cast<double>(rng.bounded(10000));
-    for (const double t : thresholds) {
-      if (t > v) ++hits;
-    }
-    benchmark::DoNotOptimize(hits);
-  }
-  state.SetLabel("n=" + std::to_string(n));
+// ---- 4. Registration cost --------------------------------------------------
+
+void registration_study(int count) {
+  const auto run = [&](const char* engine_name, auto&& make) {
+    AttributeRegistry attrs;
+    PredicateTable table;
+    PaperWorkloadConfig config;
+    config.predicates_per_subscription = 10;
+    config.seed = 888;
+    PaperWorkload workload(config, attrs, table);
+    auto engine = make(table);
+    const double seconds = time_seconds([&] {
+      for (int i = 0; i < count; ++i) {
+        const ast::Expr expr = workload.next_subscription();
+        (void)engine->add(expr.root());
+      }
+    }, /*repetitions=*/1);
+    const double per_sub = seconds / count;
+    std::printf("registration,%s,%.3e s/sub\n", engine_name, per_sub);
+    JsonRow("ablation")
+        .field("study", "registration")
+        .field("engine", engine_name)
+        .field("seconds_per_subscription", per_sub)
+        .emit();
+  };
+  run("non-canonical-tree", [](PredicateTable& t) {
+    return std::make_unique<NonCanonicalTreeEngine>(t);
+  });
+  run("non-canonical", [](PredicateTable& t) {
+    return std::make_unique<NonCanonicalEngine>(t);
+  });
+  run("counting-dnf", [](PredicateTable& t) {
+    return std::make_unique<CountingEngine>(t);
+  });
 }
-BENCHMARK(BM_RangeStab_LinearScan)->Arg(10000)->Arg(100000)->Arg(1000000);
-
-// ---- 5. Registration cost ---------------------------------------------------
-
-void BM_Register_NonCanonical(benchmark::State& state) {
-  AttributeRegistry attrs;
-  PredicateTable table;
-  PaperWorkloadConfig config;
-  config.predicates_per_subscription = 10;
-  config.seed = 888;
-  PaperWorkload workload(config, attrs, table);
-  NonCanonicalEngine engine(table);
-  for (auto _ : state) {
-    const ast::Expr expr = workload.next_subscription();
-    const SubscriptionId id = engine.add(expr.root());
-    benchmark::DoNotOptimize(id);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_Register_NonCanonical);
-
-void BM_Register_CountingWithDnf(benchmark::State& state) {
-  AttributeRegistry attrs;
-  PredicateTable table;
-  PaperWorkloadConfig config;
-  config.predicates_per_subscription = 10;
-  config.seed = 888;
-  PaperWorkload workload(config, attrs, table);
-  CountingEngine engine(table);
-  for (auto _ : state) {
-    const ast::Expr expr = workload.next_subscription();
-    const SubscriptionId id = engine.add(expr.root());
-    benchmark::DoNotOptimize(id);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_Register_CountingWithDnf);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const Scale scale = scale_from_env();
+  const int eval_passes = scale == Scale::kQuick ? 200 : 2000;
+  const int registrations = scale == Scale::kQuick ? 20000 : 100000;
+
+  eval_representation_study(eval_passes);
+  sharing_study();
+  range_index_study();
+  registration_study(registrations);
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Shared-subexpression sweep: how much memory and phase-2 work does the
+// forest-backed non-canonical engine save as structural overlap grows?
+//
+// Workload: a fixed population of paper-shaped subscriptions where an
+// `overlap` fraction of registrations are Zipf-skewed duplicates of a small
+// pool of distinct subscriptions — the regime subscription-aggregation
+// studies (Shi et al.) report dominating real content-based networks. The
+// unshared baseline is the paper's §3.3 prototype (NonCanonicalTreeEngine,
+// one encoded byte tree per subscription); the shared engine is the
+// forest-backed NonCanonicalEngine.
+//
+// Per (overlap × engine) cell one JSON row reports:
+//   - storage bytes: the forest components vs the encoded-tree buffer, plus
+//     each engine's full phase-2 footprint;
+//   - phase-2 throughput over sampled fulfilled sets (paper methodology);
+//   - per-event phase-2 evaluation counts (DAG node evaluations vs
+//     per-subscription tree evaluations).
+//
+// Verified claim (exit status, like bench_memory): at 95% overlap the
+// forest's storage is at most 0.3x the unshared encoded-tree bytes, and
+// per-event node evaluations undercut the baseline's tree evaluations.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace ncps;
+using namespace ncps::bench;
+
+struct Cell {
+  std::size_t subscriptions = 0;
+  std::size_t distinct = 0;
+  std::size_t storage_bytes = 0;   // forest vs encoded trees
+  std::size_t phase2_bytes = 0;    // full engine minus phase-1 index
+  double seconds_per_event = 0.0;
+  double evals_per_event = 0.0;    // node (forest) / tree (baseline) evals
+  std::size_t live_nodes = 0;
+};
+
+std::size_t sum_components(const FilterEngine& engine, bool forest_only) {
+  std::size_t sum = 0;
+  const MemoryBreakdown mem = engine.memory();
+  for (const auto& [name, bytes] : mem.components()) {
+    const std::string_view n(name);
+    if (forest_only) {
+      if (n.starts_with("forest/")) sum += bytes;
+    } else if (n == "encoded_trees") {
+      sum += bytes;
+    }
+  }
+  return sum;
+}
+
+std::size_t phase2_bytes(const FilterEngine& engine) {
+  std::size_t sum = 0;
+  const MemoryBreakdown mem = engine.memory();
+  for (const auto& [name, bytes] : mem.components()) {
+    if (!std::string_view(name).starts_with("index/")) sum += bytes;
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Shared-subexpression sweep: overlap fraction x engine\n"
+      "# storage = forest components (shared) / encoded trees (baseline)\n");
+
+  const Scale scale = scale_from_env();
+  std::size_t subscriptions = 20000;
+  if (scale == Scale::kBig) subscriptions = 100000;
+  if (scale == Scale::kPaper) subscriptions = 500000;
+  const std::size_t distinct_pool = subscriptions / 40;
+  const std::size_t events = 20;
+  const std::size_t fulfilled_per_event = 500;
+
+  bool ratio_claim = false;
+  bool evals_claim = false;
+  double ratio_at_95 = -1.0;
+
+  for (const int overlap_pct : {0, 25, 75, 95}) {
+    const double overlap = overlap_pct / 100.0;
+
+    // One shared subscription stream per overlap cell: generate the
+    // distinct pool lazily, duplicates Zipf-skewed over what exists.
+    AttributeRegistry attrs;
+    PredicateTable table;
+    PaperWorkloadConfig config;
+    config.predicates_per_subscription = 10;  // the paper's largest |p|
+    config.seed = 0x5a1e + overlap_pct;
+    PaperWorkload workload(config, attrs, table);
+    Pcg32 rng(0xd00d + overlap_pct);
+    ZipfSampler dup_ranks(distinct_pool, 1.1);
+
+    NonCanonicalEngine shared_engine(table);
+    NonCanonicalTreeEngine baseline(table);
+    std::vector<ast::Expr> pool;
+    std::size_t distinct = 0;
+    for (std::size_t i = 0; i < subscriptions; ++i) {
+      const bool duplicate = !pool.empty() && rng.next_double() < overlap;
+      const ast::Expr* expr;
+      if (duplicate) {
+        // Zipf over the first distinct_pool texts: a few hot standing
+        // queries soak up most of the duplication.
+        expr = &pool[dup_ranks.sample(rng) % pool.size()];
+      } else {
+        pool.push_back(workload.next_subscription());
+        expr = &pool.back();
+        ++distinct;
+      }
+      shared_engine.add(expr->root());
+      baseline.add(expr->root());
+    }
+    shared_engine.compact_storage();
+    baseline.compact_storage();
+
+    // Phase-2 timing + work counters over sampled fulfilled sets (the
+    // paper's methodology: phase 1 is identical across engines).
+    std::vector<std::vector<PredicateId>> fulfilled_sets;
+    for (std::size_t e = 0; e < events; ++e) {
+      fulfilled_sets.push_back(workload.sample_fulfilled(std::min(
+          fulfilled_per_event, workload.predicate_pool().size())));
+    }
+
+    const auto run_cell = [&](FilterEngine& engine, bool forest) {
+      Cell cell;
+      cell.subscriptions = subscriptions;
+      cell.distinct = distinct;
+      cell.storage_bytes = sum_components(engine, forest);
+      cell.phase2_bytes = phase2_bytes(engine);
+      std::vector<SubscriptionId> out;
+      std::uint64_t evals = 0;
+      cell.seconds_per_event = time_seconds([&] {
+        evals = 0;
+        for (const auto& fulfilled : fulfilled_sets) {
+          out.clear();
+          engine.match_predicates(fulfilled, out);
+          const MatchStats& stats = engine.last_stats();
+          evals += forest ? stats.node_evaluations : stats.tree_evaluations;
+        }
+      }) / static_cast<double>(events);
+      cell.evals_per_event =
+          static_cast<double>(evals) / static_cast<double>(events);
+      return cell;
+    };
+
+    Cell shared_cell = run_cell(shared_engine, /*forest=*/true);
+    shared_cell.live_nodes = shared_engine.forest().live_nodes();
+    const Cell base_cell = run_cell(baseline, /*forest=*/false);
+
+    const double storage_ratio =
+        static_cast<double>(shared_cell.storage_bytes) /
+        static_cast<double>(base_cell.storage_bytes);
+    if (overlap_pct == 95) {
+      ratio_at_95 = storage_ratio;
+      ratio_claim = storage_ratio <= 0.3;
+      evals_claim = shared_cell.evals_per_event < base_cell.evals_per_event;
+    }
+
+    const auto emit = [&](const char* engine_name, const Cell& cell,
+                          const char* storage_kind) {
+      JsonRow("sharing")
+          .field("overlap_pct", static_cast<std::size_t>(overlap_pct))
+          .field("engine", engine_name)
+          .field("subscriptions", cell.subscriptions)
+          .field("distinct_subscriptions", cell.distinct)
+          .field("storage_kind", storage_kind)
+          .field("storage_bytes", cell.storage_bytes)
+          .field("phase2_bytes", cell.phase2_bytes)
+          .field("live_forest_nodes", cell.live_nodes)
+          .field("phase2_s_per_event", cell.seconds_per_event)
+          .field("phase2_evals_per_event", cell.evals_per_event)
+          .emit();
+    };
+    emit("non-canonical", shared_cell, "forest");
+    emit("non-canonical-tree", base_cell, "encoded_trees");
+    std::printf(
+        "overlap=%d%%: distinct=%zu forest=%zuB trees=%zuB (ratio %.3f) "
+        "evals/event %.0f vs %.0f, s/event %.2e vs %.2e\n",
+        overlap_pct, distinct, shared_cell.storage_bytes,
+        base_cell.storage_bytes, storage_ratio, shared_cell.evals_per_event,
+        base_cell.evals_per_event, shared_cell.seconds_per_event,
+        base_cell.seconds_per_event);
+  }
+
+  std::printf("# claim: forest storage at 95%% overlap <= 0.3x unshared "
+              "encoded trees: %s (ratio %.3f)\n",
+              ratio_claim ? "HOLDS" : "FAILS", ratio_at_95);
+  std::printf("# claim: per-event node evaluations < per-event tree "
+              "evaluations at 95%% overlap: %s\n",
+              evals_claim ? "HOLDS" : "FAILS");
+  std::printf("# verification: %s\n",
+              ratio_claim && evals_claim ? "PASS" : "FAIL");
+  JsonRow("sharing_claim")
+      .field("claim", "forest_0.3x_storage_and_fewer_evals_at_95pct")
+      .field("storage_ratio_at_95", ratio_at_95)
+      .field("verdict", ratio_claim && evals_claim ? "PASS" : "FAIL")
+      .emit();
+  return ratio_claim && evals_claim ? 0 : 1;
+}

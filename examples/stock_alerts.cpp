@@ -160,8 +160,8 @@ int main() {
       broker->publish(e);
       const MatchStats& stats = broker->engine().last_stats();
       candidates += stats.candidates;
-      work += stats.tree_evaluations + stats.hit_increments +
-              stats.counter_comparisons;
+      work += stats.tree_evaluations + stats.node_evaluations +
+              stats.hit_increments + stats.counter_comparisons;
     }
 
     std::printf("%-18s %12zu %12llu %14llu %14zu\n",

@@ -4,9 +4,10 @@
 # For each build/bench_* binary this script captures stdout, extracts the
 # one-object-per-line JSON rows (bench_util.h JsonRow; human CSV/summary
 # lines are left behind), and writes them to BENCH_<name>.json at the repo
-# root — the bench trajectory CI uploads as artifacts. Benches that emit no
-# JSON rows (e.g. bench_ablation's Google-Benchmark output) produce an empty
-# file, which is still a record that the bench ran.
+# root — the bench trajectory CI uploads as artifacts. Every bench emits
+# JSON rows (bench_ablation included, since it moved off Google Benchmark);
+# an empty BENCH_*.json therefore means the bench silently regressed, and
+# the script fails on it.
 #
 # Usage: scripts/run_benches.sh [build-dir]   (default: build)
 # Environment: REPRO_SCALE is forced to quick unless already set;
@@ -47,6 +48,10 @@ for bench in "$build_dir"/bench_*; do
   grep '^{' "$log" > "$out_json" || true
   rows="$(wc -l < "$out_json")"
   echo "   -> $out_json ($rows rows)"
+  if [ "$rows" -eq 0 ]; then
+    echo "   error: $name emitted no JSON rows" >&2
+    status=1
+  fi
   rm -f "$log"
 done
 

@@ -1,0 +1,17 @@
+// Shared 64-bit hash combining, boost::hash_combine-style with the 64-bit
+// golden-ratio constant. Used by the forest's structural interning and the
+// engines' predicate-signature index — one definition so a collision fix
+// lands everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace ncps {
+
+[[nodiscard]] inline std::uint64_t hash_mix(std::uint64_t h,
+                                            std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace ncps

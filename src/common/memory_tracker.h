@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,16 @@ std::size_t nested_vector_bytes(const std::vector<std::vector<T>>& v) {
 /// Heap bytes of a std::string (0 when the small-string optimisation holds).
 inline std::size_t string_bytes(const std::string& s) {
   return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+}
+
+/// Approximate heap bytes of a std::unordered_map: the bucket array plus a
+/// per-entry node (value + hash-chain link), the layout of the common
+/// libstdc++/libc++ implementations. Inner heap owned by values is not
+/// included — add it at the call site.
+template <typename K, typename V, typename H, typename E>
+std::size_t unordered_map_bytes(const std::unordered_map<K, V, H, E>& m) {
+  return m.bucket_count() * sizeof(void*) +
+         m.size() * (sizeof(std::pair<const K, V>) + 2 * sizeof(void*));
 }
 
 }  // namespace ncps

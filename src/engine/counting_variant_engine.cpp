@@ -3,11 +3,6 @@
 namespace ncps {
 
 void CountingVariantEngine::match_predicates(
-    std::span<const PredicateId> fulfilled, std::vector<SubscriptionId>& out) {
-  match_impl(fulfilled, [&out](SubscriptionId sid) { out.push_back(sid); });
-}
-
-void CountingVariantEngine::match_predicates(
     std::span<const PredicateId> fulfilled, std::size_t event_index,
     const Event& event, MatchSink& sink) {
   match_impl(fulfilled, [&](SubscriptionId sid) {

@@ -21,8 +21,7 @@ class CountingVariantEngine final : public CountingBase {
                                  bool support_unsubscription = true)
       : CountingBase(table, options, support_unsubscription) {}
 
-  void match_predicates(std::span<const PredicateId> fulfilled,
-                        std::vector<SubscriptionId>& out) override;
+  using FilterEngine::match_predicates;
   void match_predicates(std::span<const PredicateId> fulfilled,
                         std::size_t event_index, const Event& event,
                         MatchSink& sink) override;

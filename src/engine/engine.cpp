@@ -2,14 +2,38 @@
 
 namespace ncps {
 
-void FilterEngine::match_predicates(std::span<const PredicateId> fulfilled,
-                                    std::size_t event_index,
-                                    const Event& event, MatchSink& sink) {
-  sink_adapter_scratch_.clear();
-  match_predicates(fulfilled, sink_adapter_scratch_);
-  for (const SubscriptionId id : sink_adapter_scratch_) {
-    sink.on_match(event_index, event, id);
+namespace {
+
+/// Adapts the streaming MatchSink interface back to vector accumulation for
+/// the legacy entry points.
+class VectorSink final : public MatchSink {
+ public:
+  explicit VectorSink(std::vector<SubscriptionId>& out) : out_(&out) {}
+
+  void on_match(std::size_t /*event_index*/, const Event& /*event*/,
+                SubscriptionId subscription) override {
+    out_->push_back(subscription);
   }
+
+ private:
+  std::vector<SubscriptionId>* out_;
+};
+
+}  // namespace
+
+void FilterEngine::match_predicates(std::span<const PredicateId> fulfilled,
+                                    std::vector<SubscriptionId>& out) {
+  VectorSink sink(out);
+  const Event no_event;  // phase-2-only callers carry no event context
+  match_predicates(fulfilled, 0, no_event, sink);
+}
+
+void FilterEngine::match(const Event& event,
+                         std::vector<SubscriptionId>& out) {
+  fulfilled_scratch_.clear();
+  index_.match(event, *table_, fulfilled_scratch_);
+  VectorSink sink(out);
+  match_predicates(fulfilled_scratch_, 0, event, sink);
 }
 
 void FilterEngine::match_batch(std::span<const Event> events,

@@ -43,6 +43,7 @@ namespace ncps {
 struct MatchStats {
   std::uint64_t candidates = 0;           ///< candidate subscriptions considered
   std::uint64_t tree_evaluations = 0;     ///< Boolean trees evaluated (non-canonical)
+  std::uint64_t node_evaluations = 0;     ///< DAG nodes evaluated (shared forest)
   std::uint64_t truth_lookups = 0;        ///< per-leaf truth probes during tree evaluation
   std::uint64_t hit_increments = 0;       ///< counter bumps (counting family)
   std::uint64_t counter_comparisons = 0;  ///< hits-vs-required comparisons
@@ -90,26 +91,22 @@ class FilterEngine {
   /// Unregister. Returns false if the id is unknown or already removed.
   virtual bool remove(SubscriptionId id) = 0;
 
-  /// Phase 2 only: report subscriptions satisfied when exactly the given
-  /// predicates are fulfilled. Appends matching ids to `out` (each once, in
-  /// unspecified order).
-  virtual void match_predicates(std::span<const PredicateId> fulfilled,
-                                std::vector<SubscriptionId>& out) = 0;
-
-  /// Phase 2, streaming form: emits each match to `sink` with the event
-  /// context instead of appending to a vector. The base version adapts the
-  /// vector overload; all three engines override it to emit directly from
-  /// their matching loops (no intermediate accumulation).
+  /// Phase 2, streaming form — the one entry point engines implement:
+  /// report subscriptions satisfied when exactly the given predicates are
+  /// fulfilled, emitting each match (once, in unspecified order) to `sink`
+  /// with the event context.
   virtual void match_predicates(std::span<const PredicateId> fulfilled,
                                 std::size_t event_index, const Event& event,
-                                MatchSink& sink);
+                                MatchSink& sink) = 0;
+
+  /// Legacy phase-2 entry: appends matching ids to `out`. Non-virtual
+  /// adapter over the MatchSink overload (with an empty event context) —
+  /// engines implement the streaming form only.
+  void match_predicates(std::span<const PredicateId> fulfilled,
+                        std::vector<SubscriptionId>& out);
 
   /// Full pipeline: phase 1 through this engine's index, then phase 2.
-  void match(const Event& event, std::vector<SubscriptionId>& out) {
-    fulfilled_scratch_.clear();
-    index_.match(event, *table_, fulfilled_scratch_);
-    match_predicates(fulfilled_scratch_, out);
-  }
+  void match(const Event& event, std::vector<SubscriptionId>& out);
 
   /// Batched full pipeline: phase 1 once over the whole batch (one index
   /// traversal, shared fulfilled-set buffers), then phase 2 per event with
@@ -168,7 +165,6 @@ class FilterEngine {
   // Batch scratch: all events' fulfilled sets concatenated + slice bounds.
   std::vector<PredicateId> batch_fulfilled_;
   std::vector<std::uint32_t> batch_offsets_;
-  std::vector<SubscriptionId> sink_adapter_scratch_;
 };
 
 }  // namespace ncps

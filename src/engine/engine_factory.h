@@ -1,5 +1,6 @@
-// Uniform construction of the three engines the paper compares, used by the
-// parameterized test suites and the benchmark harness.
+// Uniform construction of the engines the test suites and benchmark
+// harness compare: the paper's three algorithms plus the forest-backed
+// non-canonical engine's unshared tree baseline.
 #pragma once
 
 #include <memory>
@@ -8,17 +9,20 @@
 #include "engine/counting_engine.h"
 #include "engine/counting_variant_engine.h"
 #include "engine/non_canonical_engine.h"
+#include "engine/non_canonical_tree_engine.h"
 
 namespace ncps {
 
 enum class EngineKind : std::uint8_t {
-  NonCanonical,
+  NonCanonical,      ///< shared-forest DAG engine (the default)
+  NonCanonicalTree,  ///< the paper's per-subscription encoded-tree prototype
   Counting,
   CountingVariant,
 };
 
 inline constexpr EngineKind kAllEngineKinds[] = {
     EngineKind::NonCanonical,
+    EngineKind::NonCanonicalTree,
     EngineKind::Counting,
     EngineKind::CountingVariant,
 };
@@ -26,6 +30,7 @@ inline constexpr EngineKind kAllEngineKinds[] = {
 [[nodiscard]] inline std::string_view to_string(EngineKind kind) {
   switch (kind) {
     case EngineKind::NonCanonical: return "non-canonical";
+    case EngineKind::NonCanonicalTree: return "non-canonical-tree";
     case EngineKind::Counting: return "counting";
     case EngineKind::CountingVariant: return "counting-variant";
   }
@@ -37,6 +42,8 @@ inline constexpr EngineKind kAllEngineKinds[] = {
   switch (kind) {
     case EngineKind::NonCanonical:
       return std::make_unique<NonCanonicalEngine>(table);
+    case EngineKind::NonCanonicalTree:
+      return std::make_unique<NonCanonicalTreeEngine>(table);
     case EngineKind::Counting:
       return std::make_unique<CountingEngine>(table);
     case EngineKind::CountingVariant:

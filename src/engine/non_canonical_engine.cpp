@@ -1,11 +1,18 @@
 #include "engine/non_canonical_engine.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "common/contracts.h"
+#include "common/hash.h"
+#include "subscription/covering.h"
 
 namespace ncps {
+
+NonCanonicalEngine::NonCanonicalEngine(PredicateTable& table, Options options)
+    : FilterEngine(table),
+      options_(options),
+      forest_([this](PredicateId p) { acquire_predicate(p); },
+              [this](PredicateId p) { release_predicate(p); }) {}
 
 SubscriptionId NonCanonicalEngine::allocate_id() {
   if (!free_ids_.empty()) {
@@ -15,82 +22,140 @@ SubscriptionId NonCanonicalEngine::allocate_id() {
   }
   const SubscriptionId id(static_cast<std::uint32_t>(subs_.size()));
   subs_.emplace_back();
-  locations_.emplace_back();
   return id;
 }
 
-SubscriptionId NonCanonicalEngine::add(const ast::Node& expression) {
-  const SubscriptionId id = allocate_id();
-  SubRecord& record = subs_[id.value()];
-
-  // Encode the tree as the subscriber wrote it — no canonicalisation.
-  const std::size_t offset = tree_bytes_.size();
-  const std::size_t length =
-      encoding_ == TreeEncoding::kV1Paper
-          ? encode_tree(expression, tree_bytes_, reorder_)
-          : encode_tree_v2(expression, tree_bytes_, reorder_);
-  NCPS_ASSERT(offset <= UINT32_MAX && length <= UINT32_MAX);
-  locations_[id.value()] =
-      Location{static_cast<std::uint32_t>(offset),
-               static_cast<std::uint32_t>(length)};
-
-  // Engine-owned references + association entries, one per unique predicate.
+std::uint64_t NonCanonicalEngine::expression_signature(
+    const ast::Node& expression) {
   pred_scratch_.clear();
   ast::collect_predicates(expression, pred_scratch_);
   std::sort(pred_scratch_.begin(), pred_scratch_.end());
   pred_scratch_.erase(
       std::unique(pred_scratch_.begin(), pred_scratch_.end()),
       pred_scratch_.end());
-  record.unique_predicates = pred_scratch_;
-  for (const PredicateId pid : record.unique_predicates) {
-    acquire_predicate(pid);
-    assoc_.ensure_lists(pid.value() + 1);
-    // A predicate id entering this engine for the first time — including a
-    // freed id recycled by the table for a structurally different predicate
-    // — must have an empty association list, or stale postings from its
-    // previous life would resurrect dead candidates.
-    NCPS_DASSERT(use_count_[pid.value()] > 1 || assoc_.size(pid.value()) == 0);
-    assoc_.add(pid.value(), id.value());
+  std::uint64_t sig = hash_mix(0x51d5ull, pred_scratch_.size());
+  for (const PredicateId pid : pred_scratch_) {
+    sig = hash_mix(sig, pid.value());
+  }
+  return sig;
+}
+
+void NonCanonicalEngine::validate(const ast::Node& expression,
+                                  PredicateTable& /*scratch*/) const {
+  SharedForest::validate_limits(expression);
+}
+
+SubscriptionId NonCanonicalEngine::add(const ast::Node& expression) {
+  // Node slots released by earlier removals become reusable here: add() is
+  // ordered after any matching that could still walk them (engines are
+  // serialised per shard; see shared_forest.h).
+  forest_.reclaim_quarantine();
+
+  // intern() checks limits before any mutation, so an oversized
+  // expression throws here with no state change.
+  const SharedForest::InternResult interned = forest_.intern(expression);
+  NodeId root = interned.id;
+  const std::uint64_t signature = expression_signature(expression);
+  if (interned.created && options_.root_subsumption) {
+    root = try_alias_equivalent(expression, root, signature);
   }
 
-  record.always_candidate = ast::matches_all_false(expression);
-  if (record.always_candidate) always_candidates_.push_back(id);
-
-  record.live = true;
+  const SubscriptionId id = allocate_id();
+  attach(id, root, signature);
   ++live_count_;
 
-  if (truth_.capacity() < table_->id_bound()) {
-    truth_.resize(table_->id_bound());
+  if (touched_.capacity() < forest_.node_bound()) {
+    touched_.resize(forest_.node_bound());
   }
-  if (seen_subs_.capacity() < subs_.size()) seen_subs_.resize(subs_.size());
   return id;
+}
+
+NonCanonicalEngine::NodeId NonCanonicalEngine::try_alias_equivalent(
+    const ast::Node& expression, NodeId fresh_root, std::uint64_t signature) {
+  const auto it = roots_by_sig_.find(signature);
+  if (it == roots_by_sig_.end()) return fresh_root;
+  std::size_t probes = 0;
+  for (const NodeId candidate : it->second) {
+    if (candidate == fresh_root) continue;
+    if (++probes > options_.max_subsumption_probes) break;
+    const ast::NodePtr candidate_ast = forest_.to_ast(candidate);
+    // Mutual covering proves semantic equivalence, which is what sharing a
+    // *result* node requires; one-directional covering would be unsound.
+    if (covers(*candidate_ast, expression, *table_,
+               options_.subsumption_budget) &&
+        covers(expression, *candidate_ast, *table_,
+               options_.subsumption_budget)) {
+      forest_.add_ref(candidate);
+      forest_.release(fresh_root);
+      ++subsumption_hits_;
+      return candidate;
+    }
+  }
+  return fresh_root;
+}
+
+void NonCanonicalEngine::attach(SubscriptionId id, NodeId root,
+                                std::uint64_t signature) {
+  SubRecord& record = subs_[id.value()];
+  record.root = root;
+  record.prev = kNoSub;
+  record.live = true;
+
+  const auto [it, first_sub] = root_head_.try_emplace(root, id.value());
+  if (!first_sub) {
+    record.next = it->second;
+    subs_[it->second].prev = id.value();
+    it->second = id.value();
+    return;
+  }
+  record.next = kNoSub;
+  if (is_root_.size() <= root) is_root_.resize(root + 1, 0);
+  is_root_[root] = 1;
+  root_sig_.emplace(root, signature);
+  roots_by_sig_[signature].push_back(root);
+  if (forest_.static_truth(root)) always_roots_.push_back(root);
+}
+
+void NonCanonicalEngine::detach(SubscriptionId id) {
+  SubRecord& record = subs_[id.value()];
+  const NodeId root = record.root;
+  if (record.prev != kNoSub) {
+    subs_[record.prev].next = record.next;
+    if (record.next != kNoSub) subs_[record.next].prev = record.prev;
+  } else {
+    const auto head = root_head_.find(root);
+    NCPS_DASSERT(head != root_head_.end() && head->second == id.value());
+    if (record.next != kNoSub) {
+      head->second = record.next;
+      subs_[record.next].prev = kNoSub;
+    } else {
+      // Last subscription on this root: it stops being a result root.
+      root_head_.erase(head);
+      is_root_[root] = 0;
+      const auto sig = root_sig_.find(root);
+      NCPS_DASSERT(sig != root_sig_.end());
+      auto& ring = roots_by_sig_[sig->second];
+      ring.erase(std::find(ring.begin(), ring.end(), root));
+      if (ring.empty()) roots_by_sig_.erase(sig->second);
+      root_sig_.erase(sig);
+      if (forest_.static_truth(root)) {
+        auto& always = always_roots_;
+        always.erase(std::find(always.begin(), always.end(), root));
+      }
+    }
+  }
+  forest_.release(root);
 }
 
 bool NonCanonicalEngine::remove(SubscriptionId id) {
   if (!id.valid() || id.value() >= subs_.size() || !subs_[id.value()].live) {
     return false;
   }
-  SubRecord& record = subs_[id.value()];
-  for (const PredicateId pid : record.unique_predicates) {
-    const bool removed = assoc_.remove(pid.value(), id.value());
-    NCPS_ASSERT(removed);  // every registered posting must still be present
-    release_predicate(pid);
-  }
-  if (record.always_candidate) {
-    auto& list = always_candidates_;
-    list.erase(std::remove(list.begin(), list.end(), id), list.end());
-  }
-  record = SubRecord{};
-  dead_bytes_ += locations_[id.value()].length;
-  locations_[id.value()] = Location{};
+  detach(id);
+  subs_[id.value()] = SubRecord{};
   free_ids_.push_back(id);
   --live_count_;
   return true;
-}
-
-void NonCanonicalEngine::match_predicates(
-    std::span<const PredicateId> fulfilled, std::vector<SubscriptionId>& out) {
-  match_impl(fulfilled, [&out](SubscriptionId sid) { out.push_back(sid); });
 }
 
 void NonCanonicalEngine::match_predicates(
@@ -105,199 +170,145 @@ template <typename Emit>
 void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
                                     Emit&& emit) {
   stats_.reset();
-  truth_.clear();
-  seen_subs_.clear();
+  const std::size_t bound = forest_.node_bound();
+  if (touched_.capacity() < bound) touched_.resize(bound);
+  if (value_.size() < bound) value_.resize(bound);
+  if (is_root_.size() < bound) is_root_.resize(bound, 0);
+  touched_.clear();
+  frontier_.clear();
+  max_rank_touched_ = 0;
 
-  // Mark fulfilled predicates for O(1) truth lookups during evaluation.
+  // Seed: fulfilled predicates stamp their leaf nodes true...
   for (const PredicateId pid : fulfilled) {
-    if (pid.value() < truth_.capacity()) truth_.insert(pid.value());
-  }
-  if (stats_enabled_) {
-    ++events_seen_;
-    if (fulfilled_count_.size() < truth_.capacity()) {
-      fulfilled_count_.resize(truth_.capacity(), 0);
+    const NodeId leaf = forest_.leaf_of(pid);
+    if (leaf == SharedForest::kNoNode) continue;
+    if (touched_.insert(leaf)) {
+      value_[leaf] = 1;
+      frontier_.push_back(leaf);
     }
-    for (const PredicateId pid : fulfilled) {
-      if (pid.value() < fulfilled_count_.size()) {
-        ++fulfilled_count_[pid.value()];
+  }
+  // ...and flood upward along parent edges: the candidate-reachable
+  // frontier is every DAG ancestor of a fulfilled leaf, each visited once
+  // however many subscriptions share it.
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    forest_.for_each_parent(frontier_[i], [&](NodeId parent) {
+      if (touched_.insert(parent)) {
+        frontier_.push_back(parent);
+        const std::uint32_t r = forest_.rank(parent);
+        if (r >= rank_buckets_.size()) rank_buckets_.resize(r + 1);
+        rank_buckets_[r].push_back(parent);
+        max_rank_touched_ = std::max(max_rank_touched_, r);
       }
-    }
+    });
   }
 
-  // Leaf ids inside this engine's encoded trees are always within the truth
-  // array (sized to the table's id bound at registration), so the per-leaf
-  // lookup can skip bounds checks — it is the innermost operation of
-  // subscription matching.
-  const EpochSet::View truth_view = truth_.view();
-  const auto truth = [truth_view, this](PredicateId pid) {
+  // Evaluate the frontier's interior nodes bottom-up (rank order is a
+  // topological order: children rank strictly below parents). A child
+  // outside the frontier contains no fulfilled predicate, so its value is
+  // its precomputed all-false truth.
+  const auto value_of = [&](NodeId n) {
     ++stats_.truth_lookups;
-    return truth_view.contains(pid.value());
+    return touched_.contains(n) ? value_[n] != 0 : forest_.static_truth(n);
   };
+  for (std::uint32_t r = 1; r <= max_rank_touched_; ++r) {
+    for (const NodeId n : rank_buckets_[r]) {
+      ++stats_.node_evaluations;
+      const std::span<const NodeId> kids = forest_.children(n);
+      bool v = false;
+      switch (forest_.kind(n)) {
+        case ast::NodeKind::And:
+          v = true;
+          for (const NodeId c : kids) {
+            if (!value_of(c)) {
+              v = false;
+              break;
+            }
+          }
+          break;
+        case ast::NodeKind::Or:
+          for (const NodeId c : kids) {
+            if (value_of(c)) {
+              v = true;
+              break;
+            }
+          }
+          break;
+        case ast::NodeKind::Not:
+          v = !value_of(kids.front());
+          break;
+        case ast::NodeKind::Leaf:
+          NCPS_ASSERT(false && "leaves are seeded, never evaluated");
+      }
+      value_[n] = v ? 1 : 0;
+    }
+    rank_buckets_[r].clear();
+  }
 
-  const bool v2 = encoding_ == TreeEncoding::kV2Varint;
-  const auto evaluate_candidate = [&](SubscriptionId sid) {
-    if (!seen_subs_.insert(sid.value())) return;  // already examined
-    ++stats_.candidates;
-    const Location loc = locations_[sid.value()];
-    const std::span<const std::byte> tree(tree_bytes_.data() + loc.offset,
-                                          loc.length);
-    ++stats_.tree_evaluations;
-    const bool matched =
-        v2 ? evaluate_encoded_v2(tree, truth) : evaluate_encoded(tree, truth);
-    if (matched) {
-      emit(sid);
+  // Emit: every touched result root whose memoized value is true notifies
+  // all subscriptions chained on it...
+  const auto emit_root = [&](NodeId root) {
+    for (std::uint32_t s = root_head_.find(root)->second; s != kNoSub;
+         s = subs_[s].next) {
+      ++stats_.candidates;
+      emit(SubscriptionId(s));
       ++stats_.matches;
     }
   };
-
-  // Candidate subscriptions: those containing ≥1 fulfilled predicate…
-  for (const PredicateId pid : fulfilled) {
-    if (pid.value() >= assoc_.list_count()) continue;
-    assoc_.for_each(pid.value(), [&](std::uint32_t sid) {
-      evaluate_candidate(SubscriptionId(sid));
-    });
-  }
-  // …plus the ones satisfiable with no fulfilled predicate at all.
-  for (const SubscriptionId sid : always_candidates_) {
-    evaluate_candidate(sid);
-  }
-}
-
-void NonCanonicalEngine::compact_tree_storage() {
-  std::vector<std::byte> compacted;
-  compacted.reserve(tree_bytes_.size() - dead_bytes_);
-  for (std::uint32_t i = 0; i < subs_.size(); ++i) {
-    if (!subs_[i].live) continue;
-    Location& loc = locations_[i];
-    const std::size_t new_offset = compacted.size();
-    compacted.insert(compacted.end(), tree_bytes_.begin() + loc.offset,
-                     tree_bytes_.begin() + loc.offset + loc.length);
-    loc.offset = static_cast<std::uint32_t>(new_offset);
-  }
-  tree_bytes_ = std::move(compacted);
-  dead_bytes_ = 0;
-}
-
-namespace {
-
-/// Estimated probability that a subtree evaluates true, under predicate
-/// independence (the usual selectivity assumption).
-double subtree_truth_probability(const ast::Node& node,
-                                 const std::vector<std::uint32_t>& counts,
-                                 std::uint64_t events) {
-  switch (node.kind) {
-    case ast::NodeKind::Leaf: {
-      if (events == 0 || node.pred.value() >= counts.size()) return 0.5;
-      return static_cast<double>(counts[node.pred.value()]) /
-             static_cast<double>(events);
-    }
-    case ast::NodeKind::Not:
-      return 1.0 -
-             subtree_truth_probability(*node.children.front(), counts, events);
-    case ast::NodeKind::And: {
-      double p = 1.0;
-      for (const auto& c : node.children) {
-        p *= subtree_truth_probability(*c, counts, events);
+  for (const NodeId n : frontier_) {
+    if (is_root_[n] == 0) continue;
+    if (value_[n] != 0) {
+      emit_root(n);
+    } else {
+      // Candidates examined but refuted.
+      for (std::uint32_t s = root_head_.find(n)->second; s != kNoSub;
+           s = subs_[s].next) {
+        ++stats_.candidates;
       }
-      return p;
-    }
-    case ast::NodeKind::Or: {
-      double p = 1.0;
-      for (const auto& c : node.children) {
-        p *= 1.0 - subtree_truth_probability(*c, counts, events);
-      }
-      return 1.0 - p;
     }
   }
-  return 0.5;
-}
-
-void order_children_by_selectivity(ast::Node& node,
-                                   const std::vector<std::uint32_t>& counts,
-                                   std::uint64_t events) {
-  for (auto& c : node.children) {
-    order_children_by_selectivity(*c, counts, events);
+  // ...plus the always-candidate roots the frontier never reached: with no
+  // fulfilled predicate below them their static truth (true) stands.
+  for (const NodeId root : always_roots_) {
+    if (touched_.contains(root)) continue;  // evaluated above
+    emit_root(root);
   }
-  if (node.kind != ast::NodeKind::And && node.kind != ast::NodeKind::Or) {
-    return;
-  }
-  std::vector<double> prob(node.children.size());
-  for (std::size_t i = 0; i < node.children.size(); ++i) {
-    prob[i] = subtree_truth_probability(*node.children[i], counts, events);
-  }
-  std::vector<std::uint32_t> order(node.children.size());
-  std::iota(order.begin(), order.end(), 0u);
-  // AND short-circuits on the first false child → try the least-likely-true
-  // first; OR short-circuits on the first true child → most-likely first.
-  const bool ascending = node.kind == ast::NodeKind::And;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return ascending ? prob[a] < prob[b] : prob[a] > prob[b];
-                   });
-  std::vector<ast::NodePtr> sorted;
-  sorted.reserve(node.children.size());
-  for (const std::uint32_t i : order) {
-    sorted.push_back(std::move(node.children[i]));
-  }
-  node.children = std::move(sorted);
-}
-
-}  // namespace
-
-void NonCanonicalEngine::reorder_trees_by_selectivity() {
-  std::vector<std::byte> rewritten;
-  rewritten.reserve(tree_bytes_.size() - dead_bytes_);
-  for (std::uint32_t i = 0; i < subs_.size(); ++i) {
-    if (!subs_[i].live) continue;
-    Location& loc = locations_[i];
-    const std::span<const std::byte> old(tree_bytes_.data() + loc.offset,
-                                         loc.length);
-    ast::NodePtr tree = encoding_ == TreeEncoding::kV1Paper
-                            ? decode_tree(old)
-                            : decode_tree_v2(old);
-    order_children_by_selectivity(*tree, fulfilled_count_, events_seen_);
-    const std::size_t offset = rewritten.size();
-    const std::size_t length =
-        encoding_ == TreeEncoding::kV1Paper
-            ? encode_tree(*tree, rewritten, ReorderPolicy::kNone)
-            : encode_tree_v2(*tree, rewritten, ReorderPolicy::kNone);
-    loc = Location{static_cast<std::uint32_t>(offset),
-                   static_cast<std::uint32_t>(length)};
-  }
-  tree_bytes_ = std::move(rewritten);
-  dead_bytes_ = 0;
 }
 
 void NonCanonicalEngine::compact_storage() {
   FilterEngine::compact_storage();
-  compact_tree_storage();
-  tree_bytes_.shrink_to_fit();
-  locations_.shrink_to_fit();
+  forest_.compact_storage();
   subs_.shrink_to_fit();
-  for (auto& record : subs_) record.unique_predicates.shrink_to_fit();
   free_ids_.shrink_to_fit();
-  assoc_.shrink_to_fit();
-  always_candidates_.shrink_to_fit();
-  truth_.shrink_to_fit();
-  seen_subs_.shrink_to_fit();
+  is_root_.shrink_to_fit();
+  always_roots_.shrink_to_fit();
+  touched_.shrink_to_fit();
+  value_.shrink_to_fit();
+  frontier_.shrink_to_fit();
+  for (auto& bucket : rank_buckets_) bucket.shrink_to_fit();
+  rank_buckets_.shrink_to_fit();
   pred_scratch_.shrink_to_fit();
+  for (auto& entry : roots_by_sig_) entry.second.shrink_to_fit();
 }
 
 MemoryBreakdown NonCanonicalEngine::memory() const {
   MemoryBreakdown mem;
-  mem.add("encoded_trees", vector_bytes(tree_bytes_));
-  mem.add("subscription_location_table", vector_bytes(locations_));
-  mem.add("association_table", assoc_.memory_bytes());
-  mem.add("always_candidate_list", vector_bytes(always_candidates_));
-  // Unsubscription support: the subscription → predicates association the
-  // paper discusses in §2.1/footnote 1.
-  std::size_t record_bytes = subs_.capacity() * sizeof(SubRecord);
-  for (const auto& r : subs_) {
-    record_bytes += r.unique_predicates.capacity() * sizeof(PredicateId);
+  mem.add_nested("forest/", forest_.memory());
+  // Unsubscription support: each subscription's root reference + chain
+  // links (the forest analogue of the paper's footnote-1 association).
+  mem.add("unsub_support/subscription_records", vector_bytes(subs_));
+  std::size_t attachment = unordered_map_bytes(root_head_) +
+                           unordered_map_bytes(root_sig_) +
+                           unordered_map_bytes(roots_by_sig_) +
+                           vector_bytes(always_roots_) +
+                           vector_bytes(is_root_);
+  for (const auto& entry : roots_by_sig_) {
+    attachment += vector_bytes(entry.second);
   }
-  mem.add("unsub_support/subscription_predicates", record_bytes);
-  mem.add("scratch/truth_set", truth_.memory_bytes());
-  mem.add("scratch/candidate_set", seen_subs_.memory_bytes());
+  mem.add("root_attachment", attachment);
+  mem.add("scratch/touched_set", touched_.memory_bytes());
+  mem.add("scratch/node_values", vector_bytes(value_));
+  mem.add("scratch/frontier",
+          vector_bytes(frontier_) + nested_vector_bytes(rank_buckets_));
   mem.add("scratch/free_ids", vector_bytes(free_ids_));
   mem.add_nested("index/", index_.memory());
   return mem;

@@ -1,54 +1,71 @@
-// The paper's non-canonical filtering engine (§3.2, Fig. 2).
+// The non-canonical filtering engine (paper §3.2), forest-backed.
 //
-// Four data structures drive subscription matching:
-//   1. the one-dimensional predicate indexes (phase 1, in FilterEngine),
-//   2. the predicate-subscription association table: id(p) → {id(s)},
-//   3. the subscription location table: id(s) → loc(s) — here an
-//      (offset, length) pair into one contiguous byte buffer,
-//   4. the encoded subscription trees themselves (paper §3.3 byte layout).
+// Subscriptions stay exactly as written — no DNF is ever built — but unlike
+// the paper's prototype (engine/non_canonical_tree_engine.h), which stores
+// and evaluates one encoded byte tree per subscription, this engine interns
+// every subscription into a shared-subexpression DAG
+// (subscription/shared_forest.h):
 //
-// Phase 2: mark fulfilled predicates in an epoch-stamped truth array, gather
-// candidate subscriptions (any subscription containing a fulfilled
-// predicate), evaluate each candidate's encoded Boolean tree with truth
-// lookups, and report the ones evaluating to true. No DNF is ever built —
-// the subscription is filtered exactly as the subscriber wrote it.
+//   - each subscription is one root reference into the forest; structurally
+//     identical subscriptions (and identical subtrees of different
+//     subscriptions) are stored once, refcounted;
+//   - phase 2 walks *upward* from the fulfilled predicates' leaf nodes along
+//     the DAG's parent edges, collecting the candidate-reachable frontier,
+//     and evaluates the frontier's interior nodes exactly once each, in
+//     topological (rank) order, memoizing node truth in an epoch-stamped
+//     array. A subtree shared by 10k subscriptions costs one evaluation per
+//     event instead of 10k. Nodes outside the frontier contain no fulfilled
+//     predicate, so their value is their precomputed all-false truth;
+//   - roots whose expression is satisfiable with zero fulfilled predicates
+//     (static truth = true, e.g. `not a == 1`) live on an always-candidate
+//     list and match whenever the frontier does not reach (and refute) them;
+//   - an optional root-subsumption fast path (covering.h): when a
+//     structurally *new* root arrives, existing roots over the same
+//     predicate set are probed for mutual covering — a proven-equivalent
+//     pair (e.g. `a == 1 and b == 2` vs `b == 2 and a == 1`) shares one
+//     result node outright, so the newcomer adds no forest state at all.
 //
-// One correctness addition beyond the paper: a subscription whose expression
-// is satisfiable with *zero* fulfilled predicates (e.g. `not a == 1`, or the
-// NotExists operator) can never become a candidate through the association
-// table. Such subscriptions are kept on an always-candidate list and
-// evaluated for every event. The paper's workloads (AND/OR only) never
-// produce them, so the list is empty in every benchmark.
+// Unsubscription releases the root reference; the forest cascades refcount
+// decrements and quarantines fully released node slots until the next add()
+// (see shared_forest.h for why that, combined with the broker's shard
+// serialisation and generation-fence quarantine, means concurrent matching
+// never observes a recycled node).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/epoch_set.h"
 #include "engine/engine.h"
-#include "engine/posting_store.h"
-#include "subscription/encoded_tree.h"
-#include "subscription/encoded_tree_v2.h"
+#include "subscription/dnf.h"
+#include "subscription/shared_forest.h"
 
 namespace ncps {
 
-/// Which byte layout the engine stores subscription trees in.
-enum class TreeEncoding : std::uint8_t {
-  kV1Paper,   ///< the paper's §3.3 fixed-width layout
-  kV2Varint,  ///< the improved varint layout (paper §5 future work)
+struct NonCanonicalEngineOptions {
+  /// Probe structurally new roots against same-signature roots for
+  /// *mutual* covering; equivalent pairs share one result node.
+  bool root_subsumption = true;
+  /// Bounds each covering probe's canonicalisation (overflow = "cannot
+  /// prove", never unsound).
+  DnfOptions subsumption_budget{};
+  /// Equivalence probes per add (only on predicate-signature collisions).
+  std::size_t max_subsumption_probes = 4;
 };
 
 class NonCanonicalEngine final : public FilterEngine {
  public:
-  explicit NonCanonicalEngine(PredicateTable& table,
-                              ReorderPolicy reorder = ReorderPolicy::kNone,
-                              TreeEncoding encoding = TreeEncoding::kV1Paper)
-      : FilterEngine(table), reorder_(reorder), encoding_(encoding) {}
+  using Options = NonCanonicalEngineOptions;
+
+  explicit NonCanonicalEngine(PredicateTable& table, Options options = {});
 
   SubscriptionId add(const ast::Node& expression) override;
   bool remove(SubscriptionId id) override;
-  void match_predicates(std::span<const PredicateId> fulfilled,
-                        std::vector<SubscriptionId>& out) override;
+  void validate(const ast::Node& expression,
+                PredicateTable& scratch) const override;
+  using FilterEngine::match_predicates;
   void match_predicates(std::span<const PredicateId> fulfilled,
                         std::size_t event_index, const Event& event,
                         MatchSink& sink) override;
@@ -60,74 +77,70 @@ class NonCanonicalEngine final : public FilterEngine {
   [[nodiscard]] std::string_view name() const override {
     return "non-canonical";
   }
-
-  /// Bytes of encoded tree storage currently dead (left by removals).
-  /// Exposed so tests can drive compaction policy decisions.
-  [[nodiscard]] std::size_t dead_tree_bytes() const { return dead_bytes_; }
-
-  /// Reclaim dead tree bytes by rewriting the buffer (invalidates nothing
-  /// externally; location table is updated in place).
-  void compact_tree_storage();
-
   void compact_storage() override;
 
-  /// Start/stop recording per-predicate fulfilment frequencies (off by
-  /// default; a small per-event cost on the fulfilled set).
-  void enable_statistics(bool on) { stats_enabled_ = on; }
-
-  /// Re-encode every live subscription tree ordered by observed predicate
-  /// selectivity: AND children least-likely-true first (fail fast), OR
-  /// children most-likely-true first (succeed fast). Matching results are
-  /// unchanged; expected truth lookups per evaluation drop. This is the
-  /// paper's §3.2 "reordering subscription trees" optimisation, driven by
-  /// statistics gathered via enable_statistics().
-  void reorder_trees_by_selectivity();
-
-  /// Events observed since statistics were enabled.
-  [[nodiscard]] std::uint64_t observed_events() const { return events_seen_; }
+  /// The underlying DAG, for inspection (tests, benches).
+  [[nodiscard]] const SharedForest& forest() const { return forest_; }
+  /// Distinct result roots currently attached to subscriptions.
+  [[nodiscard]] std::size_t distinct_roots() const {
+    return root_head_.size();
+  }
+  /// Subscriptions that aliased onto an equivalent (non-identical) root via
+  /// the covering fast path.
+  [[nodiscard]] std::uint64_t subsumption_hits() const {
+    return subsumption_hits_;
+  }
 
  private:
-  /// The one phase-2 matching loop; both match_predicates overloads feed it
-  /// an emit callable (vector append or sink streaming).
-  template <typename Emit>
-  void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);
-
-  struct Location {
-    std::uint32_t offset = 0;
-    std::uint32_t length = 0;
-  };
+  using NodeId = SharedForest::NodeId;
+  static constexpr std::uint32_t kNoSub = 0xffffffffu;
 
   struct SubRecord {
-    std::vector<PredicateId> unique_predicates;
+    NodeId root = SharedForest::kNoNode;
+    std::uint32_t next = kNoSub;  ///< intrusive chain of same-root subs
+    std::uint32_t prev = kNoSub;
     bool live = false;
-    bool always_candidate = false;
   };
 
   SubscriptionId allocate_id();
+  void attach(SubscriptionId id, NodeId root, std::uint64_t signature);
+  void detach(SubscriptionId id);
+  [[nodiscard]] NodeId try_alias_equivalent(const ast::Node& expression,
+                                            NodeId fresh_root,
+                                            std::uint64_t signature);
+  [[nodiscard]] std::uint64_t expression_signature(
+      const ast::Node& expression);
 
-  ReorderPolicy reorder_;
-  TreeEncoding encoding_;
+  template <typename Emit>
+  void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);
 
-  std::vector<std::byte> tree_bytes_;   // all encoded subscription trees
-  std::vector<Location> locations_;     // subscription location table
-  std::vector<SubRecord> subs_;         // per-subscription bookkeeping
+  Options options_;
+  SharedForest forest_;
+
+  std::vector<SubRecord> subs_;  // dense by subscription id
   std::vector<SubscriptionId> free_ids_;
   std::size_t live_count_ = 0;
-  std::size_t dead_bytes_ = 0;
 
-  // Association table: id(p) → {id(s)}, dense by predicate id, packed into
-  // chunked posting lists (paper footnote 2: array-based association).
-  PostingStore assoc_;
-  std::vector<SubscriptionId> always_candidates_;
+  // Root attachment: root node -> head of its subscription chain, plus the
+  // signature index driving the subsumption fast path and the
+  // always-candidate roots (static truth = true).
+  std::unordered_map<NodeId, std::uint32_t> root_head_;
+  std::unordered_map<NodeId, std::uint64_t> root_sig_;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> roots_by_sig_;
+  std::vector<std::uint8_t> is_root_;  // dense by node id
+  std::vector<NodeId> always_roots_;
+  std::uint64_t subsumption_hits_ = 0;
 
-  // Per-event scratch (epoch-cleared, allocation-free on the hot path).
-  EpochSet truth_;      // fulfilled predicates
-  EpochSet seen_subs_;  // candidate de-duplication
-
-  // Selectivity statistics (enable_statistics).
-  bool stats_enabled_ = false;
-  std::uint64_t events_seen_ = 0;
-  std::vector<std::uint32_t> fulfilled_count_;  // per predicate id
+  // Per-event scratch (epoch-cleared / rank-bucketed, allocation-free once
+  // warm).
+  EpochSet touched_;                    // frontier membership, by node id
+  std::vector<std::uint8_t> value_;     // node truth, valid iff touched
+  std::vector<NodeId> frontier_;        // touched nodes, discovery order
+  // Topological order by counting sort: interior frontier nodes bucketed
+  // by rank (ranks are tree heights — single digits on real workloads, so
+  // this beats sorting (rank, node) keys per event).
+  std::vector<std::vector<NodeId>> rank_buckets_;
+  std::uint32_t max_rank_touched_ = 0;
 
   std::vector<PredicateId> pred_scratch_;
 };

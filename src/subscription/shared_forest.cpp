@@ -1,0 +1,339 @@
+#include "subscription/shared_forest.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/hash.h"
+
+namespace ncps {
+
+namespace {
+
+void check_limits(const ast::Node& node, std::size_t depth) {
+  if (depth > SharedForest::kMaxDepth) {
+    throw ForestLimitError("subscription tree deeper than " +
+                           std::to_string(SharedForest::kMaxDepth) +
+                           " levels");
+  }
+  if (node.children.size() > SharedForest::kMaxChildren) {
+    throw ForestLimitError("node with " +
+                           std::to_string(node.children.size()) +
+                           " children exceeds the forest's " +
+                           std::to_string(SharedForest::kMaxChildren) +
+                           "-child limit");
+  }
+  for (const auto& c : node.children) check_limits(*c, depth + 1);
+}
+
+}  // namespace
+
+void SharedForest::validate_limits(const ast::Node& expression) {
+  check_limits(expression, 0);
+}
+
+std::uint64_t SharedForest::leaf_hash(PredicateId pred) const {
+  return hash_mix(0x1eafull, pred.value());
+}
+
+std::uint64_t SharedForest::interior_hash(ast::NodeKind kind,
+                                          std::span<const NodeId> kids) const {
+  std::uint64_t h = hash_mix(0x0ddfull, static_cast<std::uint64_t>(kind));
+  for (const NodeId k : kids) h = hash_mix(h, k);
+  return h;
+}
+
+std::uint64_t SharedForest::node_hash(NodeId id) const {
+  return kind(id) == ast::NodeKind::Leaf ? leaf_hash(leaf_predicate(id))
+                                         : interior_hash(kind(id),
+                                                         children(id));
+}
+
+void SharedForest::bucket_insert(NodeId id, std::uint64_t hash) {
+  if (buckets_.empty() || live_count_ >= buckets_.size() * 2) {
+    // rehash() links every live node — the caller marked `id` live before
+    // calling, so it is already in its chain afterwards.
+    rehash(std::max<std::size_t>(64, std::bit_ceil(live_count_ + 1)));
+    return;
+  }
+  const std::size_t b = hash & (buckets_.size() - 1);
+  next_[id] = buckets_[b];
+  buckets_[b] = id;
+}
+
+void SharedForest::bucket_remove(NodeId id, std::uint64_t hash) {
+  const std::size_t b = hash & (buckets_.size() - 1);
+  NodeId* link = &buckets_[b];
+  while (*link != id) {
+    NCPS_DASSERT(*link != kNoNode);  // every live node is in its chain
+    link = &next_[*link];
+  }
+  *link = next_[id];
+  next_[id] = kNoNode;
+}
+
+void SharedForest::rehash(std::size_t bucket_count) {
+  buckets_.assign(bucket_count, kNoNode);
+  std::fill(next_.begin(), next_.end(), kNoNode);
+  for (NodeId id = 0; id < metas_.size(); ++id) {
+    if (metas_[id].refs == 0) continue;
+    const std::size_t b = node_hash(id) & (bucket_count - 1);
+    next_[id] = buckets_[b];
+    buckets_[b] = id;
+  }
+}
+
+SharedForest::NodeId SharedForest::new_node() {
+  if (!free_nodes_.empty()) {
+    const NodeId id = free_nodes_.back();
+    free_nodes_.pop_back();
+    // A recycled slot must carry nothing from its previous life.
+    NCPS_DASSERT(metas_[id].refs == 0 && metas_[id].parent0 == kNoNode);
+    return id;
+  }
+  metas_.emplace_back();
+  metas_.back().parent0 = kNoNode;
+  next_.push_back(kNoNode);
+  return static_cast<NodeId>(metas_.size() - 1);
+}
+
+std::uint32_t SharedForest::alloc_children(std::size_t count) {
+  if (count < child_free_.size() && !child_free_[count].empty()) {
+    const std::uint32_t offset = child_free_[count].back();
+    child_free_[count].pop_back();
+    return offset;
+  }
+  const std::size_t offset = child_arena_.size();
+  NCPS_ASSERT(offset + count <= UINT32_MAX);
+  child_arena_.resize(offset + count);
+  return static_cast<std::uint32_t>(offset);
+}
+
+void SharedForest::free_children(std::uint32_t offset, std::size_t count) {
+  if (count == 0) return;
+  if (child_free_.size() <= count) child_free_.resize(count + 1);
+  child_free_[count].push_back(offset);
+}
+
+void SharedForest::add_parent(NodeId child, NodeId parent) {
+  Meta& cm = metas_[child];
+  if (cm.parent0 == kNoNode) {
+    cm.parent0 = parent;
+    return;
+  }
+  extra_parents_[child].push_back(parent);
+  cm.packed |= 1u << 30;
+}
+
+void SharedForest::remove_parent(NodeId child, NodeId parent) {
+  Meta& cm = metas_[child];
+  if (((cm.packed >> 30) & 0x1u) == 0) {
+    NCPS_DASSERT(cm.parent0 == parent);
+    cm.parent0 = kNoNode;
+    return;
+  }
+  std::vector<NodeId>& extra = extra_parents_.at(child);
+  if (cm.parent0 == parent) {
+    cm.parent0 = extra.back();
+    extra.pop_back();
+  } else {
+    const auto it = std::find(extra.rbegin(), extra.rend(), parent);
+    NCPS_DASSERT(it != extra.rend());
+    *it = extra.back();
+    extra.pop_back();
+  }
+  if (extra.empty()) {
+    extra_parents_.erase(child);
+    cm.packed &= ~(1u << 30);
+  }
+}
+
+SharedForest::InternResult SharedForest::intern(const ast::Node& expression) {
+  validate_limits(expression);
+  const NodeId root = intern_node(expression);
+  // A pre-existing root gained a reference on top of its owners' (>= 2);
+  // a freshly created root carries exactly the caller's one.
+  return InternResult{root, metas_[root].refs == 1};
+}
+
+SharedForest::NodeId SharedForest::intern_node(const ast::Node& node) {
+  if (node.kind == ast::NodeKind::Leaf) {
+    const std::uint32_t pid = node.pred.value();
+    if (pid >= leaf_by_pred_.size()) leaf_by_pred_.resize(pid + 1, kNoNode);
+    if (leaf_by_pred_[pid] != kNoNode) {
+      const NodeId id = leaf_by_pred_[pid];
+      ++metas_[id].refs;
+      return id;
+    }
+    const NodeId id = new_node();
+    metas_[id] = Meta{pid, 1, kNoNode,
+                      pack(0, 0, ast::NodeKind::Leaf, /*static=*/false)};
+    leaf_by_pred_[pid] = id;
+    ++live_count_;
+    bucket_insert(id, leaf_hash(node.pred));
+    if (on_leaf_created_) on_leaf_created_(node.pred);
+    return id;
+  }
+
+  // Interior node: intern children first (one temporary reference each).
+  std::vector<NodeId> kids;
+  kids.reserve(node.children.size());
+  for (const auto& c : node.children) kids.push_back(intern_node(*c));
+
+  const std::uint64_t hash = interior_hash(node.kind, kids);
+  if (!buckets_.empty()) {
+    for (NodeId id = buckets_[hash & (buckets_.size() - 1)]; id != kNoNode;
+         id = next_[id]) {
+      if (kind(id) != node.kind || child_count(id) != kids.size()) continue;
+      const std::span<const NodeId> existing = children(id);
+      if (!std::equal(existing.begin(), existing.end(), kids.begin())) {
+        continue;
+      }
+      // Structurally identical node exists: it already owns one reference
+      // per child occurrence, so our temporaries are surplus.
+      ++metas_[id].refs;
+      for (const NodeId k : kids) release(k);
+      return id;
+    }
+  }
+
+  // Create: the new node adopts the temporary child references.
+  std::uint32_t max_rank = 0;
+  for (const NodeId k : kids) max_rank = std::max(max_rank, rank(k));
+  bool stat = false;
+  switch (node.kind) {
+    case ast::NodeKind::And:
+      stat = std::all_of(kids.begin(), kids.end(),
+                         [&](NodeId k) { return static_truth(k); });
+      break;
+    case ast::NodeKind::Or:
+      stat = std::any_of(kids.begin(), kids.end(),
+                         [&](NodeId k) { return static_truth(k); });
+      break;
+    case ast::NodeKind::Not:
+      NCPS_DASSERT(kids.size() == 1);
+      stat = !static_truth(kids.front());
+      break;
+    case ast::NodeKind::Leaf:
+      NCPS_ASSERT(false && "unreachable");
+  }
+
+  const std::uint32_t offset = alloc_children(kids.size());
+  std::copy(kids.begin(), kids.end(), child_arena_.begin() + offset);
+  const NodeId id = new_node();
+  metas_[id] = Meta{offset, 1, kNoNode,
+                    pack(kids.size(), max_rank + 1, node.kind, stat)};
+  for (const NodeId k : kids) add_parent(k, id);
+  ++live_count_;
+  bucket_insert(id, hash);
+  return id;
+}
+
+void SharedForest::release(NodeId id) {
+  Meta& m = metas_[id];
+  NCPS_DASSERT(m.refs > 0);
+  if (--m.refs > 0) return;
+
+  bucket_remove(id, node_hash(id));
+  --live_count_;
+  if (kind(id) == ast::NodeKind::Leaf) {
+    leaf_by_pred_[m.data] = kNoNode;
+    if (on_leaf_released_) on_leaf_released_(PredicateId(m.data));
+  } else {
+    const std::size_t count = child_count(id);
+    const std::uint32_t offset = m.data;
+    // Copy the slice: the cascading releases below must not read a slice
+    // whose backing node is already being dismantled.
+    std::vector<NodeId> kids(child_arena_.begin() + offset,
+                             child_arena_.begin() + offset + count);
+    for (const NodeId k : kids) remove_parent(k, id);
+    for (const NodeId k : kids) release(k);
+    free_children(offset, count);
+  }
+  // Zero references implies zero parent edges: every parent held one.
+  NCPS_DASSERT(m.parent0 == kNoNode && ((m.packed >> 30) & 0x1u) == 0);
+  m = Meta{};
+  m.parent0 = kNoNode;
+  quarantine_.push_back(id);
+}
+
+ast::NodePtr SharedForest::to_ast(NodeId id) const {
+  if (kind(id) == ast::NodeKind::Leaf) {
+    return ast::leaf(leaf_predicate(id));
+  }
+  std::vector<ast::NodePtr> kids;
+  kids.reserve(child_count(id));
+  for (const NodeId c : children(id)) kids.push_back(to_ast(c));
+  switch (kind(id)) {
+    case ast::NodeKind::And:
+      return ast::make_and(std::move(kids));
+    case ast::NodeKind::Or:
+      return ast::make_or(std::move(kids));
+    case ast::NodeKind::Not:
+      return ast::make_not(std::move(kids.front()));
+    case ast::NodeKind::Leaf:
+      break;
+  }
+  NCPS_ASSERT(false && "unreachable");
+}
+
+void SharedForest::reclaim_quarantine() {
+  free_nodes_.insert(free_nodes_.end(), quarantine_.begin(),
+                     quarantine_.end());
+  quarantine_.clear();
+}
+
+void SharedForest::compact_storage() {
+  reclaim_quarantine();
+
+  // Rewrite the child arena with only live slices (NodeIds are untouched).
+  std::vector<NodeId> compacted;
+  std::size_t live_slots = 0;
+  for (NodeId id = 0; id < metas_.size(); ++id) {
+    if (metas_[id].refs > 0) live_slots += child_count(id);
+  }
+  compacted.reserve(live_slots);
+  for (NodeId id = 0; id < metas_.size(); ++id) {
+    Meta& m = metas_[id];
+    if (m.refs == 0 || kind(id) == ast::NodeKind::Leaf) continue;
+    const std::size_t count = child_count(id);
+    const std::size_t offset = compacted.size();
+    compacted.insert(compacted.end(), child_arena_.begin() + m.data,
+                     child_arena_.begin() + m.data + count);
+    m.data = static_cast<std::uint32_t>(offset);
+  }
+  child_arena_ = std::move(compacted);
+  child_free_.clear();
+  child_free_.shrink_to_fit();
+
+  // Steady-state table sizing: two nodes per bucket keeps chains short
+  // while halving the bucket array (interning is control-plane work; the
+  // matching hot path never probes the table).
+  rehash(std::max<std::size_t>(64, std::bit_ceil(live_count_ / 2 + 1)));
+  buckets_.shrink_to_fit();
+  metas_.shrink_to_fit();
+  next_.shrink_to_fit();
+  leaf_by_pred_.shrink_to_fit();
+  free_nodes_.shrink_to_fit();
+  quarantine_.shrink_to_fit();
+  for (auto& entry : extra_parents_) entry.second.shrink_to_fit();
+}
+
+MemoryBreakdown SharedForest::memory() const {
+  MemoryBreakdown mem;
+  mem.add("node_arena", vector_bytes(metas_));
+  mem.add("child_arena", vector_bytes(child_arena_) +
+                             nested_vector_bytes(child_free_));
+  mem.add("intern_buckets", vector_bytes(buckets_));
+  mem.add("intern_chains", vector_bytes(next_));
+  mem.add("leaf_index", vector_bytes(leaf_by_pred_));
+  std::size_t parent_bytes = unordered_map_bytes(extra_parents_);
+  for (const auto& entry : extra_parents_) {
+    parent_bytes += vector_bytes(entry.second);
+  }
+  mem.add("parent_overflow", parent_bytes);
+  mem.add("free_lists",
+          vector_bytes(free_nodes_) + vector_bytes(quarantine_));
+  return mem;
+}
+
+}  // namespace ncps

@@ -24,10 +24,15 @@ ChurnWorkload::ChurnWorkload(ChurnWorkloadConfig config,
       generator_(derive_generator_config(config), attrs, scratch_),
       rng_(config.seed, /*stream=*/0x5c0e),
       lifetimes_(config.lifetime_ranks == 0 ? 1 : config.lifetime_ranks,
-                 config.lifetime_skew) {
+                 config.lifetime_skew),
+      duplicate_ranks_(
+          config.duplicate_pool_size == 0 ? 1 : config.duplicate_pool_size,
+          config.duplicate_skew) {
   NCPS_EXPECTS(config.churn_rate >= 0.0);
   NCPS_EXPECTS(config.subscriber_count >= 1);
   NCPS_EXPECTS(config.base_lifetime_events >= 1);
+  NCPS_EXPECTS(config.duplicate_probability >= 0.0 &&
+               config.duplicate_probability <= 1.0);
 }
 
 ChurnWorkload::Op ChurnWorkload::make_subscribe() {
@@ -36,8 +41,20 @@ ChurnWorkload::Op ChurnWorkload::make_subscribe() {
   op.handle = next_handle_++;
   op.subscriber = rng_.bounded(
       static_cast<std::uint32_t>(config_.subscriber_count));
-  const ast::Expr expr = generator_.next_subscription();
-  op.text = print_expression(expr.root(), scratch_, *attrs_);
+  if (config_.duplicate_probability > 0.0 && !duplicate_pool_.empty() &&
+      rng_.next_double() < config_.duplicate_probability) {
+    // Zipf-skewed duplicate of an earlier subscription: rank 0 (the pool's
+    // first text) is the hottest standing query.
+    const std::size_t rank =
+        duplicate_ranks_.sample(rng_) % duplicate_pool_.size();
+    op.text = duplicate_pool_[rank];
+  } else {
+    const ast::Expr expr = generator_.next_subscription();
+    op.text = print_expression(expr.root(), scratch_, *attrs_);
+    if (duplicate_pool_.size() < config_.duplicate_pool_size) {
+      duplicate_pool_.push_back(op.text);
+    }
+  }
   // Zipf rank r ⇒ lifetime (r+1) × base: rank 0 (the most likely under
   // skew > 0) is the shortest-lived.
   const std::size_t rank = lifetimes_.sample(rng_);

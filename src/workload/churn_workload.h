@@ -51,6 +51,15 @@ struct ChurnWorkloadConfig {
   std::size_t lifetime_ranks = 64;
   /// Lifetime, in published events, of rank 0 (rank r lives (r+1)× this).
   std::size_t base_lifetime_events = 32;
+  /// Probability that a subscribe reuses the text of an earlier
+  /// subscription instead of a fresh one (0 = all distinct). Duplicates are
+  /// drawn Zipf(duplicate_skew)-skewed from a pool of the first
+  /// duplicate_pool_size distinct texts — the heavy structural overlap of
+  /// real feeds (a few hot standing queries, a long tail), and the regime
+  /// the shared-forest engine's refcounting must survive.
+  double duplicate_probability = 0.0;
+  double duplicate_skew = 1.0;
+  std::size_t duplicate_pool_size = 64;
   /// Shape of the generated subscriptions and events.
   PaperWorkloadConfig subscriptions;
   std::uint64_t seed = 0xc452;
@@ -114,6 +123,8 @@ class ChurnWorkload {
   PaperWorkload generator_;
   Pcg32 rng_;
   ZipfSampler lifetimes_;
+  ZipfSampler duplicate_ranks_;
+  std::vector<std::string> duplicate_pool_;  // first distinct texts
   std::priority_queue<Lease, std::vector<Lease>, std::greater<Lease>> live_;
   std::uint64_t next_handle_ = 0;
   std::uint64_t event_clock_ = 0;

@@ -43,9 +43,10 @@ struct Config {
 };
 
 const Config kConfigs[] = {
-    {EngineKind::NonCanonical, 1},    {EngineKind::NonCanonical, 4},
-    {EngineKind::Counting, 1},        {EngineKind::Counting, 4},
-    {EngineKind::CountingVariant, 1}, {EngineKind::CountingVariant, 4},
+    {EngineKind::NonCanonical, 1},     {EngineKind::NonCanonical, 4},
+    {EngineKind::NonCanonicalTree, 1}, {EngineKind::NonCanonicalTree, 4},
+    {EngineKind::Counting, 1},         {EngineKind::Counting, 4},
+    {EngineKind::CountingVariant, 1},  {EngineKind::CountingVariant, 4},
 };
 
 struct Harness {
@@ -169,6 +170,118 @@ TEST(ChurnFuzzTest, DifferentialInterleavingsAcrossConfigurations) {
       EXPECT_EQ(broker.publish(EventBuilder(attrs).set("attr0", 1).build()),
                 0u)
           << kConfigs[h].label();
+    }
+  }
+}
+
+// Zipf-skewed *duplicate* subscriptions: most subscribes reuse one of a few
+// hot texts, so the forest-backed non-canonical engine runs with root
+// refcounts in the hundreds while churn constantly attaches and detaches
+// subscriptions from shared DAG nodes. Run in lockstep against the counting
+// engine and the unshared tree engine: a refcount bug (premature node free,
+// leaked root, stale chain link) surfaces as a notification-multiset
+// divergence or a non-empty teardown.
+TEST(ChurnFuzzTest, ZipfDuplicateSubscriptionsStayInLockstep) {
+  const Config duplicate_configs[] = {
+      {EngineKind::NonCanonical, 1},
+      {EngineKind::NonCanonical, 4},
+      {EngineKind::NonCanonicalTree, 1},
+      {EngineKind::Counting, 1},
+  };
+  for (const std::uint64_t seed : {0x811u, 0x922u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+
+    AttributeRegistry attrs;
+    ChurnWorkloadConfig config;
+    config.target_population = 60;
+    config.churn_rate = 0.5;  // heavy churn across the shared roots
+    config.subscriber_count = 3;
+    config.base_lifetime_events = 6;
+    config.lifetime_ranks = 16;
+    config.duplicate_probability = 0.8;  // structural overlap dominates
+    config.duplicate_skew = 1.2;
+    config.duplicate_pool_size = 12;
+    config.subscriptions.attribute_count = 10;
+    config.subscriptions.domain_size = 1000;
+    config.seed = seed;
+    ChurnWorkload workload(config, attrs);
+
+    std::vector<std::unique_ptr<Harness>> harnesses;
+    for (const Config& c : duplicate_configs) {
+      harnesses.push_back(std::make_unique<Harness>(attrs, c));
+    }
+    std::vector<std::vector<SubscriberId>> sessions(harnesses.size());
+    for (std::size_t h = 0; h < harnesses.size(); ++h) {
+      for (std::size_t i = 0; i < config.subscriber_count; ++i) {
+        sessions[h].push_back(harnesses[h]->session());
+      }
+    }
+
+    std::unordered_map<std::uint64_t, SubscriptionId> by_handle;
+    std::size_t events = 0;
+    while (events < 200) {
+      ChurnWorkload::Op op = workload.next();
+      switch (op.kind) {
+        case ChurnWorkload::Op::Kind::Subscribe: {
+          SubscriptionId expected = SubscriptionId::invalid();
+          for (std::size_t h = 0; h < harnesses.size(); ++h) {
+            const SubscriptionId id = harnesses[h]->broker->subscribe(
+                sessions[h][op.subscriber], op.text);
+            if (h == 0) {
+              expected = id;
+            } else {
+              ASSERT_EQ(id, expected) << duplicate_configs[h].label();
+            }
+          }
+          by_handle.emplace(op.handle, expected);
+          break;
+        }
+        case ChurnWorkload::Op::Kind::Unsubscribe: {
+          const SubscriptionId id = by_handle.at(op.handle);
+          by_handle.erase(op.handle);
+          for (std::size_t h = 0; h < harnesses.size(); ++h) {
+            ASSERT_TRUE(harnesses[h]->broker->unsubscribe(id))
+                << duplicate_configs[h].label();
+          }
+          break;
+        }
+        case ChurnWorkload::Op::Kind::Publish: {
+          ++events;
+          std::vector<Delivery> expected;
+          for (std::size_t h = 0; h < harnesses.size(); ++h) {
+            harnesses[h]->log.clear();
+            harnesses[h]->broker->publish(op.event);
+            std::sort(harnesses[h]->log.begin(), harnesses[h]->log.end());
+            if (h == 0) {
+              expected = harnesses[h]->log;
+            } else {
+              ASSERT_EQ(harnesses[h]->log, expected)
+                  << "diverged on " << duplicate_configs[h].label()
+                  << " at event " << events;
+            }
+          }
+          break;
+        }
+      }
+    }
+
+    // Teardown: every engine, table and forest must drain to empty.
+    for (const std::uint64_t handle : workload.live_handles()) {
+      const SubscriptionId id = by_handle.at(handle);
+      by_handle.erase(handle);
+      for (std::size_t h = 0; h < harnesses.size(); ++h) {
+        ASSERT_TRUE(harnesses[h]->broker->unsubscribe(id));
+      }
+    }
+    for (std::size_t h = 0; h < harnesses.size(); ++h) {
+      ShardedBroker& broker = *harnesses[h]->broker;
+      EXPECT_EQ(broker.subscription_count(), 0u)
+          << duplicate_configs[h].label();
+      for (std::size_t s = 0; s < broker.shard_count(); ++s) {
+        EXPECT_EQ(broker.shard_engine(s).predicate_table().size(), 0u)
+            << duplicate_configs[h].label() << " shard " << s
+            << " leaked predicate references";
+      }
     }
   }
 }

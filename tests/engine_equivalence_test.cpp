@@ -35,6 +35,7 @@ TEST_P(EquivalenceTest, AllEnginesAgreeWithOracle) {
   RandomWorkload workload(regime.config, attrs, table);
 
   NonCanonicalEngine non_canonical(table);
+  NonCanonicalTreeEngine tree(table);
   CountingEngine counting(table);
   CountingVariantEngine variant(table);
 
@@ -44,9 +45,11 @@ TEST_P(EquivalenceTest, AllEnginesAgreeWithOracle) {
     exprs.push_back(workload.next_subscription());
     const ast::Node& root = exprs.back().root();
     const SubscriptionId a = non_canonical.add(root);
+    const SubscriptionId t = tree.add(root);
     const SubscriptionId b = counting.add(root);
     const SubscriptionId c = variant.add(root);
     // Identical registration order ⇒ identical ids across engines.
+    ASSERT_EQ(a, t);
     ASSERT_EQ(a, b);
     ASSERT_EQ(a, c);
     oracle_subs.emplace_back(a, &root);
@@ -56,7 +59,10 @@ TEST_P(EquivalenceTest, AllEnginesAgreeWithOracle) {
     const Event event = workload.next_event();
     const auto expected = testing::oracle_match(oracle_subs, table, event);
     EXPECT_EQ(testing::match_event(non_canonical, event), expected)
-        << "non-canonical diverged on event " << i << ": "
+        << "non-canonical (forest) diverged on event " << i << ": "
+        << event.to_display_string(attrs);
+    EXPECT_EQ(testing::match_event(tree, event), expected)
+        << "non-canonical-tree diverged on event " << i << ": "
         << event.to_display_string(attrs);
     EXPECT_EQ(testing::match_event(counting, event), expected)
         << "counting diverged on event " << i << ": "
@@ -145,6 +151,7 @@ TEST(EquivalenceChurnTest, AgreesAfterUnsubscriptions) {
   RandomWorkload workload(config, attrs, table);
 
   NonCanonicalEngine non_canonical(table);
+  NonCanonicalTreeEngine tree(table);
   CountingEngine counting(table);
   CountingVariantEngine variant(table);
 
@@ -153,6 +160,7 @@ TEST(EquivalenceChurnTest, AgreesAfterUnsubscriptions) {
   for (int i = 0; i < 120; ++i) {
     exprs.push_back(workload.next_subscription());
     const SubscriptionId id = non_canonical.add(exprs.back().root());
+    ASSERT_EQ(tree.add(exprs.back().root()), id);
     ASSERT_EQ(counting.add(exprs.back().root()), id);
     ASSERT_EQ(variant.add(exprs.back().root()), id);
     live.emplace_back(id, &exprs.back().root());
@@ -163,6 +171,7 @@ TEST(EquivalenceChurnTest, AgreesAfterUnsubscriptions) {
   for (std::size_t i = 0; i < live.size(); ++i) {
     if (i % 2 == 0) {
       ASSERT_TRUE(non_canonical.remove(live[i].first));
+      ASSERT_TRUE(tree.remove(live[i].first));
       ASSERT_TRUE(counting.remove(live[i].first));
       ASSERT_TRUE(variant.remove(live[i].first));
     } else {
@@ -174,6 +183,7 @@ TEST(EquivalenceChurnTest, AgreesAfterUnsubscriptions) {
     const Event event = workload.next_event();
     const auto expected = testing::oracle_match(kept, table, event);
     EXPECT_EQ(testing::match_event(non_canonical, event), expected);
+    EXPECT_EQ(testing::match_event(tree, event), expected);
     EXPECT_EQ(testing::match_event(counting, event), expected);
     EXPECT_EQ(testing::match_event(variant, event), expected);
   }
@@ -192,6 +202,7 @@ TEST(EquivalencePhase2Test, PaperWorkloadFulfilledSets) {
   PaperWorkload workload(config, attrs, table);
 
   NonCanonicalEngine non_canonical(table);
+  NonCanonicalTreeEngine tree(table);
   CountingEngine counting(table);
   CountingVariantEngine variant(table);
 
@@ -200,6 +211,7 @@ TEST(EquivalencePhase2Test, PaperWorkloadFulfilledSets) {
   for (int i = 0; i < 400; ++i) {
     exprs.push_back(workload.next_subscription());
     const SubscriptionId id = non_canonical.add(exprs.back().root());
+    ASSERT_EQ(tree.add(exprs.back().root()), id);
     ASSERT_EQ(counting.add(exprs.back().root()), id);
     ASSERT_EQ(variant.add(exprs.back().root()), id);
     oracle_subs.emplace_back(id, &exprs.back().root());
@@ -220,6 +232,7 @@ TEST(EquivalencePhase2Test, PaperWorkloadFulfilledSets) {
     std::sort(expected.begin(), expected.end());
 
     EXPECT_EQ(testing::match_predicates(non_canonical, fulfilled), expected);
+    EXPECT_EQ(testing::match_predicates(tree, fulfilled), expected);
     EXPECT_EQ(testing::match_predicates(counting, fulfilled), expected);
     EXPECT_EQ(testing::match_predicates(variant, fulfilled), expected);
   }

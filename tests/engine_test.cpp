@@ -210,7 +210,7 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, EngineTest,
                            return name;
                          });
 
-// Non-canonical-specific behaviour.
+// Non-canonical-specific behaviour (forest-backed engine).
 class NonCanonicalTest : public ::testing::Test {
  protected:
   SubscriptionId subscribe(std::string_view text) {
@@ -258,7 +258,121 @@ TEST_F(NonCanonicalTest, AlwaysCandidateListShrinksOnRemove) {
                   .empty());
 }
 
-TEST_F(NonCanonicalTest, SelectivityReorderingReducesTruthLookups) {
+TEST_F(NonCanonicalTest, DuplicateSubscriptionsShareOneRoot) {
+  const char* text = "(a == 1 or b == 2) and (c == 3 or d == 4)";
+  const SubscriptionId s1 = subscribe(text);
+  const std::size_t nodes_after_first = engine_.forest().live_nodes();
+  const SubscriptionId s2 = subscribe(text);
+  const SubscriptionId s3 = subscribe(text);
+  // Structurally identical subscriptions add zero forest nodes.
+  EXPECT_EQ(engine_.forest().live_nodes(), nodes_after_first);
+  EXPECT_EQ(engine_.distinct_roots(), 1u);
+
+  const Event hit = EventBuilder(attrs_).set("a", 1).set("c", 3).build();
+  EXPECT_EQ(testing::match_event(engine_, hit),
+            testing::sorted(std::vector{s1, s2, s3}));
+  // The shared tree is evaluated once per event, not once per subscription.
+  EXPECT_EQ(engine_.last_stats().node_evaluations, 3u);  // 2 ORs + 1 AND
+
+  EXPECT_TRUE(engine_.remove(s2));
+  EXPECT_EQ(testing::match_event(engine_, hit),
+            testing::sorted(std::vector{s1, s3}));
+  EXPECT_TRUE(engine_.remove(s1));
+  EXPECT_TRUE(engine_.remove(s3));
+  EXPECT_EQ(engine_.forest().live_nodes(), 0u);
+  EXPECT_EQ(table_.size(), 0u);  // all predicate references released
+}
+
+TEST_F(NonCanonicalTest, SharedSubtreesAreStoredOnce) {
+  subscribe("(a == 1 or b == 2) and c == 3");
+  const std::size_t nodes_one = engine_.forest().live_nodes();  // 5
+  subscribe("(a == 1 or b == 2) and d == 4");
+  // The OR subtree and its two leaves are shared: only AND + new leaf added.
+  EXPECT_EQ(engine_.forest().live_nodes(), nodes_one + 2);
+  EXPECT_EQ(engine_.distinct_roots(), 2u);
+}
+
+TEST_F(NonCanonicalTest, CoveringSubsumptionAliasesEquivalentRoots) {
+  const SubscriptionId s1 = subscribe("a == 1 and b == 2");
+  const SubscriptionId s2 = subscribe("b == 2 and a == 1");  // commuted
+  EXPECT_EQ(engine_.subsumption_hits(), 1u);
+  EXPECT_EQ(engine_.distinct_roots(), 1u);  // proven equivalent: one root
+  const Event hit = EventBuilder(attrs_).set("a", 1).set("b", 2).build();
+  EXPECT_EQ(testing::match_event(engine_, hit),
+            testing::sorted(std::vector{s1, s2}));
+  EXPECT_TRUE(
+      testing::match_event(engine_, EventBuilder(attrs_).set("a", 1).build())
+          .empty());
+  EXPECT_TRUE(engine_.remove(s1));
+  EXPECT_EQ(testing::match_event(engine_, hit), std::vector{s2});
+  EXPECT_TRUE(engine_.remove(s2));
+  EXPECT_EQ(table_.size(), 0u);
+}
+
+TEST_F(NonCanonicalTest, SubsumptionNeverAliasesNonEquivalentRoots) {
+  // Same predicate signature, different semantics: AND vs OR.
+  const SubscriptionId s1 = subscribe("a == 1 and b == 2");
+  const SubscriptionId s2 = subscribe("a == 1 or b == 2");
+  EXPECT_EQ(engine_.subsumption_hits(), 0u);
+  EXPECT_EQ(engine_.distinct_roots(), 2u);
+  EXPECT_EQ(testing::match_event(engine_,
+                                 EventBuilder(attrs_).set("a", 1).build()),
+            std::vector{s2});
+  EXPECT_EQ(testing::match_event(
+                engine_, EventBuilder(attrs_).set("a", 1).set("b", 2).build()),
+            testing::sorted(std::vector{s1, s2}));
+}
+
+TEST_F(NonCanonicalTest, FrontierEvaluationCountsStaySubLinear) {
+  // 40 duplicates of one subscription: per-event phase-2 node evaluations
+  // must track the distinct tree, not the subscription count.
+  for (int i = 0; i < 40; ++i) {
+    subscribe("(a == 1 or b == 2) and (c == 3 or d == 4)");
+  }
+  const Event e = EventBuilder(attrs_).set("a", 1).set("c", 3).build();
+  const auto matched = testing::match_event(engine_, e);
+  EXPECT_EQ(matched.size(), 40u);
+  EXPECT_EQ(engine_.last_stats().node_evaluations, 3u);
+  EXPECT_EQ(engine_.last_stats().matches, 40u);
+}
+
+TEST_F(NonCanonicalTest, NodeSlotsAreQuarantinedUntilNextAdd) {
+  const SubscriptionId s = subscribe("q1 == 1 and q2 == 2");
+  EXPECT_TRUE(engine_.remove(s));
+  // Released slots are parked, not reusable, until the next add().
+  EXPECT_EQ(engine_.forest().quarantined_nodes(), 3u);
+  subscribe("q3 == 3");
+  EXPECT_EQ(engine_.forest().quarantined_nodes(), 0u);
+}
+
+TEST_F(NonCanonicalTest, OversizedExpressionsAreRejectedBeforeMutation) {
+  std::vector<ast::NodePtr> kids;
+  for (std::size_t i = 0; i < SharedForest::kMaxChildren + 1; ++i) {
+    kids.push_back(ast::leaf(PredicateId(static_cast<std::uint32_t>(i))));
+  }
+  const ast::NodePtr wide = ast::make_or(std::move(kids));
+  EXPECT_THROW(engine_.add(*wide), ForestLimitError);
+  PredicateTable scratch;
+  EXPECT_THROW(engine_.validate(*wide, scratch), ForestLimitError);
+  EXPECT_EQ(engine_.forest().live_nodes(), 0u);
+  EXPECT_EQ(engine_.subscription_count(), 0u);
+}
+
+// Encoded-tree-specific behaviour (the paper's §3.3 prototype, kept as the
+// unshared baseline).
+class NonCanonicalTreeTest : public ::testing::Test {
+ protected:
+  SubscriptionId subscribe(std::string_view text) {
+    const ast::Expr expr = parse_subscription(text, attrs_, table_);
+    return engine_.add(expr.root());
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+  NonCanonicalTreeEngine engine_{table_};
+};
+
+TEST_F(NonCanonicalTreeTest, SelectivityReorderingReducesTruthLookups) {
   // OR(rare, common): with the author's order the evaluator probes `rare`
   // first on every event; after statistics-driven reordering the common
   // branch comes first and usually short-circuits.
@@ -293,7 +407,7 @@ TEST_F(NonCanonicalTest, SelectivityReorderingReducesTruthLookups) {
   EXPECT_EQ(testing::match_event(engine_, rare_event), std::vector{s});
 }
 
-TEST_F(NonCanonicalTest, SelectivityReorderingPreservesMatching) {
+TEST_F(NonCanonicalTreeTest, SelectivityReorderingPreservesMatching) {
   engine_.enable_statistics(true);
   std::vector<SubscriptionId> ids;
   for (int i = 0; i < 20; ++i) {
@@ -321,7 +435,7 @@ TEST_F(NonCanonicalTest, SelectivityReorderingPreservesMatching) {
   }
 }
 
-TEST_F(NonCanonicalTest, TreeStorageCompaction) {
+TEST_F(NonCanonicalTreeTest, TreeStorageCompaction) {
   std::vector<SubscriptionId> ids;
   for (int i = 0; i < 50; ++i) {
     ids.push_back(subscribe("a == " + std::to_string(i) + " and b == 2"));

@@ -96,7 +96,7 @@ TEST(MemoryAccountingTest, NonCanonicalTreeBytesMatchEncodedSizes) {
   PaperWorkloadConfig config;
   config.predicates_per_subscription = 6;
   PaperWorkload workload(config, attrs, table);
-  NonCanonicalEngine engine(table);
+  NonCanonicalTreeEngine engine(table);
   std::size_t expected_bytes = 0;
   for (int i = 0; i < 100; ++i) {
     const ast::Expr e = workload.next_subscription();
@@ -115,7 +115,7 @@ TEST(MemoryAccountingTest, NonCanonicalTreeBytesMatchEncodedSizes) {
 TEST(MemoryAccountingTest, RemovalReducesAccountedMemory) {
   AttributeRegistry attrs;
   PredicateTable table;
-  NonCanonicalEngine engine(table);
+  NonCanonicalTreeEngine engine(table);
   std::vector<SubscriptionId> ids;
   {
     // Scoped so the workload's predicate-pool references die before the
@@ -138,6 +138,69 @@ TEST(MemoryAccountingTest, RemovalReducesAccountedMemory) {
   }
   EXPECT_EQ(tree_component, 0u);
   EXPECT_EQ(table.size(), 0u);  // all predicates released
+}
+
+/// Sum of an engine's "forest/" memory components.
+std::size_t forest_bytes(const FilterEngine& engine) {
+  std::size_t sum = 0;
+  const MemoryBreakdown mem = engine.memory();
+  for (const auto& [name, bytes] : mem.components()) {
+    if (name.starts_with("forest/")) sum += bytes;
+  }
+  return sum;
+}
+
+TEST(MemoryAccountingTest, ForestDedupesDuplicateSubscriptions) {
+  // 16 distinct subscriptions, each registered 64 times: the forest stores
+  // the distinct population. The unshared baseline stores every copy, so
+  // its encoded-tree component alone must dwarf the whole forest.
+  AttributeRegistry attrs;
+  PredicateTable table;
+  PaperWorkloadConfig config;
+  config.predicates_per_subscription = 6;
+  config.seed = 77;
+  PaperWorkload workload(config, attrs, table);
+  NonCanonicalEngine forest_engine(table);
+  NonCanonicalTreeEngine tree_engine(table);
+  std::vector<ast::Expr> pool;
+  for (int i = 0; i < 16; ++i) pool.push_back(workload.next_subscription());
+  for (int round = 0; round < 64; ++round) {
+    for (const ast::Expr& expr : pool) {
+      forest_engine.add(expr.root());
+      tree_engine.add(expr.root());
+    }
+  }
+  ASSERT_EQ(forest_engine.subscription_count(), 1024u);
+  forest_engine.compact_storage();
+  tree_engine.compact_storage();
+
+  std::size_t encoded = 0;
+  const MemoryBreakdown tree_mem = tree_engine.memory();
+  for (const auto& [name, bytes] : tree_mem.components()) {
+    if (name == "encoded_trees") encoded = bytes;
+  }
+  EXPECT_LT(forest_bytes(forest_engine), encoded / 2)
+      << "shared forest must undercut the unshared encoded trees at 63/64 "
+         "duplication";
+}
+
+TEST(MemoryAccountingTest, ForestDrainsToEmptyOnRemoval) {
+  AttributeRegistry attrs;
+  PredicateTable table;
+  NonCanonicalEngine engine(table);
+  std::vector<SubscriptionId> ids;
+  {
+    PaperWorkloadConfig config;
+    PaperWorkload workload(config, attrs, table);
+    for (int i = 0; i < 200; ++i) {
+      const ast::Expr e = workload.next_subscription();
+      ids.push_back(engine.add(e.root()));
+    }
+  }
+  for (const SubscriptionId id : ids) engine.remove(id);
+  EXPECT_EQ(engine.forest().live_nodes(), 0u);
+  EXPECT_EQ(engine.distinct_roots(), 0u);
+  EXPECT_EQ(table.size(), 0u);  // all predicate references released
 }
 
 }  // namespace

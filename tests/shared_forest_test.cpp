@@ -1,0 +1,207 @@
+// SharedForest unit tests: hash-cons identity, refcount lifecycle, parent
+// edges, static truth, quarantine and compaction — the invariants the
+// forest-backed NonCanonicalEngine builds on.
+#include "subscription/shared_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "subscription/parser.h"
+#include "test_util.h"
+
+namespace ncps {
+namespace {
+
+using NodeId = SharedForest::NodeId;
+
+class SharedForestTest : public ::testing::Test {
+ protected:
+  SharedForestTest()
+      : forest_([this](PredicateId p) { created_.push_back(p); },
+                [this](PredicateId p) { released_.push_back(p); }) {}
+
+  ast::Expr parse(std::string_view text) {
+    return parse_subscription(text, attrs_, table_);
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+  SharedForest forest_;
+  std::vector<PredicateId> created_;
+  std::vector<PredicateId> released_;
+};
+
+TEST_F(SharedForestTest, InternDedupesStructurallyIdenticalTrees) {
+  const ast::Expr e = parse("(a == 1 or b == 2) and c == 3");
+  const auto first = forest_.intern(e.root());
+  EXPECT_TRUE(first.created);
+  EXPECT_EQ(forest_.live_nodes(), 5u);  // 3 leaves + OR + AND
+  EXPECT_EQ(created_.size(), 3u);       // one hook call per distinct leaf
+
+  const auto second = forest_.intern(e.root());
+  EXPECT_FALSE(second.created);
+  EXPECT_EQ(second.id, first.id);
+  EXPECT_EQ(forest_.live_nodes(), 5u);
+  EXPECT_EQ(forest_.ref_count(first.id), 2u);
+  EXPECT_EQ(created_.size(), 3u);  // no new leaves
+}
+
+TEST_F(SharedForestTest, InteriorSubtreesAreShared) {
+  const ast::Expr e1 = parse("(a == 1 or b == 2) and c == 3");
+  const ast::Expr e2 = parse("(a == 1 or b == 2) and d == 4");
+  const NodeId r1 = forest_.intern(e1.root()).id;
+  const NodeId r2 = forest_.intern(e2.root()).id;
+  EXPECT_NE(r1, r2);
+  // Second tree adds only its own AND and the new leaf.
+  EXPECT_EQ(forest_.live_nodes(), 7u);
+
+  // The shared OR node is a child of both roots and reports both parents.
+  const NodeId shared_or = forest_.children(r1).front();
+  EXPECT_EQ(forest_.children(r2).front(), shared_or);
+  std::vector<NodeId> parents;
+  forest_.for_each_parent(shared_or, [&](NodeId p) { parents.push_back(p); });
+  EXPECT_EQ(testing::sorted_values(parents),
+            testing::sorted_values(std::vector<NodeId>{r1, r2}));
+}
+
+TEST_F(SharedForestTest, OrderSensitiveIdentity) {
+  const ast::Expr ab = parse("a == 1 and b == 2");
+  const ast::Expr ba = parse("b == 2 and a == 1");
+  const NodeId r1 = forest_.intern(ab.root()).id;
+  const auto r2 = forest_.intern(ba.root());
+  EXPECT_TRUE(r2.created);  // structural identity preserves child order
+  EXPECT_NE(r1, r2.id);
+  EXPECT_EQ(forest_.live_nodes(), 4u);  // 2 leaves shared, 2 AND nodes
+}
+
+TEST_F(SharedForestTest, ReleaseCascadesAndFiresLeafHooks) {
+  const ast::Expr e = parse("(a == 1 or b == 2) and c == 3");
+  const NodeId root = forest_.intern(e.root()).id;
+  forest_.release(root);
+  EXPECT_EQ(forest_.live_nodes(), 0u);
+  EXPECT_EQ(released_.size(), 3u);
+  EXPECT_EQ(testing::sorted_values(created_),
+            testing::sorted_values(released_));
+  EXPECT_EQ(forest_.quarantined_nodes(), 5u);
+}
+
+TEST_F(SharedForestTest, SharedSubtreeSurvivesPartialRelease) {
+  const ast::Expr e1 = parse("(a == 1 or b == 2) and c == 3");
+  const ast::Expr e2 = parse("(a == 1 or b == 2) and d == 4");
+  const NodeId r1 = forest_.intern(e1.root()).id;
+  const NodeId r2 = forest_.intern(e2.root()).id;
+  forest_.release(r1);
+  // The OR and its leaves live on under r2; only r1's AND and c == 3 died.
+  EXPECT_EQ(forest_.live_nodes(), 5u);
+  EXPECT_EQ(released_.size(), 1u);
+  const NodeId shared_or = forest_.children(r2).front();
+  std::vector<NodeId> parents;
+  forest_.for_each_parent(shared_or, [&](NodeId p) { parents.push_back(p); });
+  EXPECT_EQ(parents, std::vector<NodeId>{r2});
+  forest_.release(r2);
+  EXPECT_EQ(forest_.live_nodes(), 0u);
+}
+
+TEST_F(SharedForestTest, DuplicateChildEdgesCarryMultiplicity) {
+  // AND(p, p): the leaf has the same parent twice.
+  std::vector<ast::NodePtr> kids;
+  kids.push_back(ast::leaf(PredicateId(3)));
+  kids.push_back(ast::leaf(PredicateId(3)));
+  const ast::NodePtr root = ast::make_and(std::move(kids));
+  const NodeId r = forest_.intern(*root).id;
+  const NodeId leaf = forest_.children(r).front();
+  EXPECT_EQ(forest_.ref_count(leaf), 2u);
+  std::size_t edges = 0;
+  forest_.for_each_parent(leaf, [&](NodeId p) {
+    EXPECT_EQ(p, r);
+    ++edges;
+  });
+  EXPECT_EQ(edges, 2u);
+  forest_.release(r);
+  EXPECT_EQ(forest_.live_nodes(), 0u);
+}
+
+TEST_F(SharedForestTest, StaticTruthUnderAllFalseLeaves) {
+  const ast::Expr plain = parse("a == 1 and b == 2");
+  const ast::Expr negated = parse("not a == 1");
+  const ast::Expr mixed = parse("not a == 1 or b == 2");
+  EXPECT_FALSE(forest_.static_truth(forest_.intern(plain.root()).id));
+  EXPECT_TRUE(forest_.static_truth(forest_.intern(negated.root()).id));
+  EXPECT_TRUE(forest_.static_truth(forest_.intern(mixed.root()).id));
+}
+
+TEST_F(SharedForestTest, RankIsStrictlyAboveChildren) {
+  const ast::Expr e = parse("((a == 1 or b == 2) and c == 3) or d == 4");
+  const NodeId root = forest_.intern(e.root()).id;
+  EXPECT_EQ(forest_.rank(root), 3u);
+  for (const NodeId c : forest_.children(root)) {
+    EXPECT_LT(forest_.rank(c), forest_.rank(root));
+  }
+}
+
+TEST_F(SharedForestTest, ToAstRoundTrips) {
+  const ast::Expr e =
+      parse("(a > 10 or a <= 5 or b == 1) and not (c <= 20 and d == 5)");
+  const NodeId root = forest_.intern(e.root()).id;
+  const ast::NodePtr back = forest_.to_ast(root);
+  EXPECT_TRUE(ast::equal(e.root(), *back));
+}
+
+TEST_F(SharedForestTest, QuarantinedSlotsReuseAfterReclaim) {
+  const ast::Expr e1 = parse("a == 1 and b == 2");
+  const NodeId r1 = forest_.intern(e1.root()).id;
+  forest_.release(r1);
+  EXPECT_EQ(forest_.quarantined_nodes(), 3u);
+  const std::size_t bound_before = forest_.node_bound();
+
+  // Without reclaim, new interns must not reuse the quarantined slots.
+  const ast::Expr e2 = parse("c == 3");
+  const NodeId r2 = forest_.intern(e2.root()).id;
+  EXPECT_GE(r2, bound_before);
+  EXPECT_EQ(forest_.quarantined_nodes(), 3u);
+
+  forest_.reclaim_quarantine();
+  EXPECT_EQ(forest_.quarantined_nodes(), 0u);
+  const ast::Expr e3 = parse("d == 4 and e == 5");
+  const NodeId r3 = forest_.intern(e3.root()).id;
+  EXPECT_LT(r3, bound_before);  // recycled slot
+  EXPECT_EQ(forest_.node_bound(), bound_before + 1);  // only r2 grew it
+}
+
+TEST_F(SharedForestTest, CompactionPreservesStructure) {
+  std::vector<NodeId> roots;
+  std::vector<ast::Expr> exprs;
+  for (int i = 0; i < 40; ++i) {
+    exprs.push_back(parse("(x == " + std::to_string(i % 7) +
+                          " or y == " + std::to_string(i % 5) +
+                          ") and z == " + std::to_string(i)));
+    roots.push_back(forest_.intern(exprs.back().root()).id);
+  }
+  for (int i = 0; i < 40; i += 2) forest_.release(roots[i]);
+  forest_.compact_storage();
+  for (int i = 1; i < 40; i += 2) {
+    EXPECT_TRUE(ast::equal(exprs[i].root(), *forest_.to_ast(roots[i])))
+        << "root " << i;
+  }
+}
+
+TEST_F(SharedForestTest, ValidateLimitsRejectsOversizedTrees) {
+  std::vector<ast::NodePtr> kids;
+  for (std::size_t i = 0; i < SharedForest::kMaxChildren + 1; ++i) {
+    kids.push_back(ast::leaf(PredicateId(static_cast<std::uint32_t>(i))));
+  }
+  const ast::NodePtr wide = ast::make_or(std::move(kids));
+  EXPECT_THROW(SharedForest::validate_limits(*wide), ForestLimitError);
+  EXPECT_THROW(forest_.intern(*wide), ForestLimitError);
+  EXPECT_EQ(forest_.live_nodes(), 0u);  // checked before any mutation
+
+  ast::NodePtr deep = ast::leaf(PredicateId(0));
+  for (std::size_t i = 0; i < SharedForest::kMaxDepth + 1; ++i) {
+    deep = ast::make_not(std::move(deep));
+  }
+  EXPECT_THROW(SharedForest::validate_limits(*deep), ForestLimitError);
+}
+
+}  // namespace
+}  // namespace ncps

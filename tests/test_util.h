@@ -26,6 +26,13 @@ inline std::vector<PredicateId> sorted(std::vector<PredicateId> ids) {
   return ids;
 }
 
+/// Generic sorted copy for any comparable element type.
+template <typename T>
+std::vector<T> sorted_values(std::vector<T> values) {
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
 /// Run an engine's full pipeline and return the sorted match set.
 inline std::vector<SubscriptionId> match_event(FilterEngine& engine,
                                                const Event& event) {
