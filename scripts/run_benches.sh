@@ -59,4 +59,13 @@ if [ "$found" -eq 0 ]; then
   echo "error: no bench_* binaries in '$build_dir'" >&2
   exit 1
 fi
+
+# Schema guard: bench_sharing rows must carry the normalisation column (the
+# sorted-child forest sweep); its silent disappearance would make the
+# normalisation trajectory unscrapable without failing any bench.
+sharing_json="$repo_root/BENCH_sharing.json"
+if [ -s "$sharing_json" ] && ! grep -q '"normalisation"' "$sharing_json"; then
+  echo "error: BENCH_sharing.json lacks the \"normalisation\" column" >&2
+  status=1
+fi
 exit "$status"

@@ -27,6 +27,8 @@ namespace ncps {
 /// default is the seed's inline delivery).
 struct BrokerOptions {
   EngineKind engine = EngineKind::NonCanonical;
+  /// Forest normalisation for the non-canonical engine (shared_forest.h).
+  Normalisation normalisation = Normalisation::None;
   DeliveryOptions delivery{};
 };
 
@@ -40,6 +42,8 @@ class Broker : public ShardedBroker {
       : ShardedBroker(attrs,
                       ShardedBrokerConfig{.shard_count = 1,
                                           .engine = options.engine,
+                                          .normalisation =
+                                              options.normalisation,
                                           .delivery = options.delivery}) {}
 
   /// The engine holds a reference to the broker-owned predicate table, so a

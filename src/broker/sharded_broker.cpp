@@ -36,7 +36,8 @@ ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
   shards_.reserve(config.shard_count);
   for (std::size_t s = 0; s < config.shard_count; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->engine = make_engine(config.engine, shard->table);
+    shard->engine =
+        make_engine(config.engine, shard->table, config.normalisation);
     shards_.push_back(std::move(shard));
   }
   callbacks_.store(std::make_shared<const CallbackMap>());

@@ -85,6 +85,9 @@ struct ShardedBrokerConfig {
   /// Independent engine shards. 1 reproduces the seed single-engine broker.
   std::size_t shard_count = 1;
   EngineKind engine = EngineKind::NonCanonical;
+  /// Forest normalisation for EngineKind::NonCanonical shards
+  /// (shared_forest.h); ignored by the other engine kinds.
+  Normalisation normalisation = Normalisation::None;
   /// Worker threads fanning published batches across shards; 0 picks
   /// min(shard_count, hardware_concurrency). Ignored when shard_count is 1
   /// (single-shard brokers never spawn threads).

@@ -52,6 +52,17 @@ class EpochSet {
     return stamps_.capacity() * sizeof(std::uint32_t);
   }
 
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  /// Test hook: jump the epoch counter (e.g. to ~0u so the next clear()
+  /// exercises the wrap path). Stale stamps stay strictly behind any past
+  /// epoch, so membership after the jump is empty unless ids are
+  /// re-inserted — exactly the state a long-lived set would reach.
+  void jump_epoch_for_test(std::uint32_t epoch) {
+    NCPS_ASSERT(epoch != 0);
+    epoch_ = epoch;
+  }
+
   /// Release growth slack.
   void shrink_to_fit() { stamps_.shrink_to_fit(); }
 

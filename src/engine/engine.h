@@ -47,6 +47,7 @@ struct MatchStats {
   std::uint64_t truth_lookups = 0;        ///< per-leaf truth probes during tree evaluation
   std::uint64_t hit_increments = 0;       ///< counter bumps (counting family)
   std::uint64_t counter_comparisons = 0;  ///< hits-vs-required comparisons
+  std::uint64_t covering_skips = 0;       ///< borrower roots skipped via donor truth
   std::uint64_t matches = 0;              ///< subscriptions reported
 
   void reset() { *this = MatchStats{}; }

@@ -12,7 +12,8 @@ NonCanonicalEngine::NonCanonicalEngine(PredicateTable& table, Options options)
     : FilterEngine(table),
       options_(options),
       forest_([this](PredicateId p) { acquire_predicate(p); },
-              [this](PredicateId p) { release_predicate(p); }) {}
+              [this](PredicateId p) { release_predicate(p); },
+              options.normalisation) {}
 
 SubscriptionId NonCanonicalEngine::allocate_id() {
   if (!free_ids_.empty()) {
@@ -53,21 +54,50 @@ SubscriptionId NonCanonicalEngine::add(const ast::Node& expression) {
 
   // intern() checks limits before any mutation, so an oversized
   // expression throws here with no state change.
-  const SharedForest::InternResult interned = forest_.intern(expression);
+  const SharedForest::InternResult interned =
+      forest_.intern(expression, &perm_scratch_);
   NodeId root = interned.id;
   const std::uint64_t signature = expression_signature(expression);
   if (interned.created && options_.root_subsumption) {
     root = try_alias_equivalent(expression, root, signature);
   }
+  // An aliased subscription lives on a root whose stored form is not the
+  // written expression; its permutation (recorded against the structural
+  // root) would replay onto the wrong node.
+  if (root != interned.id) perm_scratch_.clear();
 
   const SubscriptionId id = allocate_id();
+  const bool new_result_root = root_head_.find(root) == root_head_.end();
   attach(id, root, signature);
+  subs_[id.value()].perm = std::move(perm_scratch_);
+  perm_scratch_ = {};
+  if (new_result_root && options_.partial_sharing && !pred_scratch_.empty()) {
+    // Probe for a donor first (the candidate index must not yet contain
+    // this root), then index the newcomer so it can donate in turn.
+    // pred_scratch_ still holds the expression's sorted unique predicates
+    // from expression_signature(). Each root is indexed under its
+    // *smallest* predicate id only — one entry per root instead of one per
+    // (root, predicate). That reaches every refinement-shaped donor (a
+    // conjunctive donor's predicates all recur in its borrowers); a
+    // disjunctive donor whose smallest predicate the borrower lacks is
+    // conservatively missed (see try_adopt_donor).
+    try_adopt_donor(root, expression);
+    roots_by_pred_[pred_scratch_.front().value()].push_back(root);
+  }
   ++live_count_;
 
   if (touched_.capacity() < forest_.node_bound()) {
     touched_.resize(forest_.node_bound());
   }
   return id;
+}
+
+ast::NodePtr NonCanonicalEngine::subscription_ast(SubscriptionId id) const {
+  if (!id.valid() || id.value() >= subs_.size() || !subs_[id.value()].live) {
+    return nullptr;
+  }
+  const SubRecord& record = subs_[id.value()];
+  return forest_.to_ast(record.root, record.perm);
 }
 
 NonCanonicalEngine::NodeId NonCanonicalEngine::try_alias_equivalent(
@@ -92,6 +122,97 @@ NonCanonicalEngine::NodeId NonCanonicalEngine::try_alias_equivalent(
     }
   }
   return fresh_root;
+}
+
+void NonCanonicalEngine::collect_root_predicates(
+    NodeId root, std::vector<PredicateId>& out) const {
+  if (forest_.kind(root) == ast::NodeKind::Leaf) {
+    out.push_back(forest_.leaf_predicate(root));
+    return;
+  }
+  for (const NodeId child : forest_.children(root)) {
+    collect_root_predicates(child, out);
+  }
+}
+
+namespace {
+
+bool contains_not(const ast::Node& node) {
+  if (node.kind == ast::NodeKind::Not) return true;
+  for (const auto& child : node.children) {
+    if (contains_not(*child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool NonCanonicalEngine::root_contains_not(NodeId root) const {
+  if (forest_.kind(root) == ast::NodeKind::Not) return true;
+  if (forest_.kind(root) == ast::NodeKind::Leaf) return false;
+  for (const NodeId child : forest_.children(root)) {
+    if (root_contains_not(child)) return true;
+  }
+  return false;
+}
+
+void NonCanonicalEngine::try_adopt_donor(NodeId root,
+                                         const ast::Node& expression) {
+  // NOT is excluded from partial sharing outright: canonicalisation
+  // rewrites `not p` into p's interned *complement predicate*, and the two
+  // disagree when p's attribute is absent from the event (a complement
+  // predicate is false on absence, `not p` is true). A propositional proof
+  // that leans on such a literal would gate the borrower on semantics its
+  // own evaluation does not share — see the NOT discussion in DESIGN.md
+  // §3. NOT-free on both sides, every DNF literal is a written predicate
+  // with identical fulfilled-set semantics in donor and borrower, and the
+  // proof is assignment-sound.
+  if (contains_not(expression)) return;
+  // Candidate donors share at least one interned predicate with the new
+  // root — the overlapping-population shape (a hot base query extended
+  // with extra conjuncts) partial sharing targets. The index is a
+  // heuristic: each result root is filed under its smallest predicate id,
+  // so refinement-shaped donors are always reachable, while a disjunctive
+  // donor whose smallest predicate the borrower lacks is (conservatively)
+  // missed. The budget bounds every candidate *examined*, not just the
+  // covering proofs run, so an add can never walk an unbounded list.
+  std::size_t examined = 0;
+  std::vector<NodeId> probed;  // a root can sit in several predicate lists
+  for (const PredicateId pid : pred_scratch_) {
+    const auto it = roots_by_pred_.find(pid.value());
+    if (it == roots_by_pred_.end()) continue;
+    for (const NodeId donor : it->second) {
+      if (donor == root) continue;
+      if (++examined > options_.max_partial_probes) return;
+      // Never chain borrowers: a borrower's own truth may be skipped
+      // entirely (deferred evaluation), so it cannot gate anyone else.
+      if (donor < donor_of_.size() &&
+          donor_of_[donor] != SharedForest::kNoNode) {
+        continue;
+      }
+      if (std::find(probed.begin(), probed.end(), donor) != probed.end()) {
+        continue;
+      }
+      probed.push_back(donor);
+      if (root_contains_not(donor)) continue;
+      const ast::NodePtr donor_ast = forest_.to_ast(donor);
+      if (!covers(*donor_ast, expression, *table_,
+                  options_.subsumption_budget,
+                  ImplicationMode::Propositional)) {
+        continue;
+      }
+      // Adopt: the borrower holds one reference on the donor's node, so
+      // the donor's memoized truth stays computable until the borrower
+      // detaches — a partially-shared root can never outlive its donor.
+      forest_.add_ref(donor);
+      if (donor_of_.size() <= root) {
+        donor_of_.resize(root + 1, SharedForest::kNoNode);
+      }
+      donor_of_[root] = donor;
+      ++live_borrowers_;
+      return;
+    }
+  }
 }
 
 void NonCanonicalEngine::attach(SubscriptionId id, NodeId root,
@@ -142,6 +263,29 @@ void NonCanonicalEngine::detach(SubscriptionId id) {
         auto& always = always_roots_;
         always.erase(std::find(always.begin(), always.end(), root));
       }
+      if (options_.partial_sharing) {
+        // Drop out of the donor candidate index (mirrors the add()-time
+        // registration under the root's smallest predicate id; the walk
+        // reproduces the same unique predicate set).
+        pred_scratch_.clear();
+        collect_root_predicates(root, pred_scratch_);
+        const PredicateId min_pred =
+            *std::min_element(pred_scratch_.begin(), pred_scratch_.end());
+        const auto index = roots_by_pred_.find(min_pred.value());
+        NCPS_DASSERT(index != roots_by_pred_.end());
+        auto& list = index->second;
+        list.erase(std::find(list.begin(), list.end(), root));
+        if (list.empty()) roots_by_pred_.erase(index);
+        // A borrower releases its donor reference with its last
+        // subscription; the donor's node may cascade away here if nothing
+        // else holds it.
+        if (root < donor_of_.size() &&
+            donor_of_[root] != SharedForest::kNoNode) {
+          forest_.release(donor_of_[root]);
+          donor_of_[root] = SharedForest::kNoNode;
+          --live_borrowers_;
+        }
+      }
     }
   }
   forest_.release(root);
@@ -177,6 +321,17 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
   touched_.clear();
   frontier_.clear();
   max_rank_touched_ = 0;
+#ifndef NDEBUG
+  // Scratch-reset invariant: the previous event must have drained every
+  // rank bucket it filled, whatever shape it had (a tall tree followed by
+  // a leaf-only event must not replay stale high-rank nodes).
+  for (const auto& bucket : rank_buckets_) NCPS_DASSERT(bucket.empty());
+#endif
+
+  // Per-event truth states in value_ (valid only while touched): 0/1 are
+  // memoized results, kDeferred marks a borrower root whose evaluation
+  // waits on its donor's truth at emit time.
+  constexpr std::uint8_t kDeferred = 2;
 
   // Seed: fulfilled predicates stamp their leaf nodes true...
   for (const PredicateId pid : fulfilled) {
@@ -189,11 +344,19 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
   }
   // ...and flood upward along parent edges: the candidate-reachable
   // frontier is every DAG ancestor of a fulfilled leaf, each visited once
-  // however many subscriptions share it.
+  // however many subscriptions share it. A borrower root nothing consumes
+  // from above defers: its donor's truth decides at emit time whether it
+  // is evaluated at all.
   for (std::size_t i = 0; i < frontier_.size(); ++i) {
     forest_.for_each_parent(frontier_[i], [&](NodeId parent) {
       if (touched_.insert(parent)) {
         frontier_.push_back(parent);
+        if (parent < donor_of_.size() &&
+            donor_of_[parent] != SharedForest::kNoNode &&
+            !forest_.has_parents(parent)) {
+          value_[parent] = kDeferred;
+          return;
+        }
         const std::uint32_t r = forest_.rank(parent);
         if (r >= rank_buckets_.size()) rank_buckets_.resize(r + 1);
         rank_buckets_[r].push_back(parent);
@@ -208,38 +371,44 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
   // its precomputed all-false truth.
   const auto value_of = [&](NodeId n) {
     ++stats_.truth_lookups;
-    return touched_.contains(n) ? value_[n] != 0 : forest_.static_truth(n);
+    if (!touched_.contains(n)) return forest_.static_truth(n);
+    // Deferred nodes have no DAG parents, so no evaluation reads them.
+    NCPS_DASSERT(value_[n] != kDeferred);
+    return value_[n] != 0;
+  };
+  const auto eval_node = [&](NodeId n) {
+    ++stats_.node_evaluations;
+    const std::span<const NodeId> kids = forest_.children(n);
+    bool v = false;
+    switch (forest_.kind(n)) {
+      case ast::NodeKind::And:
+        v = true;
+        for (const NodeId c : kids) {
+          if (!value_of(c)) {
+            v = false;
+            break;
+          }
+        }
+        break;
+      case ast::NodeKind::Or:
+        for (const NodeId c : kids) {
+          if (value_of(c)) {
+            v = true;
+            break;
+          }
+        }
+        break;
+      case ast::NodeKind::Not:
+        v = !value_of(kids.front());
+        break;
+      case ast::NodeKind::Leaf:
+        NCPS_ASSERT(false && "leaves are seeded, never evaluated");
+    }
+    return v;
   };
   for (std::uint32_t r = 1; r <= max_rank_touched_; ++r) {
     for (const NodeId n : rank_buckets_[r]) {
-      ++stats_.node_evaluations;
-      const std::span<const NodeId> kids = forest_.children(n);
-      bool v = false;
-      switch (forest_.kind(n)) {
-        case ast::NodeKind::And:
-          v = true;
-          for (const NodeId c : kids) {
-            if (!value_of(c)) {
-              v = false;
-              break;
-            }
-          }
-          break;
-        case ast::NodeKind::Or:
-          for (const NodeId c : kids) {
-            if (value_of(c)) {
-              v = true;
-              break;
-            }
-          }
-          break;
-        case ast::NodeKind::Not:
-          v = !value_of(kids.front());
-          break;
-        case ast::NodeKind::Leaf:
-          NCPS_ASSERT(false && "leaves are seeded, never evaluated");
-      }
-      value_[n] = v ? 1 : 0;
+      value_[n] = eval_node(n) ? 1 : 0;
     }
     rank_buckets_[r].clear();
   }
@@ -254,8 +423,32 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
       ++stats_.matches;
     }
   };
+  // Donor truth for a borrower root. kDeferred can only appear here if a
+  // former donor was itself re-added and turned borrower; treating it as
+  // true keeps gating conservative (the borrower then stands on its own
+  // evaluation).
+  const auto donor_allows = [&](NodeId root) {
+    if (root >= donor_of_.size()) return true;
+    const NodeId donor = donor_of_[root];
+    if (donor == SharedForest::kNoNode) return true;
+    const bool donor_true = touched_.contains(donor)
+                                ? value_[donor] != 0
+                                : forest_.static_truth(donor);
+    if (!donor_true) ++stats_.covering_skips;
+    return donor_true;
+  };
   for (const NodeId n : frontier_) {
     if (is_root_[n] == 0) continue;
+    if (!donor_allows(n)) {
+      // The covering donor refuted the event: the borrower cannot match,
+      // so its subscription chain is never even scanned as candidates.
+      continue;
+    }
+    if (value_[n] == kDeferred) {
+      // Donor truth admitted the borrower: evaluate it now — children are
+      // already memoized (or static), ranks strictly below.
+      value_[n] = eval_node(n) ? 1 : 0;
+    }
     if (value_[n] != 0) {
       emit_root(n);
     } else {
@@ -270,6 +463,7 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
   // fulfilled predicate below them their static truth (true) stands.
   for (const NodeId root : always_roots_) {
     if (touched_.contains(root)) continue;  // evaluated above
+    if (!donor_allows(root)) continue;  // donor refuted: cannot match
     emit_root(root);
   }
 }
@@ -277,10 +471,14 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
 void NonCanonicalEngine::compact_storage() {
   FilterEngine::compact_storage();
   forest_.compact_storage();
+  for (auto& record : subs_) record.perm.shrink_to_fit();
   subs_.shrink_to_fit();
   free_ids_.shrink_to_fit();
   is_root_.shrink_to_fit();
   always_roots_.shrink_to_fit();
+  donor_of_.shrink_to_fit();
+  for (auto& entry : roots_by_pred_) entry.second.shrink_to_fit();
+  perm_scratch_.shrink_to_fit();
   touched_.shrink_to_fit();
   value_.shrink_to_fit();
   frontier_.shrink_to_fit();
@@ -294,8 +492,11 @@ MemoryBreakdown NonCanonicalEngine::memory() const {
   MemoryBreakdown mem;
   mem.add_nested("forest/", forest_.memory());
   // Unsubscription support: each subscription's root reference + chain
-  // links (the forest analogue of the paper's footnote-1 association).
-  mem.add("unsub_support/subscription_records", vector_bytes(subs_));
+  // links (the forest analogue of the paper's footnote-1 association),
+  // plus the per-root evaluation permutations (SortedChildren only).
+  std::size_t records = vector_bytes(subs_);
+  for (const auto& record : subs_) records += vector_bytes(record.perm);
+  mem.add("unsub_support/subscription_records", records);
   std::size_t attachment = unordered_map_bytes(root_head_) +
                            unordered_map_bytes(root_sig_) +
                            unordered_map_bytes(roots_by_sig_) +
@@ -305,6 +506,12 @@ MemoryBreakdown NonCanonicalEngine::memory() const {
     attachment += vector_bytes(entry.second);
   }
   mem.add("root_attachment", attachment);
+  std::size_t partial = vector_bytes(donor_of_) +
+                        unordered_map_bytes(roots_by_pred_);
+  for (const auto& entry : roots_by_pred_) {
+    partial += vector_bytes(entry.second);
+  }
+  mem.add("partial_sharing", partial);
   mem.add("scratch/touched_set", touched_.memory_bytes());
   mem.add("scratch/node_values", vector_bytes(value_));
   mem.add("scratch/frontier",

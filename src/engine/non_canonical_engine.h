@@ -19,11 +19,23 @@
 //   - roots whose expression is satisfiable with zero fulfilled predicates
 //     (static truth = true, e.g. `not a == 1`) live on an always-candidate
 //     list and match whenever the frontier does not reach (and refute) them;
+//   - an opt-in normalisation ladder (Options::normalisation): at
+//     SortedChildren the forest interns AND/OR children in canonical order,
+//     so commuted forms (`a AND b` vs `b AND a`) hash-cons to one node by
+//     identity; each subscription keeps a per-root evaluation permutation
+//     so subscription_ast() reconstructs what the subscriber wrote;
 //   - an optional root-subsumption fast path (covering.h): when a
 //     structurally *new* root arrives, existing roots over the same
 //     predicate set are probed for mutual covering — a proven-equivalent
 //     pair (e.g. `a == 1 and b == 2` vs `b == 2 and a == 1`) shares one
-//     result node outright, so the newcomer adds no forest state at all.
+//     result node outright, so the newcomer adds no forest state at all;
+//   - covering-based *partial* sharing (Options::partial_sharing): a new
+//     root propositionally covered by an existing root borrows that donor's
+//     memoized truth as a pre-filter — donor false means the borrower
+//     cannot match, so its candidate chain is never scanned, and a
+//     borrower nothing else consumes skips its own evaluation too. The
+//     borrower refcounts its donor, so a donor node outlives every
+//     borrower (quarantine rules unchanged).
 //
 // Unsubscription releases the root reference; the forest cascades refcount
 // decrements and quarantines fully released node slots until the next add()
@@ -45,6 +57,11 @@
 namespace ncps {
 
 struct NonCanonicalEngineOptions {
+  /// Forest normalisation level. SortedChildren interns AND/OR children in
+  /// canonical order so commuted forms share one node; each subscription
+  /// keeps a per-root evaluation permutation, so subscription_ast() still
+  /// returns the expression exactly as written (DESIGN.md §1e).
+  Normalisation normalisation = Normalisation::None;
   /// Probe structurally new roots against same-signature roots for
   /// *mutual* covering; equivalent pairs share one result node.
   bool root_subsumption = true;
@@ -53,6 +70,19 @@ struct NonCanonicalEngineOptions {
   DnfOptions subsumption_budget{};
   /// Equivalence probes per add (only on predicate-signature collisions).
   std::size_t max_subsumption_probes = 4;
+  /// Covering-based *partial* sharing: a structurally new root that is
+  /// propositionally covered by an existing root (the donor) gates its
+  /// candidate emission on the donor's memoized truth — donor false means
+  /// the borrower cannot match, so its candidate chain is never scanned
+  /// and, when nothing else consumes the borrower's node, its evaluation
+  /// is skipped outright. NOT-bearing expressions never participate
+  /// (complement literals diverge from NOT on absent attributes;
+  /// DESIGN.md §1f).
+  bool partial_sharing = true;
+  /// Donor candidates *examined* per add (skips included, so an add never
+  /// walks an unbounded index list); only candidates that survive the
+  /// cheap filters pay a covering proof.
+  std::size_t max_partial_probes = 4;
 };
 
 class NonCanonicalEngine final : public FilterEngine {
@@ -90,6 +120,18 @@ class NonCanonicalEngine final : public FilterEngine {
   [[nodiscard]] std::uint64_t subsumption_hits() const {
     return subsumption_hits_;
   }
+  /// Roots currently borrowing a donor's truth via partial sharing.
+  [[nodiscard]] std::size_t partial_shares() const { return live_borrowers_; }
+  /// The subscription's expression exactly as written (the per-root
+  /// evaluation permutation undoes SortedChildren interning). Null for
+  /// unknown/removed ids; subscriptions aliased onto an equivalent root by
+  /// the subsumption fast path report that root's stored form instead.
+  [[nodiscard]] ast::NodePtr subscription_ast(SubscriptionId id) const;
+
+  /// Test hook: jump the per-event scratch epoch to its maximum so the next
+  /// match wraps the epoch counter (regression surface for stale-truth
+  /// leaks across the wrap).
+  void force_scratch_epoch_wrap() { touched_.jump_epoch_for_test(~0u); }
 
  private:
   using NodeId = SharedForest::NodeId;
@@ -100,6 +142,10 @@ class NonCanonicalEngine final : public FilterEngine {
     std::uint32_t next = kNoSub;  ///< intrusive chain of same-root subs
     std::uint32_t prev = kNoSub;
     bool live = false;
+    /// Evaluation permutation mapping the written child order onto the
+    /// root's stored (sorted) order; empty = identity (Normalisation::None,
+    /// or a subsumption-aliased root whose written form is not this node).
+    std::vector<std::uint32_t> perm;
   };
 
   SubscriptionId allocate_id();
@@ -108,6 +154,10 @@ class NonCanonicalEngine final : public FilterEngine {
   [[nodiscard]] NodeId try_alias_equivalent(const ast::Node& expression,
                                             NodeId fresh_root,
                                             std::uint64_t signature);
+  void try_adopt_donor(NodeId root, const ast::Node& expression);
+  [[nodiscard]] bool root_contains_not(NodeId root) const;
+  void collect_root_predicates(NodeId root,
+                               std::vector<PredicateId>& out) const;
   [[nodiscard]] std::uint64_t expression_signature(
       const ast::Node& expression);
 
@@ -131,6 +181,16 @@ class NonCanonicalEngine final : public FilterEngine {
   std::vector<NodeId> always_roots_;
   std::uint64_t subsumption_hits_ = 0;
 
+  // Partial sharing: borrower root -> donor node (dense by node id,
+  // kNoNode = not a borrower). A borrower holds one forest reference on its
+  // donor, so the donor's node — and therefore its memoized truth — can
+  // never die before the last borrower detaches. roots_by_pred_ is the
+  // donor candidate index: predicate id -> result roots whose expression
+  // uses it.
+  std::vector<NodeId> donor_of_;
+  std::unordered_map<std::uint32_t, std::vector<NodeId>> roots_by_pred_;
+  std::size_t live_borrowers_ = 0;
+
   // Per-event scratch (epoch-cleared / rank-bucketed, allocation-free once
   // warm).
   EpochSet touched_;                    // frontier membership, by node id
@@ -143,6 +203,7 @@ class NonCanonicalEngine final : public FilterEngine {
   std::uint32_t max_rank_touched_ = 0;
 
   std::vector<PredicateId> pred_scratch_;
+  std::vector<std::uint32_t> perm_scratch_;
 };
 
 }  // namespace ncps

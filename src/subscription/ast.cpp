@@ -43,6 +43,23 @@ NodePtr clone(const Node& node) {
   return n;
 }
 
+NodePtr clone_commuted(const Node& node, Pcg32& rng) {
+  auto n = std::make_unique<Node>();
+  n->kind = node.kind;
+  n->pred = node.pred;
+  n->children.reserve(node.children.size());
+  for (const auto& c : node.children) {
+    n->children.push_back(clone_commuted(*c, rng));
+  }
+  if (node.kind == NodeKind::And || node.kind == NodeKind::Or) {
+    for (std::size_t i = n->children.size(); i > 1; --i) {
+      const std::size_t j = rng.bounded(static_cast<std::uint32_t>(i));
+      std::swap(n->children[i - 1], n->children[j]);
+    }
+  }
+  return n;
+}
+
 bool equal(const Node& a, const Node& b) {
   if (a.kind != b.kind) return false;
   if (a.kind == NodeKind::Leaf) return a.pred == b.pred;

@@ -17,6 +17,7 @@
 
 #include "common/contracts.h"
 #include "common/ids.h"
+#include "common/random.h"
 #include "predicate/predicate_table.h"
 
 namespace ncps::ast {
@@ -39,6 +40,13 @@ struct Node {
 [[nodiscard]] NodePtr make_or(std::vector<NodePtr> children);
 [[nodiscard]] NodePtr make_not(NodePtr child);
 [[nodiscard]] NodePtr clone(const Node& node);
+
+/// Deep copy with the children of every AND/OR node re-shuffled (Fisher–
+/// Yates over `rng`) — a semantically equivalent *commuted* variant of the
+/// expression. Workload generators use this to model subscribers writing
+/// the same interest in different orders, the regime sorted-child forest
+/// normalisation targets.
+[[nodiscard]] NodePtr clone_commuted(const Node& node, Pcg32& rng);
 
 /// Structural equality (same shape, kinds and predicate ids).
 [[nodiscard]] bool equal(const Node& a, const Node& b);

@@ -147,15 +147,20 @@ void SharedForest::remove_parent(NodeId child, NodeId parent) {
   }
 }
 
-SharedForest::InternResult SharedForest::intern(const ast::Node& expression) {
+SharedForest::InternResult SharedForest::intern(
+    const ast::Node& expression, std::vector<std::uint32_t>* permutation) {
   validate_limits(expression);
-  const NodeId root = intern_node(expression);
+  if (permutation != nullptr) permutation->clear();
+  const NodeId root = intern_node(
+      expression,
+      normalisation_ == Normalisation::SortedChildren ? permutation : nullptr);
   // A pre-existing root gained a reference on top of its owners' (>= 2);
   // a freshly created root carries exactly the caller's one.
   return InternResult{root, metas_[root].refs == 1};
 }
 
-SharedForest::NodeId SharedForest::intern_node(const ast::Node& node) {
+SharedForest::NodeId SharedForest::intern_node(
+    const ast::Node& node, std::vector<std::uint32_t>* permutation) {
   if (node.kind == ast::NodeKind::Leaf) {
     const std::uint32_t pid = node.pred.value();
     if (pid >= leaf_by_pred_.size()) leaf_by_pred_.resize(pid + 1, kNoNode);
@@ -175,9 +180,44 @@ SharedForest::NodeId SharedForest::intern_node(const ast::Node& node) {
   }
 
   // Interior node: intern children first (one temporary reference each).
+  // The permutation slots for this node are reserved *before* the children
+  // recurse (pre-order layout) and filled in once the sort is known, so
+  // to_ast(id, permutation) can replay the exact same traversal top-down.
+  const bool commutative =
+      node.kind == ast::NodeKind::And || node.kind == ast::NodeKind::Or;
+  std::size_t perm_base = 0;
+  if (permutation != nullptr && commutative) {
+    perm_base = permutation->size();
+    permutation->resize(perm_base + node.children.size());
+  }
   std::vector<NodeId> kids;
   kids.reserve(node.children.size());
-  for (const auto& c : node.children) kids.push_back(intern_node(*c));
+  for (const auto& c : node.children) {
+    kids.push_back(intern_node(*c, permutation));
+  }
+
+  if (normalisation_ == Normalisation::SortedChildren && commutative) {
+    // Canonical child order: structural hash, ties broken by node id. The
+    // stable sort keeps duplicate children (same id) in written relative
+    // order, so the permutation below assigns them distinct stored slots.
+    std::vector<std::uint32_t> order(kids.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       const std::uint64_t ha = node_hash(kids[a]);
+                       const std::uint64_t hb = node_hash(kids[b]);
+                       return ha != hb ? ha < hb : kids[a] < kids[b];
+                     });
+    std::vector<NodeId> sorted;
+    sorted.reserve(kids.size());
+    for (const std::uint32_t written : order) sorted.push_back(kids[written]);
+    if (permutation != nullptr) {
+      for (std::uint32_t stored = 0; stored < order.size(); ++stored) {
+        (*permutation)[perm_base + order[stored]] = stored;
+      }
+    }
+    kids = std::move(sorted);
+  }
 
   const std::uint64_t hash = interior_hash(node.kind, kids);
   if (!buckets_.empty()) {
@@ -274,6 +314,42 @@ ast::NodePtr SharedForest::to_ast(NodeId id) const {
       break;
   }
   NCPS_ASSERT(false && "unreachable");
+}
+
+ast::NodePtr SharedForest::to_ast(
+    NodeId id, std::span<const std::uint32_t> permutation) const {
+  if (permutation.empty()) return to_ast(id);
+  std::size_t cursor = 0;
+  ast::NodePtr result = to_ast_permuted(id, permutation, cursor);
+  // The traversal consumes exactly one entry per written AND/OR child; a
+  // short or long blob means it belongs to a different root.
+  NCPS_ASSERT(cursor == permutation.size());
+  return result;
+}
+
+ast::NodePtr SharedForest::to_ast_permuted(
+    NodeId id, std::span<const std::uint32_t> permutation,
+    std::size_t& cursor) const {
+  if (kind(id) == ast::NodeKind::Leaf) {
+    return ast::leaf(leaf_predicate(id));
+  }
+  if (kind(id) == ast::NodeKind::Not) {
+    return ast::make_not(
+        to_ast_permuted(children(id).front(), permutation, cursor));
+  }
+  const std::span<const NodeId> stored = children(id);
+  NCPS_ASSERT(cursor + stored.size() <= permutation.size());
+  const std::span<const std::uint32_t> p =
+      permutation.subspan(cursor, stored.size());
+  cursor += stored.size();
+  std::vector<ast::NodePtr> kids;
+  kids.reserve(stored.size());
+  for (std::size_t written = 0; written < stored.size(); ++written) {
+    NCPS_ASSERT(p[written] < stored.size());
+    kids.push_back(to_ast_permuted(stored[p[written]], permutation, cursor));
+  }
+  return kind(id) == ast::NodeKind::And ? ast::make_and(std::move(kids))
+                                        : ast::make_or(std::move(kids));
 }
 
 void SharedForest::reclaim_quarantine() {

@@ -9,12 +9,25 @@
 // subscriptions sharing a subtree store it once and (with memoized phase-2
 // evaluation, see NonCanonicalEngine) evaluate it once per event.
 //
-// Node identity is *structural and order-preserving*: AND(a, b) and
-// AND(b, a) are distinct nodes (the subscription is kept exactly as
-// written; commutative normalisation is left to the engine's optional
-// covering-based root subsumption). Two subtrees intern to the same NodeId
-// iff they have the same kind, the same predicate (leaves) and the same
-// child NodeId sequence (interior nodes).
+// Node identity is *structural* and, by default, *order-preserving*:
+// AND(a, b) and AND(b, a) are distinct nodes (the subscription is kept
+// exactly as written; commutative normalisation is left to the engine's
+// optional covering-based root subsumption). Two subtrees intern to the
+// same NodeId iff they have the same kind, the same predicate (leaves) and
+// the same child NodeId sequence (interior nodes).
+//
+// An opt-in normalisation ladder (Normalisation, fixed at construction)
+// extends identity one rung: at SortedChildren, AND/OR children are
+// interned under a canonical order (structural hash, ties broken by node
+// id), so commuted forms — AND(a, b) vs AND(b, a) — collapse to one node.
+// Because Boolean connectives over side-effect-free predicates are
+// commutative, matching semantics are untouched; what *is* observable is
+// the as-written shape (introspection, covering probes, re-export), so
+// intern() can record a per-root *evaluation permutation* — for every
+// AND/OR node in pre-order of the written expression, the mapping from
+// written child position to stored (sorted) child index — and
+// to_ast(id, permutation) reconstructs the expression exactly as written
+// (DESIGN.md §1e).
 //
 // Storage is arena-backed and index-based: a dense Meta array (16 bytes per
 // node), one shared child-id arena, an intrusive hash table (bucket heads +
@@ -46,6 +59,7 @@
 #include <functional>
 #include <span>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +76,26 @@ class ForestLimitError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// How aggressively the forest canonicalises structure before interning.
+/// Fixed per forest at construction so node identity is uniform.
+enum class Normalisation : std::uint8_t {
+  /// Order-preserving identity: children intern exactly as written.
+  None,
+  /// AND/OR children intern under a canonical sort (structural hash, ties
+  /// broken by node id): commuted conjunctions/disjunctions share one node.
+  /// The written order survives in the per-root evaluation permutation
+  /// intern() hands back.
+  SortedChildren,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Normalisation n) {
+  switch (n) {
+    case Normalisation::None: return "none";
+    case Normalisation::SortedChildren: return "sorted";
+  }
+  return "?";
+}
+
 class SharedForest {
  public:
   using NodeId = std::uint32_t;
@@ -76,9 +110,15 @@ class SharedForest {
   using LeafHook = std::function<void(PredicateId)>;
 
   SharedForest() = default;
-  SharedForest(LeafHook on_leaf_created, LeafHook on_leaf_released)
+  explicit SharedForest(Normalisation normalisation)
+      : normalisation_(normalisation) {}
+  SharedForest(LeafHook on_leaf_created, LeafHook on_leaf_released,
+               Normalisation normalisation = Normalisation::None)
       : on_leaf_created_(std::move(on_leaf_created)),
-        on_leaf_released_(std::move(on_leaf_released)) {}
+        on_leaf_released_(std::move(on_leaf_released)),
+        normalisation_(normalisation) {}
+
+  [[nodiscard]] Normalisation normalisation() const { return normalisation_; }
 
   // NodeIds index dense side tables in the owning engine; the forest is
   // not copyable (hooks + identity).
@@ -93,7 +133,15 @@ class SharedForest {
   /// Intern `expression` bottom-up; returns the root with one caller-owned
   /// reference. Throws ForestLimitError on limit violations (checked before
   /// any mutation).
-  InternResult intern(const ast::Node& expression);
+  ///
+  /// Under Normalisation::SortedChildren, a non-null `permutation` receives
+  /// the root's evaluation permutation: for each AND/OR node in pre-order
+  /// of the *written* expression, child_count entries mapping written child
+  /// position -> stored (sorted) child index. to_ast(id, permutation)
+  /// reconstructs the expression exactly as written. Under None nothing is
+  /// recorded (stored order already is the written order).
+  InternResult intern(const ast::Node& expression,
+                      std::vector<std::uint32_t>* permutation = nullptr);
 
   void add_ref(NodeId id) {
     NCPS_DASSERT(id < metas_.size() && metas_[id].refs > 0);
@@ -142,6 +190,11 @@ class SharedForest {
   [[nodiscard]] bool is_live(NodeId id) const {
     return id < metas_.size() && metas_[id].refs > 0;
   }
+  /// True iff some interior node holds this node as a child — i.e. its
+  /// memoized truth can be consumed by an upward evaluation.
+  [[nodiscard]] bool has_parents(NodeId id) const {
+    return metas_[id].parent0 != kNoNode;
+  }
 
   /// The leaf node for a predicate, or kNoNode.
   [[nodiscard]] NodeId leaf_of(PredicateId pred) const {
@@ -161,8 +214,16 @@ class SharedForest {
     }
   }
 
-  /// Rebuild the subtree as a raw AST (no predicate-table references).
+  /// Rebuild the subtree as a raw AST (no predicate-table references), in
+  /// stored child order.
   [[nodiscard]] ast::NodePtr to_ast(NodeId id) const;
+
+  /// Rebuild the subtree exactly as written, undoing SortedChildren
+  /// interning through the evaluation permutation intern() recorded for
+  /// this root. An empty permutation degrades to stored order (correct for
+  /// Normalisation::None, where stored order *is* the written order).
+  [[nodiscard]] ast::NodePtr to_ast(
+      NodeId id, std::span<const std::uint32_t> permutation) const;
 
   // ---- sizing / lifecycle ----
 
@@ -202,7 +263,11 @@ class SharedForest {
            (static_cast<std::uint32_t>(static_truth) << 29);
   }
 
-  NodeId intern_node(const ast::Node& node);
+  NodeId intern_node(const ast::Node& node,
+                     std::vector<std::uint32_t>* permutation);
+  ast::NodePtr to_ast_permuted(NodeId id,
+                               std::span<const std::uint32_t> permutation,
+                               std::size_t& cursor) const;
   NodeId new_node();
   std::uint32_t alloc_children(std::size_t count);
   void free_children(std::uint32_t offset, std::size_t count);
@@ -219,6 +284,7 @@ class SharedForest {
 
   LeafHook on_leaf_created_;
   LeafHook on_leaf_released_;
+  Normalisation normalisation_ = Normalisation::None;
 
   std::vector<Meta> metas_;             // node arena, dense by NodeId
   std::vector<NodeId> child_arena_;     // all child-id slices

@@ -33,6 +33,8 @@ ChurnWorkload::ChurnWorkload(ChurnWorkloadConfig config,
   NCPS_EXPECTS(config.base_lifetime_events >= 1);
   NCPS_EXPECTS(config.duplicate_probability >= 0.0 &&
                config.duplicate_probability <= 1.0);
+  NCPS_EXPECTS(config.commute_probability >= 0.0 &&
+               config.commute_probability <= 1.0);
 }
 
 ChurnWorkload::Op ChurnWorkload::make_subscribe() {
@@ -47,12 +49,23 @@ ChurnWorkload::Op ChurnWorkload::make_subscribe() {
     // first text) is the hottest standing query.
     const std::size_t rank =
         duplicate_ranks_.sample(rng_) % duplicate_pool_.size();
-    op.text = duplicate_pool_[rank];
+    PoolEntry& entry = duplicate_pool_[rank];
+    if (config_.commute_probability > 0.0 &&
+        rng_.next_double() < config_.commute_probability) {
+      // Same interest, different spelling: shuffle AND/OR children. The
+      // pool entry keeps the predicates alive, so printing the raw clone
+      // needs no extra table references.
+      const ast::NodePtr commuted =
+          ast::clone_commuted(entry.expr.root(), rng_);
+      op.text = print_expression(*commuted, scratch_, *attrs_);
+    } else {
+      op.text = entry.text;
+    }
   } else {
-    const ast::Expr expr = generator_.next_subscription();
+    ast::Expr expr = generator_.next_subscription();
     op.text = print_expression(expr.root(), scratch_, *attrs_);
     if (duplicate_pool_.size() < config_.duplicate_pool_size) {
-      duplicate_pool_.push_back(op.text);
+      duplicate_pool_.push_back(PoolEntry{op.text, std::move(expr)});
     }
   }
   // Zipf rank r ⇒ lifetime (r+1) × base: rank 0 (the most likely under

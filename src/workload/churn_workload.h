@@ -60,6 +60,12 @@ struct ChurnWorkloadConfig {
   double duplicate_probability = 0.0;
   double duplicate_skew = 1.0;
   std::size_t duplicate_pool_size = 64;
+  /// Probability that a duplicate is emitted *commuted* — the same pool
+  /// expression with AND/OR children re-shuffled. Commuted duplicates are
+  /// semantically identical but structurally distinct as written, so only
+  /// Normalisation::SortedChildren forests share them; the lockstep suites
+  /// use this to stress the normalisation ladder.
+  double commute_probability = 0.0;
   /// Shape of the generated subscriptions and events.
   PaperWorkloadConfig subscriptions;
   std::uint64_t seed = 0xc452;
@@ -124,7 +130,14 @@ class ChurnWorkload {
   Pcg32 rng_;
   ZipfSampler lifetimes_;
   ZipfSampler duplicate_ranks_;
-  std::vector<std::string> duplicate_pool_;  // first distinct texts
+  /// First distinct texts; the parsed expression rides along (owning its
+  /// predicate references in scratch_) so commuted duplicates can be
+  /// re-printed from the tree rather than re-parsed from the text.
+  struct PoolEntry {
+    std::string text;
+    ast::Expr expr;
+  };
+  std::vector<PoolEntry> duplicate_pool_;
   std::priority_queue<Lease, std::vector<Lease>, std::greater<Lease>> live_;
   std::uint64_t next_handle_ = 0;
   std::uint64_t event_clock_ = 0;

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -35,10 +36,12 @@ using Delivery = std::tuple<std::uint32_t, std::uint32_t>;  // owner, sub id
 struct Config {
   EngineKind engine;
   std::size_t shards;
+  Normalisation normalisation = Normalisation::None;
 
   [[nodiscard]] std::string label() const {
     return std::string(to_string(engine)) + "/shards=" +
-           std::to_string(shards);
+           std::to_string(shards) + "/" +
+           std::string(to_string(normalisation));
   }
 };
 
@@ -52,8 +55,10 @@ const Config kConfigs[] = {
 struct Harness {
   explicit Harness(AttributeRegistry& attrs, const Config& config)
       : broker(std::make_unique<ShardedBroker>(
-            attrs, ShardedBrokerConfig{.shard_count = config.shards,
-                                       .engine = config.engine})) {}
+            attrs,
+            ShardedBrokerConfig{.shard_count = config.shards,
+                                .engine = config.engine,
+                                .normalisation = config.normalisation})) {}
 
   SubscriberId session() {
     return broker->register_subscriber([this](const Notification& n) {
@@ -181,14 +186,10 @@ TEST(ChurnFuzzTest, DifferentialInterleavingsAcrossConfigurations) {
 // engine and the unshared tree engine: a refcount bug (premature node free,
 // leaked root, stale chain link) surfaces as a notification-multiset
 // divergence or a non-empty teardown.
-TEST(ChurnFuzzTest, ZipfDuplicateSubscriptionsStayInLockstep) {
-  const Config duplicate_configs[] = {
-      {EngineKind::NonCanonical, 1},
-      {EngineKind::NonCanonical, 4},
-      {EngineKind::NonCanonicalTree, 1},
-      {EngineKind::Counting, 1},
-  };
-  for (const std::uint64_t seed : {0x811u, 0x922u}) {
+void run_duplicate_lockstep(std::span<const Config> configs,
+                            std::span<const std::uint64_t> seeds,
+                            double commute_probability) {
+  for (const std::uint64_t seed : seeds) {
     SCOPED_TRACE("seed=" + std::to_string(seed));
 
     AttributeRegistry attrs;
@@ -201,13 +202,14 @@ TEST(ChurnFuzzTest, ZipfDuplicateSubscriptionsStayInLockstep) {
     config.duplicate_probability = 0.8;  // structural overlap dominates
     config.duplicate_skew = 1.2;
     config.duplicate_pool_size = 12;
+    config.commute_probability = commute_probability;
     config.subscriptions.attribute_count = 10;
     config.subscriptions.domain_size = 1000;
     config.seed = seed;
     ChurnWorkload workload(config, attrs);
 
     std::vector<std::unique_ptr<Harness>> harnesses;
-    for (const Config& c : duplicate_configs) {
+    for (const Config& c : configs) {
       harnesses.push_back(std::make_unique<Harness>(attrs, c));
     }
     std::vector<std::vector<SubscriberId>> sessions(harnesses.size());
@@ -230,7 +232,7 @@ TEST(ChurnFuzzTest, ZipfDuplicateSubscriptionsStayInLockstep) {
             if (h == 0) {
               expected = id;
             } else {
-              ASSERT_EQ(id, expected) << duplicate_configs[h].label();
+              ASSERT_EQ(id, expected) << configs[h].label();
             }
           }
           by_handle.emplace(op.handle, expected);
@@ -241,7 +243,7 @@ TEST(ChurnFuzzTest, ZipfDuplicateSubscriptionsStayInLockstep) {
           by_handle.erase(op.handle);
           for (std::size_t h = 0; h < harnesses.size(); ++h) {
             ASSERT_TRUE(harnesses[h]->broker->unsubscribe(id))
-                << duplicate_configs[h].label();
+                << configs[h].label();
           }
           break;
         }
@@ -256,8 +258,8 @@ TEST(ChurnFuzzTest, ZipfDuplicateSubscriptionsStayInLockstep) {
               expected = harnesses[h]->log;
             } else {
               ASSERT_EQ(harnesses[h]->log, expected)
-                  << "diverged on " << duplicate_configs[h].label()
-                  << " at event " << events;
+                  << "diverged on " << configs[h].label() << " at event "
+                  << events;
             }
           }
           break;
@@ -275,15 +277,48 @@ TEST(ChurnFuzzTest, ZipfDuplicateSubscriptionsStayInLockstep) {
     }
     for (std::size_t h = 0; h < harnesses.size(); ++h) {
       ShardedBroker& broker = *harnesses[h]->broker;
-      EXPECT_EQ(broker.subscription_count(), 0u)
-          << duplicate_configs[h].label();
+      EXPECT_EQ(broker.subscription_count(), 0u) << configs[h].label();
       for (std::size_t s = 0; s < broker.shard_count(); ++s) {
         EXPECT_EQ(broker.shard_engine(s).predicate_table().size(), 0u)
-            << duplicate_configs[h].label() << " shard " << s
+            << configs[h].label() << " shard " << s
             << " leaked predicate references";
       }
     }
   }
+}
+
+TEST(ChurnFuzzTest, ZipfDuplicateSubscriptionsStayInLockstep) {
+  const Config duplicate_configs[] = {
+      {EngineKind::NonCanonical, 1},
+      {EngineKind::NonCanonical, 4},
+      {EngineKind::NonCanonicalTree, 1},
+      {EngineKind::Counting, 1},
+  };
+  const std::uint64_t seeds[] = {0x811u, 0x922u};
+  run_duplicate_lockstep(duplicate_configs, seeds,
+                         /*commute_probability=*/0.0);
+}
+
+// The normalisation axis: the same heavy-duplication churn, but most
+// duplicates arrive *commuted* (AND/OR children re-shuffled). The sorted
+// forest shares them by identity, the order-preserving forest through its
+// covering probes, and the tree/counting engines not at all — any
+// divergence in notification multisets or teardown emptiness pins a
+// normalisation bug (wrong canonical order, stale permutation, recycled
+// slot) to the one configuration that disagrees.
+TEST(ChurnFuzzTest, CommutedDuplicatesStayInLockstepAcrossNormalisations) {
+  const Config commuted_configs[] = {
+      {EngineKind::NonCanonical, 1, Normalisation::SortedChildren},
+      {EngineKind::NonCanonical, 4, Normalisation::SortedChildren},
+      {EngineKind::NonCanonical, 1, Normalisation::None},
+      {EngineKind::NonCanonicalTree, 1},
+      {EngineKind::NonCanonicalTree, 4},
+      {EngineKind::Counting, 1},
+      {EngineKind::Counting, 4},
+  };
+  const std::uint64_t seeds[] = {0xa31u, 0xb42u};
+  run_duplicate_lockstep(commuted_configs, seeds,
+                         /*commute_probability=*/0.75);
 }
 
 // ---- Concurrent churn --------------------------------------------------

@@ -128,6 +128,30 @@ TEST(EpochSetTest, ManyEpochsStayCorrect) {
   EXPECT_FALSE(set.contains(0));
 }
 
+TEST(EpochSetTest, EpochWrapZeroesStaleStamps) {
+  // After ~4G clears the 32-bit epoch wraps; the wrap path must zero the
+  // stamp array so stale stamps from earlier epochs cannot alias the new
+  // epoch values. Driven through the test hook instead of 4G clears.
+  EpochSet set(8);
+  set.insert(3);
+  set.insert(5);
+  set.jump_epoch_for_test(~0u);  // stale stamps are now far behind
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_FALSE(set.contains(5));
+  set.insert(7);  // stamped with the max epoch
+  EXPECT_TRUE(set.contains(7));
+  set.clear();  // wraps: zero-fill, epoch restarts at 1
+  EXPECT_EQ(set.epoch(), 1u);
+  for (std::uint32_t id = 0; id < 8; ++id) {
+    EXPECT_FALSE(set.contains(id)) << id;
+  }
+  // Post-wrap inserts behave like a fresh set.
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_FALSE(set.insert(3));
+  set.clear();
+  EXPECT_FALSE(set.contains(3));
+}
+
 TEST(ArenaTest, AllocationsAreAlignedAndDistinct) {
   Arena arena;
   void* a = arena.allocate(10, 8);

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
+#include "broker/sharded_broker.h"
 #include "subscription/parser.h"
 #include "test_util.h"
 
@@ -186,6 +189,131 @@ TEST_F(SharedForestTest, CompactionPreservesStructure) {
   }
 }
 
+// ---- Normalisation ladder ----------------------------------------------
+
+class SortedForestTest : public ::testing::Test {
+ protected:
+  SortedForestTest()
+      : forest_([](PredicateId) {}, [](PredicateId) {},
+                Normalisation::SortedChildren) {}
+
+  ast::Expr parse(std::string_view text) {
+    return parse_subscription(text, attrs_, table_);
+  }
+
+  AttributeRegistry attrs_;
+  PredicateTable table_;
+  SharedForest forest_;
+};
+
+TEST_F(SortedForestTest, CommutedConjunctionsInternToOneNode) {
+  const ast::Expr ab = parse("a == 1 and b == 2");
+  const ast::Expr ba = parse("b == 2 and a == 1");
+  const auto r1 = forest_.intern(ab.root());
+  const auto r2 = forest_.intern(ba.root());
+  EXPECT_TRUE(r1.created);
+  EXPECT_FALSE(r2.created);  // commuted spelling: same canonical node
+  EXPECT_EQ(r1.id, r2.id);
+  EXPECT_EQ(forest_.live_nodes(), 3u);  // 2 leaves + 1 AND
+  EXPECT_EQ(forest_.ref_count(r1.id), 2u);
+}
+
+TEST_F(SortedForestTest, NestedCommutedFormsCollapse) {
+  // Commuting both the OR groups and the AND over them must still land on
+  // one node — canonicalisation is bottom-up.
+  const ast::Expr e1 = parse("(a == 1 or b == 2) and (c == 3 or d == 4)");
+  const ast::Expr e2 = parse("(d == 4 or c == 3) and (b == 2 or a == 1)");
+  const NodeId r1 = forest_.intern(e1.root()).id;
+  const auto r2 = forest_.intern(e2.root());
+  EXPECT_FALSE(r2.created);
+  EXPECT_EQ(r1, r2.id);
+  EXPECT_EQ(forest_.live_nodes(), 7u);  // 4 leaves + 2 ORs + 1 AND
+}
+
+TEST_F(SortedForestTest, DistinctStructuresStayDistinct) {
+  // Sorting is not flattening or semantic rewriting: AND vs OR, and
+  // different predicate multisets, keep distinct identity.
+  const NodeId and_root =
+      forest_.intern(parse("a == 1 and b == 2").root()).id;
+  const NodeId or_root = forest_.intern(parse("a == 1 or b == 2").root()).id;
+  EXPECT_NE(and_root, or_root);
+  const auto duplicated =
+      forest_.intern(parse("a == 1 and a == 1 and b == 2").root());
+  EXPECT_TRUE(duplicated.created);
+  EXPECT_NE(duplicated.id, and_root);
+}
+
+TEST_F(SortedForestTest, EvaluationPermutationRestoresWrittenOrder) {
+  const ast::Expr written =
+      parse("(d == 4 or c == 3) and (b == 2 or a == 1) and e == 5");
+  std::vector<std::uint32_t> perm;
+  const NodeId root = forest_.intern(written.root(), &perm).id;
+  // Stored form is canonical — generally NOT the written order...
+  // ...but the permutation restores the expression exactly as written.
+  const ast::NodePtr restored = forest_.to_ast(root, perm);
+  EXPECT_TRUE(ast::equal(written.root(), *restored));
+
+  // A commuted respelling interns to the same node with a different
+  // permutation; both reconstruct their own written order.
+  const ast::Expr respelled =
+      parse("e == 5 and (a == 1 or b == 2) and (c == 3 or d == 4)");
+  std::vector<std::uint32_t> perm2;
+  const auto r2 = forest_.intern(respelled.root(), &perm2);
+  EXPECT_EQ(r2.id, root);
+  EXPECT_TRUE(ast::equal(respelled.root(), *forest_.to_ast(root, perm2)));
+  EXPECT_NE(perm, perm2);
+}
+
+TEST_F(SortedForestTest, PermutationHandlesNotAndDuplicateChildren) {
+  const ast::Expr written = parse("not (b == 2 and a == 1) or a == 1");
+  std::vector<std::uint32_t> perm;
+  const NodeId root = forest_.intern(written.root(), &perm).id;
+  EXPECT_TRUE(ast::equal(written.root(), *forest_.to_ast(root, perm)));
+
+  // AND(p, p): duplicate children survive the stable sort with their
+  // multiplicity intact.
+  std::vector<ast::NodePtr> kids;
+  kids.push_back(ast::leaf(PredicateId(3)));
+  kids.push_back(ast::leaf(PredicateId(3)));
+  const ast::NodePtr dup = ast::make_and(std::move(kids));
+  std::vector<std::uint32_t> dup_perm;
+  const NodeId dup_root = forest_.intern(*dup, &dup_perm).id;
+  EXPECT_EQ(forest_.ref_count(forest_.children(dup_root).front()), 2u);
+  EXPECT_TRUE(ast::equal(*dup, *forest_.to_ast(dup_root, dup_perm)));
+}
+
+TEST_F(SortedForestTest, PermutationIsStableAcrossReleaseAndReintern) {
+  // Node ids feed the canonical sort key only as a tie-breaker behind the
+  // structural hash, so releasing and re-interning (with different slot
+  // assignments) must still converge: the same expression always lands on
+  // a structurally identical node and a valid permutation.
+  const ast::Expr written =
+      parse("(x == 9 or y == 8) and (a == 1 or b == 2) and c == 3");
+  std::vector<std::uint32_t> perm;
+  const NodeId first = forest_.intern(written.root(), &perm).id;
+  const ast::NodePtr restored_first = forest_.to_ast(first, perm);
+  forest_.release(first);
+  forest_.reclaim_quarantine();
+  // Interleave another expression so slot assignment shifts.
+  const ast::Expr other = parse("z == 7 and w == 6");
+  const NodeId keep = forest_.intern(other.root()).id;
+  std::vector<std::uint32_t> perm2;
+  const NodeId second = forest_.intern(written.root(), &perm2).id;
+  EXPECT_TRUE(ast::equal(*restored_first, *forest_.to_ast(second, perm2)));
+  forest_.release(keep);
+  forest_.release(second);
+  EXPECT_EQ(forest_.live_nodes(), 0u);
+}
+
+TEST_F(SharedForestTest, NoneNormalisationRecordsNoPermutation) {
+  std::vector<std::uint32_t> perm{99};  // stale garbage must be cleared
+  const ast::Expr e = parse("b == 2 and a == 1");
+  const NodeId root = forest_.intern(e.root(), &perm).id;
+  EXPECT_TRUE(perm.empty());
+  // Empty permutation degrades to stored order == written order.
+  EXPECT_TRUE(ast::equal(e.root(), *forest_.to_ast(root, perm)));
+}
+
 TEST_F(SharedForestTest, ValidateLimitsRejectsOversizedTrees) {
   std::vector<ast::NodePtr> kids;
   for (std::size_t i = 0; i < SharedForest::kMaxChildren + 1; ++i) {
@@ -202,6 +330,104 @@ TEST_F(SharedForestTest, ValidateLimitsRejectsOversizedTrees) {
   }
   EXPECT_THROW(SharedForest::validate_limits(*deep), ForestLimitError);
 }
+
+// ---- Quarantine lifecycle under concurrent matching --------------------
+//
+// Unsubscribe + immediate re-subscribe of a structurally identical filter
+// makes the engine release a root into quarantine and re-intern the same
+// structure on the next add — the exact window where a recycled node slot
+// could leak truth across the removal fence. A publisher hammers
+// match_batch the whole time (run this under TSan: the CI concurrency job
+// includes this binary); the assertions check that a fenced subscription
+// id is never notified after its removal generation has applied, at every
+// normalisation level.
+class QuarantineReuseRace
+    : public ::testing::TestWithParam<Normalisation> {};
+
+TEST_P(QuarantineReuseRace, UnsubResubIdenticalFilterDuringMatchBatch) {
+  AttributeRegistry attrs;
+  ShardedBroker broker(attrs,
+                       ShardedBrokerConfig{.shard_count = 2,
+                                           .engine = EngineKind::NonCanonical,
+                                           .normalisation = GetParam()});
+
+  // fenced_id is only trusted by the callback after `fenced` was released
+  // by the control thread (store-release / load-acquire pairing).
+  std::atomic<std::uint32_t> fenced_id{SubscriptionId::invalid().value()};
+  std::atomic<bool> fenced{false};
+  std::atomic<std::size_t> violations{0};
+  std::atomic<std::size_t> delivered{0};
+  const SubscriberId session =
+      broker.register_subscriber([&](const Notification& n) {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+        if (fenced.load(std::memory_order_acquire) &&
+            n.subscription.value() ==
+                fenced_id.load(std::memory_order_relaxed)) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+  // A standing subscription keeps the forest non-trivial and guarantees
+  // matching work is in flight during every fenced window.
+  const SubscriptionId standing = broker.subscribe(session, "price exists");
+
+  const Event event =
+      EventBuilder(attrs).set("price", 42).set("qty", 7).build();
+  std::vector<Event> batch(8, event);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> pumped{0};
+  std::thread publisher([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      broker.publish_batch(std::span<const Event>(batch.data(), batch.size()));
+      pumped.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  // The two spellings intern to one node under SortedChildren (so the
+  // recycled slot is re-interned with identical structure) and to two
+  // nodes under None (so slots churn); both must stay fenced.
+  const char* kTexts[] = {"price > 10 and qty > 0", "qty > 0 and price > 10"};
+  for (int round = 0; round < 40; ++round) {
+    const SubscriptionId id = broker.subscribe(session, kTexts[round % 2]);
+    fenced_id.store(id.value(), std::memory_order_relaxed);
+    ASSERT_TRUE(broker.unsubscribe(id));
+    // quiesce() is the removal fence: once it returns, no notification may
+    // carry the retired id until the broker legitimately reuses the value.
+    broker.quiesce();
+    fenced.store(true, std::memory_order_release);
+    // Let the publisher push several whole batches through the fenced
+    // window while the quarantined forest slots await reclamation.
+    const std::uint64_t mark = pumped.load(std::memory_order_acquire);
+    while (pumped.load(std::memory_order_acquire) < mark + 4) {
+      std::this_thread::yield();
+    }
+    // Close the window before re-subscribing: the broker may hand the
+    // retired id value back out once its reuse conditions pass. The
+    // control-thread store is ordered before the subscribe command, which
+    // is ordered (queue + shard mutex) before any batch that can match the
+    // replacement, so the callback can never see fenced == true together
+    // with a replacement notification.
+    fenced.store(false, std::memory_order_release);
+    // Structurally identical re-subscribe: the engine reclaims the
+    // quarantined slots of the removal above while the publisher is
+    // mid-batch.
+    const SubscriptionId replacement =
+        broker.subscribe(session, kTexts[round % 2]);
+    ASSERT_TRUE(broker.unsubscribe(replacement));
+    broker.quiesce();
+  }
+  stop.store(true, std::memory_order_release);
+  publisher.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(delivered.load(), 0u);
+  ASSERT_TRUE(broker.unsubscribe(standing));
+  EXPECT_EQ(broker.subscription_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNormalisations, QuarantineReuseRace,
+                         ::testing::Values(Normalisation::None,
+                                           Normalisation::SortedChildren));
 
 }  // namespace
 }  // namespace ncps
