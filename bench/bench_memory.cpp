@@ -178,6 +178,63 @@ int main() {
     if (predicates == 10) claim_holds = ratio_a >= 4.0;
   }
 
+  // Posting compression, both layers: phase-1 compressed posting lists vs
+  // one std::vector per list (PR 6 target: ratio <= 0.6), and the phase-2
+  // chunked association store vs the same vector baseline.
+  {
+    AttributeRegistry attrs;
+    PredicateTable table;
+    PaperWorkloadConfig config;
+    config.seed = 0xb6;
+    PaperWorkload workload(config, attrs, table);
+    EngineTrio engines(table);
+    for (std::size_t i = 0; i < 20000; ++i) {
+      engines.add(workload.next_subscription().root());
+    }
+    engines.non_canonical.compact_storage();
+
+    const PostingList::Stats p1 =
+        engines.non_canonical.predicate_index().posting_stats();
+    const double p1_ratio =
+        p1.baseline_bytes == 0
+            ? 1.0
+            : static_cast<double>(p1.bytes) /
+                  static_cast<double>(p1.baseline_bytes);
+    const bool p1_ok = p1_ratio <= 0.6;
+    std::printf("# phase-1 postings: %zu lists, %zu entries, %zu B vs %zu B "
+                "uncompressed (ratio %.3f, target <= 0.6): %s\n",
+                p1.lists, p1.entries, p1.bytes, p1.baseline_bytes, p1_ratio,
+                p1_ok ? "PASS" : "FAIL");
+    JsonRow("memory_postings")
+        .field("layer", "phase1")
+        .field("lists", p1.lists)
+        .field("entries", p1.entries)
+        .field("bytes", p1.bytes)
+        .field("baseline_bytes", p1.baseline_bytes)
+        .field("ratio", p1_ratio)
+        .field("verdict", p1_ok ? "PASS" : "FAIL")
+        .emit();
+    if (!p1_ok) claim_holds = false;
+
+    const PostingStore::Stats p2 = engines.non_canonical.assoc_stats();
+    const double p2_ratio =
+        p2.baseline_bytes == 0
+            ? 1.0
+            : static_cast<double>(p2.bytes) /
+                  static_cast<double>(p2.baseline_bytes);
+    std::printf("# phase-2 association: %zu lists, %zu entries, %zu B vs "
+                "%zu B vector baseline (ratio %.3f)\n",
+                p2.lists, p2.entries, p2.bytes, p2.baseline_bytes, p2_ratio);
+    JsonRow("memory_postings")
+        .field("layer", "phase2_assoc")
+        .field("lists", p2.lists)
+        .field("entries", p2.entries)
+        .field("bytes", p2.bytes)
+        .field("baseline_bytes", p2.baseline_bytes)
+        .field("ratio", p2_ratio)
+        .emit();
+  }
+
   std::printf("# paper claim at |p|=10: non-canonical handles >4x the "
               "subscriptions of the counting approach (phase-2 model): %s\n",
               claim_holds ? "HOLDS" : "FAILS");

@@ -68,4 +68,17 @@ if [ -s "$sharing_json" ] && ! grep -q '"normalisation"' "$sharing_json"; then
   echo "error: BENCH_sharing.json lacks the \"normalisation\" column" >&2
   status=1
 fi
+
+# Schema guard: bench_phase1 rows must carry the naive-vs-indexed speedup and
+# the posting-compression ratio — the two columns the phase-1 overhaul's
+# acceptance thresholds are scraped from.
+phase1_json="$repo_root/BENCH_phase1.json"
+if [ -s "$phase1_json" ]; then
+  for col in '"speedup"' '"ratio"' '"parallel_seconds"'; do
+    if ! grep -q "$col" "$phase1_json"; then
+      echo "error: BENCH_phase1.json lacks the $col column" >&2
+      status=1
+    fi
+  done
+fi
 exit "$status"

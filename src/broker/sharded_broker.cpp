@@ -230,6 +230,93 @@ SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
   return global;
 }
 
+std::vector<SubscriptionId> ShardedBroker::subscribe_bulk(
+    SubscriberId subscriber, std::span<const std::string> texts) {
+  std::vector<SubscriptionId> out;
+  if (texts.empty()) return out;
+
+  // Parse and validate everything on the calling thread before touching any
+  // broker state: a ParseError (or DNF-explosion error from a canonicalising
+  // engine) is synchronous and registers nothing. validate() depends only on
+  // the engine's configuration, identical across shards, so shard 0 stands
+  // in for whichever shard each subscription lands on.
+  std::vector<parser_detail::RawNodePtr> raws;
+  raws.reserve(texts.size());
+  for (const std::string& text : texts) raws.push_back(parse_raw(text, *attrs_));
+  {
+    PredicateTable scratch;
+    for (const parser_detail::RawNodePtr& raw : raws) {
+      const ast::Expr expr = intern_tree(*raw, scratch);
+      shards_[0]->engine->validate(expr.root(), scratch);
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  NCPS_EXPECTS(subscriptions_by_subscriber_.contains(subscriber));
+
+  // Route every subscription and commit the control-plane bookkeeping up
+  // front — application can no longer fail, exactly as for queued commands.
+  std::vector<std::vector<BulkSubscribeItem>> per_shard(shards_.size());
+  out.reserve(texts.size());
+  for (parser_detail::RawNodePtr& raw : raws) {
+    const std::uint32_t s = router_.route(subscriber, subscribe_sequence_);
+    ++subscribe_sequence_;
+    const SubscriptionId global = allocate_global_locked();
+    routes_[global.value()] = Route{s, subscriber, /*live=*/true};
+    subscriptions_by_subscriber_[subscriber].push_back(global);
+    per_shard[s].push_back(BulkSubscribeItem{global, subscriber, std::move(raw)});
+    out.push_back(global);
+  }
+
+  // One temporary pool serves every shard applied inline from this call; it
+  // exists only while large batches are being built (the broker's own pool_
+  // may be mid-parallel_for on the data plane, and ThreadPool joins are
+  // pool-global, so sharing it would entangle the two).
+  std::unique_ptr<ThreadPool> build_pool;
+  const auto build_pool_for = [&](std::size_t items) -> ThreadPool* {
+    if (items < kBulkBuildParallelThreshold) return nullptr;
+    if (build_pool == nullptr) {
+      const std::size_t hw = std::thread::hardware_concurrency();
+      build_pool = std::make_unique<ThreadPool>(
+          std::min<std::size_t>(hw == 0 ? 1 : hw, 8));
+    }
+    return build_pool.get();
+  };
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const std::uint64_t generation =
+        issue_generation_.load(std::memory_order_relaxed) + 1;
+    std::unique_lock<std::mutex> shard_lock(shard.mutex, std::try_to_lock);
+    if (shard_lock.owns_lock()) {
+      drain_shard(shard);
+      // Pre-size the shard's predicate table for the incoming batch (a few
+      // predicates per subscription; over-reserving only rounds up to what
+      // vector growth would have allocated anyway).
+      shard.table.reserve(shard.table.id_bound() + per_shard[s].size() * 4);
+      shard.engine->begin_bulk_load();
+      for (const BulkSubscribeItem& item : per_shard[s]) {
+        apply_subscribe(shard, item.global, item.owner, *item.raw);
+      }
+      shard.engine->finish_bulk_load(build_pool_for(per_shard[s].size()));
+      issue_generation_.store(generation, std::memory_order_release);
+      shard.fence.advance(generation);
+    } else {
+      // Shard busy matching: one command carries the whole batch; the next
+      // drain applies it with the same bulk-load window (sequential build —
+      // the drainer may be a pool worker, and nesting pool joins deadlocks).
+      ShardCommand command;
+      command.kind = ShardCommand::Kind::BulkSubscribe;
+      command.bulk = std::move(per_shard[s]);
+      command.generation = generation;
+      shard.commands.push(std::move(command));
+      issue_generation_.store(generation, std::memory_order_release);
+    }
+  }
+  return out;
+}
+
 void ShardedBroker::issue_unsubscribe_locked(SubscriptionId global,
                                              const Route& route) {
   Shard& shard = *shards_[route.shard];
@@ -299,10 +386,20 @@ void ShardedBroker::drain_shard(Shard& shard) {
 }
 
 void ShardedBroker::apply_command(Shard& shard, ShardCommand&& command) {
-  if (command.kind == ShardCommand::Kind::Subscribe) {
-    apply_subscribe(shard, command.global, command.owner, *command.raw);
-  } else {
-    apply_unsubscribe(shard, command.global);
+  switch (command.kind) {
+    case ShardCommand::Kind::Subscribe:
+      apply_subscribe(shard, command.global, command.owner, *command.raw);
+      break;
+    case ShardCommand::Kind::Unsubscribe:
+      apply_unsubscribe(shard, command.global);
+      break;
+    case ShardCommand::Kind::BulkSubscribe:
+      shard.engine->begin_bulk_load();
+      for (const BulkSubscribeItem& item : command.bulk) {
+        apply_subscribe(shard, item.global, item.owner, *item.raw);
+      }
+      shard.engine->finish_bulk_load(nullptr);
+      break;
   }
   shard.fence.advance(command.generation);
 }

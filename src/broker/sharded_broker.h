@@ -141,6 +141,19 @@ class ShardedBroker {
   /// after this returns.
   SubscriptionId subscribe(SubscriberId subscriber, std::string_view text);
 
+  /// Register many subscriptions for one subscriber in a single control
+  /// operation. Semantics match subscribe() called once per element (same
+  /// shard placement, same error behaviour — all texts are parsed and
+  /// validated before any state changes, so a throw registers nothing), but
+  /// each shard builds its phase-1 index in bulk: predicate registration is
+  /// deferred across the shard's whole batch and handed to
+  /// PredicateIndex::bulk_load, partitioned by attribute and (for large
+  /// batches applied inline) built on a temporary thread pool. Shards busy
+  /// with a batch receive one queued BulkSubscribe command instead of N
+  /// Subscribe commands. Thread-safe. Returns the new ids in input order.
+  std::vector<SubscriptionId> subscribe_bulk(
+      SubscriberId subscriber, std::span<const std::string> texts);
+
   /// Remove one subscription. Returns false if unknown or already removed.
   /// Thread-safe. On return the removal is issued: batches starting after
   /// every shard passes control_generation() (see wait_applied/quiesce)
@@ -232,14 +245,22 @@ class ShardedBroker {
     SubscriberId owner;
   };
 
+  /// One subscription of a bulk registration bound for one shard.
+  struct BulkSubscribeItem {
+    SubscriptionId global;
+    SubscriberId owner;
+    parser_detail::RawNodePtr raw;
+  };
+
   /// A control-plane operation bound for one shard's engine.
   struct ShardCommand {
-    enum class Kind : std::uint8_t { Subscribe, Unsubscribe };
+    enum class Kind : std::uint8_t { Subscribe, Unsubscribe, BulkSubscribe };
     Kind kind = Kind::Subscribe;
     SubscriptionId global;
-    SubscriberId owner;                // Subscribe
-    parser_detail::RawNodePtr raw;     // Subscribe: pre-parsed tree
-    std::uint64_t generation = 0;      // broker-wide issue generation
+    SubscriberId owner;                    // Subscribe
+    parser_detail::RawNodePtr raw;         // Subscribe: pre-parsed tree
+    std::vector<BulkSubscribeItem> bulk;   // BulkSubscribe
+    std::uint64_t generation = 0;          // broker-wide issue generation
   };
 
   /// One engine shard: exclusive table + engine + per-batch match buffer +
@@ -295,6 +316,11 @@ class ShardedBroker {
   };
 
   static constexpr std::uint64_t kAcceptedUnset = ~std::uint64_t{0};
+
+  /// Inline bulk-subscribe batches at least this large build their phase-1
+  /// index on a temporary thread pool; smaller ones build sequentially
+  /// (thread spin-up would cost more than it saves).
+  static constexpr std::size_t kBulkBuildParallelThreshold = 512;
 
   class ShardSink;
   using CallbackMap = std::unordered_map<SubscriberId, NotifyFn>;

@@ -69,6 +69,12 @@ class CountingBase : public FilterEngine {
 
   [[nodiscard]] MemoryBreakdown memory() const override;
 
+  /// Chunked posting accounting for the predicate→tid association table
+  /// (BENCH_memory's phase-2 compression row).
+  [[nodiscard]] PostingStore::Stats assoc_stats() const {
+    return assoc_.stats();
+  }
+
   void compact_storage() override;
 
  protected:

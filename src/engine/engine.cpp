@@ -21,6 +21,23 @@ class VectorSink final : public MatchSink {
 
 }  // namespace
 
+void FilterEngine::finish_bulk_load(ThreadPool* pool) {
+  NCPS_EXPECTS(bulk_loading_);
+  bulk_loading_ = false;
+  std::vector<PredicateIndex::BulkEntry> entries;
+  entries.reserve(pending_ids_.size());
+  for (const PredicateId id : pending_ids_) {
+    pending_index_add_[id.value()] = 0;
+    // Acquired-then-fully-released predicates were never indexed; skip them.
+    if (use_count_[id.value()] > 0) {
+      entries.push_back(PredicateIndex::BulkEntry{id, &table_->get(id)});
+    }
+  }
+  pending_ids_.clear();
+  pending_index_add_.clear();
+  index_.bulk_load(entries, pool);
+}
+
 void FilterEngine::match_predicates(std::span<const PredicateId> fulfilled,
                                     std::vector<SubscriptionId>& out) {
   VectorSink sink(out);

@@ -114,6 +114,22 @@ class FilterEngine {
   /// results streamed into `sink`.
   virtual void match_batch(std::span<const Event> events, MatchSink& sink);
 
+  /// Enter bulk-load mode: until finish_bulk_load(), predicates newly
+  /// acquired by add() are NOT registered with the phase-1 index one by one;
+  /// they are queued and handed to PredicateIndex::bulk_load in one batch.
+  /// Matching between begin and finish sees none of the pending predicates,
+  /// so callers must not publish through this engine mid-bulk (the broker
+  /// holds the shard lock across the whole window).
+  void begin_bulk_load() {
+    NCPS_EXPECTS(!bulk_loading_);
+    bulk_loading_ = true;
+  }
+
+  /// Leave bulk-load mode, building the phase-1 index for every predicate
+  /// still in use (pool may be null for a sequential build). After this the
+  /// engine matches exactly as if every add() had run outside bulk mode.
+  void finish_bulk_load(ThreadPool* pool);
+
   [[nodiscard]] virtual std::size_t subscription_count() const = 0;
   [[nodiscard]] virtual MemoryBreakdown memory() const = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;
@@ -138,7 +154,19 @@ class FilterEngine {
     table_->add_ref(id);
     if (id.value() >= use_count_.size()) use_count_.resize(id.value() + 1, 0);
     if (use_count_[id.value()]++ == 0) {
-      index_.add(id, table_->get(id));
+      if (bulk_loading_) {
+        // Defer index registration to finish_bulk_load. The pending flag
+        // dedupes 0→1→0→1 flutter within one bulk window.
+        if (id.value() >= pending_index_add_.size()) {
+          pending_index_add_.resize(id.value() + 1, 0);
+        }
+        if (!pending_index_add_[id.value()]) {
+          pending_index_add_[id.value()] = 1;
+          pending_ids_.push_back(id);
+        }
+      } else {
+        index_.add(id, table_->get(id));
+      }
     }
   }
 
@@ -147,7 +175,12 @@ class FilterEngine {
   void release_predicate(PredicateId id) {
     NCPS_ASSERT(id.value() < use_count_.size() && use_count_[id.value()] > 0);
     if (--use_count_[id.value()] == 0) {
-      index_.remove(id, table_->get(id));
+      // A predicate whose registration is still pending was never added to
+      // the index; finish_bulk_load filters it out via the use count.
+      if (!(bulk_loading_ && id.value() < pending_index_add_.size() &&
+            pending_index_add_[id.value()])) {
+        index_.remove(id, table_->get(id));
+      }
     }
     table_->release(id);
   }
@@ -162,6 +195,12 @@ class FilterEngine {
   std::vector<std::uint32_t> use_count_;  // engine-local uses per predicate id
 
  private:
+  // Bulk-load state: predicates whose first engine-local use happened while
+  // bulk_loading_ (index registration deferred to finish_bulk_load).
+  bool bulk_loading_ = false;
+  std::vector<PredicateId> pending_ids_;
+  std::vector<std::uint8_t> pending_index_add_;  // dense by predicate id
+
   std::vector<PredicateId> fulfilled_scratch_;
   // Batch scratch: all events' fulfilled sets concatenated + slice bounds.
   std::vector<PredicateId> batch_fulfilled_;

@@ -96,6 +96,12 @@ class NonCanonicalTreeEngine final : public FilterEngine {
   /// Events observed since statistics were enabled.
   [[nodiscard]] std::uint64_t observed_events() const { return events_seen_; }
 
+  /// Chunked posting accounting for the predicate→subscription association
+  /// table (BENCH_memory's phase-2 compression row).
+  [[nodiscard]] PostingStore::Stats assoc_stats() const {
+    return assoc_.stats();
+  }
+
  private:
   /// The one phase-2 matching loop, emitting into the sink adapter.
   template <typename Emit>

@@ -130,6 +130,29 @@ class PostingStore {
            free_chunks_.capacity() * sizeof(std::uint32_t);
   }
 
+  /// Aggregate accounting (the phase-2 analogue of PostingList::Stats):
+  /// resident chunked bytes vs what one std::vector per non-empty list
+  /// would hold. BENCH_memory reports both layers' ratios side by side.
+  struct Stats {
+    std::size_t lists = 0;  ///< non-empty lists
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t baseline_bytes = 0;
+  };
+
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    for (const Head& head : heads_) {
+      if (head.count == 0) continue;
+      ++s.lists;
+      s.entries += head.count;
+      s.baseline_bytes += sizeof(std::vector<std::uint32_t>) +
+                          head.count * sizeof(std::uint32_t);
+    }
+    s.bytes = memory_bytes();
+    return s;
+  }
+
   /// Release growth slack (steady-state footprint after a bulk load).
   void shrink_to_fit() {
     heads_.shrink_to_fit();

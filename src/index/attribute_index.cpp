@@ -33,18 +33,6 @@ Slot classify(const Predicate& p) {
 
 }  // namespace
 
-bool AttributeIndex::erase_from(std::vector<PredicateId>& list,
-                                PredicateId id) {
-  for (std::size_t i = 0; i < list.size(); ++i) {
-    if (list[i] == id) {
-      list[i] = list.back();
-      list.pop_back();
-      return true;
-    }
-  }
-  return false;
-}
-
 void AttributeIndex::add(PredicateId id, const Predicate& p) {
   switch (classify(p)) {
     case Slot::Eq:
@@ -54,33 +42,33 @@ void AttributeIndex::add(PredicateId id, const Predicate& p) {
     case Slot::Upper: {
       RangePostings* postings = upper_bounds_.try_emplace(p.lo.numeric()).first;
       (p.op == Operator::Lt ? postings->strict : postings->inclusive)
-          .push_back(id);
+          .add(id.value());
       ++indexed_count_;
       return;
     }
     case Slot::Lower: {
       RangePostings* postings = lower_bounds_.try_emplace(p.lo.numeric()).first;
       (p.op == Operator::Gt ? postings->strict : postings->inclusive)
-          .push_back(id);
+          .add(id.value());
       ++indexed_count_;
       return;
     }
     case Slot::Between: {
-      auto* list = between_.try_emplace(p.lo.numeric()).first;
-      list->push_back(IntervalPosting{p.hi.numeric(), id});
+      IntervalRun* run = between_.try_emplace(p.lo.numeric()).first;
+      run->insert(p.hi.numeric(), id);
       ++indexed_count_;
       return;
     }
     case Slot::Prefix:
-      prefix_[p.lo.as_string()].push_back(id);
+      prefix_.add(p.lo, id);
       ++indexed_count_;
       return;
     case Slot::Exists:
-      exists_.push_back(id);
+      exists_.add(id.value());
       ++indexed_count_;
       return;
     case Slot::Scan:
-      scan_.push_back(id);
+      scan_.add(id.value());
       return;
   }
 }
@@ -98,7 +86,8 @@ bool AttributeIndex::remove(PredicateId id, const Predicate& p) {
       RangePostings* postings = tree.find(p.lo.numeric());
       if (postings == nullptr) return false;
       const bool strict = p.op == Operator::Lt || p.op == Operator::Gt;
-      if (!erase_from(strict ? postings->strict : postings->inclusive, id)) {
+      if (!(strict ? postings->strict : postings->inclusive)
+               .remove(id.value())) {
         return false;
       }
       if (postings->empty()) tree.erase(p.lo.numeric());
@@ -106,32 +95,22 @@ bool AttributeIndex::remove(PredicateId id, const Predicate& p) {
       return true;
     }
     case Slot::Between: {
-      auto* list = between_.find(p.lo.numeric());
-      if (list == nullptr) return false;
-      for (std::size_t i = 0; i < list->size(); ++i) {
-        if ((*list)[i].id == id) {
-          (*list)[i] = list->back();
-          list->pop_back();
-          if (list->empty()) between_.erase(p.lo.numeric());
-          --indexed_count_;
-          return true;
-        }
-      }
-      return false;
-    }
-    case Slot::Prefix: {
-      auto it = prefix_.find(p.lo.as_string());
-      if (it == prefix_.end() || !erase_from(it->second, id)) return false;
-      if (it->second.empty()) prefix_.erase(it);
+      IntervalRun* run = between_.find(p.lo.numeric());
+      if (run == nullptr || !run->erase(id)) return false;
+      if (run->empty()) between_.erase(p.lo.numeric());
       --indexed_count_;
       return true;
     }
+    case Slot::Prefix:
+      if (!prefix_.remove(p.lo, id)) return false;
+      --indexed_count_;
+      return true;
     case Slot::Exists:
-      if (!erase_from(exists_, id)) return false;
+      if (!exists_.remove(id.value())) return false;
       --indexed_count_;
       return true;
     case Slot::Scan:
-      return erase_from(scan_, id);
+      return scan_.remove(id.value());
   }
   return false;
 }
@@ -149,10 +128,8 @@ void AttributeIndex::stab(const Value& value, const PredicateTable& table,
     for (auto it = upper_bounds_.lower_bound(v); it != upper_bounds_.end();
          ++it) {
       const RangePostings& p = it.value();
-      out.insert(out.end(), p.inclusive.begin(), p.inclusive.end());
-      if (it.key() > v) {
-        out.insert(out.end(), p.strict.begin(), p.strict.end());
-      }
+      p.inclusive.append_to(out);
+      if (it.key() > v) p.strict.append_to(out);
     }
 
     // Lower bounds (a > c, a >= c): every key < v matches; at key == v only
@@ -160,42 +137,41 @@ void AttributeIndex::stab(const Value& value, const PredicateTable& table,
     for (auto it = lower_bounds_.begin(); it != lower_bounds_.end(); ++it) {
       if (it.key() > v) break;
       const RangePostings& p = it.value();
-      out.insert(out.end(), p.inclusive.begin(), p.inclusive.end());
-      if (it.key() < v) {
-        out.insert(out.end(), p.strict.begin(), p.strict.end());
-      }
+      p.inclusive.append_to(out);
+      if (it.key() < v) p.strict.append_to(out);
     }
 
-    // Intervals: keys (lo) <= v, filtered by hi >= v.
+    // Intervals: keys (lo) <= v; each run is sorted by hi descending, so the
+    // first hi < v ends the run — matches+1 entries examined per run.
     for (auto it = between_.begin(); it != between_.end(); ++it) {
       if (it.key() > v) break;
-      for (const IntervalPosting& posting : it.value()) {
-        if (posting.hi >= v) out.push_back(posting.id);
+      for (const IntervalEntry& entry : it.value().entries) {
+        ++interval_probes_;
+        if (entry.hi < v) break;
+        out.push_back(PredicateId(entry.id));
       }
     }
   }
 
-  if (value.type() == ValueType::String && !prefix_.empty()) {
+  if (value.type() == ValueType::String) {
     const std::string& s = value.as_string();
-    std::string probe;
-    probe.reserve(s.size());
-    // Probe every prefix of the event value, including the empty prefix.
-    for (std::size_t len = 0; len <= s.size(); ++len) {
-      probe.assign(s, 0, len);
-      if (const auto it = prefix_.find(probe); it != prefix_.end()) {
-        out.insert(out.end(), it->second.begin(), it->second.end());
-      }
+    // Probe every prefix of the event value, including the empty prefix —
+    // as string_views over the event's own buffer, so no allocation.
+    const std::string_view sv(s);
+    for (std::size_t len = 0; len <= sv.size(); ++len) {
+      prefix_.stab(sv.substr(0, len), out);
     }
   }
 
   // Presence predicates match any value.
-  out.insert(out.end(), exists_.begin(), exists_.end());
+  exists_.append_to(out);
 
   // Scan list: evaluate non-indexable predicates directly.
-  for (PredicateId id : scan_) {
+  scan_.for_each([&](std::uint32_t raw) {
+    const PredicateId id(raw);
     const Predicate& p = table.get(id);
     if (eval_operator(p.op, value, p.lo, p.hi)) out.push_back(id);
-  }
+  });
 }
 
 bool AttributeIndex::empty() const {
@@ -203,11 +179,11 @@ bool AttributeIndex::empty() const {
 }
 
 std::size_t AttributeIndex::memory_bytes() const {
-  std::size_t bytes = eq_.memory_bytes();
+  std::size_t bytes = eq_.memory_bytes() + prefix_.memory_bytes();
   bytes += upper_bounds_.memory_bytes();
   bytes += lower_bounds_.memory_bytes();
   bytes += between_.memory_bytes();
-  // Range-posting vectors live outside the B+ tree node footprint.
+  // Posting and interval storage lives outside the B+ tree node footprint.
   for (auto it = upper_bounds_.begin(); it != upper_bounds_.end(); ++it) {
     bytes += it.value().memory_bytes();
   }
@@ -215,16 +191,26 @@ std::size_t AttributeIndex::memory_bytes() const {
     bytes += it.value().memory_bytes();
   }
   for (auto it = between_.begin(); it != between_.end(); ++it) {
-    bytes += vector_bytes(it.value());
+    bytes += it.value().memory_bytes();
   }
-  bytes += prefix_.bucket_count() * sizeof(void*);
-  for (const auto& [key, list] : prefix_) {
-    bytes += sizeof(std::string) + string_bytes(key) + 2 * sizeof(void*) +
-             sizeof(std::vector<PredicateId>) + vector_bytes(list);
-  }
-  bytes += vector_bytes(exists_);
-  bytes += vector_bytes(scan_);
+  bytes += exists_.memory_bytes();
+  bytes += scan_.memory_bytes();
   return bytes;
+}
+
+void AttributeIndex::observe_postings(PostingList::Stats& stats) const {
+  eq_.observe_postings(stats);
+  prefix_.observe_postings(stats);
+  const auto observe_range = [&stats](const RangeTree& tree) {
+    for (auto it = tree.begin(); it != tree.end(); ++it) {
+      if (!it.value().strict.empty()) stats.observe(it.value().strict);
+      if (!it.value().inclusive.empty()) stats.observe(it.value().inclusive);
+    }
+  };
+  observe_range(upper_bounds_);
+  observe_range(lower_bounds_);
+  if (!exists_.empty()) stats.observe(exists_);
+  if (!scan_.empty()) stats.observe(scan_);
 }
 
 }  // namespace ncps

@@ -4,27 +4,33 @@
 // structures (paper §3.2: "These indexes are applied based on operators used
 // in predicates"):
 //
-//   Eq                  → hash index on the operand value
+//   Eq                  → hash index on the interned operand value
 //   Lt/Le (numeric)     → B+ tree keyed on the constant; stab walks keys ≥ v
 //   Gt/Ge (numeric)     → B+ tree keyed on the constant; stab walks keys < v
 //                         (plus Ge postings at v itself)
-//   Between (numeric)   → B+ tree keyed on lo; stab walks keys ≤ v and
-//                         filters on hi (worst-case linear in lo-matches —
-//                         documented trade-off, see DESIGN.md)
-//   Prefix (string)     → hash map keyed by prefix; stab probes every prefix
-//                         of the event string (O(|v|) probes)
+//   Between (numeric)   → B+ tree keyed on lo; per-key runs sorted by hi
+//                         DESCENDING, so a stab stops at the first hi < v —
+//                         per key it examines matches+1 entries, not every
+//                         interval sharing the lo (the seed's worst case)
+//   Prefix (string)     → hash index keyed by prefix; stab probes every
+//                         prefix of the event string as a string_view
+//                         (O(|v|) probes, zero allocations)
 //   Exists              → plain posting list (matches on presence)
 //   everything else     → scan list, evaluated predicate-by-predicate
 //                         (Ne, NotBetween, Suffix, Contains, negative string
 //                         ops, and ordered comparisons on non-numeric
 //                         operands)
 //
+// All posting storage is the compressed PostingList (posting_list.h); the
+// seed's std::vector<PredicateId> lists are gone from this layer.
+//
 // Every predicate registered on this attribute lives in exactly one of these
 // structures, so a stab emits each matching id exactly once.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -32,6 +38,7 @@
 #include "event/value.h"
 #include "index/bplus_tree.h"
 #include "index/hash_index.h"
+#include "index/posting_list.h"
 #include "predicate/predicate.h"
 #include "predicate/predicate_table.h"
 
@@ -39,6 +46,9 @@ namespace ncps {
 
 class AttributeIndex {
  public:
+  /// Register a predicate. `id` must not currently be registered here:
+  /// posting lists hold sets, not multisets (the engine adds an id exactly
+  /// once per live period — on the 0→1 use-count transition).
   void add(PredicateId id, const Predicate& p);
 
   /// Remove a previously added predicate. Returns true if found.
@@ -54,37 +64,78 @@ class AttributeIndex {
   [[nodiscard]] std::size_t scan_count() const { return scan_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const;
 
+  /// Interval entries examined across all stabs so far (each hi comparison
+  /// counts one). The nested-interval regression test asserts this stays
+  /// ~matches+1 per stab instead of linear in the lo-matches.
+  [[nodiscard]] std::uint64_t interval_probe_count() const {
+    return interval_probes_;
+  }
+  void reset_interval_probe_count() { interval_probes_ = 0; }
+
+  /// Aggregate the compressed-posting accounting for BENCH_memory.
+  void observe_postings(PostingList::Stats& stats) const;
+
  private:
   /// Posting lists for the strict and inclusive flavour of one bound.
   struct RangePostings {
-    std::vector<PredicateId> strict;     // Lt (or Gt)
-    std::vector<PredicateId> inclusive;  // Le (or Ge)
+    PostingList strict;     // Lt (or Gt)
+    PostingList inclusive;  // Le (or Ge)
     [[nodiscard]] bool empty() const {
       return strict.empty() && inclusive.empty();
     }
     [[nodiscard]] std::size_t memory_bytes() const {
-      return vector_bytes(strict) + vector_bytes(inclusive);
+      return strict.memory_bytes() + inclusive.memory_bytes();
     }
   };
 
-  struct IntervalPosting {
+  struct IntervalEntry {
     double hi;
-    PredicateId id;
+    std::uint32_t id;
+  };
+
+  /// Intervals sharing one lo key, ordered by hi descending — the stab
+  /// breaks at the first non-matching hi.
+  struct IntervalRun {
+    std::vector<IntervalEntry> entries;
+
+    void insert(double hi, PredicateId id) {
+      const auto pos = std::lower_bound(
+          entries.begin(), entries.end(), hi,
+          [](const IntervalEntry& e, double h) { return e.hi > h; });
+      entries.insert(pos, IntervalEntry{hi, id.value()});
+    }
+
+    bool erase(PredicateId id) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].id == id.value()) {
+          entries.erase(entries.begin() +
+                        static_cast<std::ptrdiff_t>(i));  // keep hi order
+          return true;
+        }
+      }
+      return false;
+    }
+
+    [[nodiscard]] bool empty() const { return entries.empty(); }
+    [[nodiscard]] std::size_t memory_bytes() const {
+      return vector_bytes(entries);
+    }
   };
 
   using RangeTree = BPlusTree<double, RangePostings>;
-  using IntervalTree = BPlusTree<double, std::vector<IntervalPosting>>;
-
-  static bool erase_from(std::vector<PredicateId>& list, PredicateId id);
+  using IntervalTree = BPlusTree<double, IntervalRun>;
 
   HashIndex eq_;
   RangeTree upper_bounds_;  // Lt/Le: predicate matches values BELOW the key
   RangeTree lower_bounds_;  // Gt/Ge: predicate matches values ABOVE the key
   IntervalTree between_;    // keyed by lo
-  std::unordered_map<std::string, std::vector<PredicateId>> prefix_;
-  std::vector<PredicateId> exists_;
-  std::vector<PredicateId> scan_;
+  HashIndex prefix_;        // string operands interned as dictionary slots
+  PostingList exists_;
+  PostingList scan_;
   std::size_t indexed_count_ = 0;
+  // Engines are single-threaded (one shard = one worker at a time), so a
+  // mutable counter on the const stab path is safe.
+  mutable std::uint64_t interval_probes_ = 0;
 };
 
 }  // namespace ncps

@@ -1,6 +1,9 @@
 #include "index/predicate_index.h"
 
+#include <algorithm>
+
 #include "common/contracts.h"
+#include "common/thread_pool.h"
 
 namespace ncps {
 
@@ -31,6 +34,50 @@ bool PredicateIndex::remove(PredicateId id, const Predicate& p) {
   return per_attribute_[p.attribute.value()].remove(id, p);
 }
 
+void PredicateIndex::bulk_load(std::span<const BulkEntry> entries,
+                               ThreadPool* pool) {
+  // Partition by attribute first: NotExists entries are cross-attribute
+  // bookkeeping (sequential, cheap), everything else buckets to exactly one
+  // AttributeIndex.
+  std::uint32_t max_attribute = 0;
+  for (const BulkEntry& entry : entries) {
+    NCPS_EXPECTS(entry.predicate->attribute.valid());
+    if (entry.predicate->op == Operator::NotExists) continue;
+    max_attribute = std::max(max_attribute, entry.predicate->attribute.value());
+  }
+  if (max_attribute >= per_attribute_.size() && !entries.empty()) {
+    per_attribute_.resize(max_attribute + 1);
+  }
+  std::vector<std::vector<BulkEntry>> buckets(per_attribute_.size());
+  for (const BulkEntry& entry : entries) {
+    if (entry.predicate->op == Operator::NotExists) {
+      not_exists_.push_back(
+          NotExistsEntry{entry.predicate->attribute, entry.id});
+      continue;
+    }
+    buckets[entry.predicate->attribute.value()].push_back(entry);
+  }
+  std::vector<std::uint32_t> work;
+  for (std::uint32_t a = 0; a < buckets.size(); ++a) {
+    if (!buckets[a].empty()) work.push_back(a);
+  }
+  // One build task per attribute: tasks write disjoint AttributeIndex
+  // objects (the vector itself was resized above), so no synchronisation is
+  // needed beyond the pool's join.
+  const auto build = [&](std::size_t i) {
+    const std::uint32_t attribute = work[i];
+    AttributeIndex& index = per_attribute_[attribute];
+    for (const BulkEntry& entry : buckets[attribute]) {
+      index.add(entry.id, *entry.predicate);
+    }
+  };
+  if (pool == nullptr || work.size() <= 1) {
+    for (std::size_t i = 0; i < work.size(); ++i) build(i);
+  } else {
+    pool->parallel_for(work.size(), build);
+  }
+}
+
 void PredicateIndex::match(const Event& event, const PredicateTable& table,
                            std::vector<PredicateId>& out) const {
   // Each attribute of the event is evaluated exactly once (§2.1: "applying
@@ -55,6 +102,14 @@ void PredicateIndex::match_batch(std::span<const Event> events,
     match(event, table, flat);
     offsets.push_back(static_cast<std::uint32_t>(flat.size()));
   }
+}
+
+PostingList::Stats PredicateIndex::posting_stats() const {
+  PostingList::Stats stats;
+  for (const AttributeIndex& index : per_attribute_) {
+    index.observe_postings(stats);
+  }
+  return stats;
 }
 
 MemoryBreakdown PredicateIndex::memory() const {

@@ -22,10 +22,28 @@
 
 namespace ncps {
 
+class ThreadPool;
+
 class PredicateIndex {
  public:
   void add(PredicateId id, const Predicate& p);
   bool remove(PredicateId id, const Predicate& p);
+
+  /// One predicate of a bulk load; the Predicate must stay alive and
+  /// unmoved until bulk_load returns (PredicateTable slots qualify as long
+  /// as nothing interns concurrently).
+  struct BulkEntry {
+    PredicateId id;
+    const Predicate* predicate;
+  };
+
+  /// Register a batch of predicates at once — equivalent to add() in a loop
+  /// but partitioned by attribute, so each AttributeIndex is built
+  /// independently (and, given a pool, in parallel: attribute indexes are
+  /// disjoint structures, one build task per attribute touches no shared
+  /// state). `pool` may be null for a sequential build. May be called on a
+  /// non-empty index; entries merge with existing postings.
+  void bulk_load(std::span<const BulkEntry> entries, ThreadPool* pool);
 
   /// Append every registered predicate matching `event` to `out`.
   void match(const Event& event, const PredicateTable& table,
@@ -41,6 +59,17 @@ class PredicateIndex {
 
   [[nodiscard]] std::size_t attribute_count() const { return per_attribute_.size(); }
   [[nodiscard]] MemoryBreakdown memory() const;
+
+  /// Compressed-posting accounting across every attribute index (bytes vs
+  /// the seed's uncompressed vector representation), for BENCH_memory.
+  [[nodiscard]] PostingList::Stats posting_stats() const;
+
+  /// The per-attribute index for one attribute, or nullptr if none is
+  /// registered there (test/bench introspection, e.g. probe counters).
+  [[nodiscard]] const AttributeIndex* attribute_index(AttributeId attr) const {
+    if (!attr.valid() || attr.value() >= per_attribute_.size()) return nullptr;
+    return &per_attribute_[attr.value()];
+  }
 
  private:
   struct NotExistsEntry {

@@ -1,0 +1,97 @@
+#include "index/value_dictionary.h"
+
+#include <functional>
+
+namespace ncps {
+
+ValueDictionary::ValueId ValueDictionary::find_in_chain(std::size_t hash,
+                                                        const Value& v) const {
+  const auto it = heads_.find(hash);
+  if (it == heads_.end()) return kInvalidId;
+  for (ValueId id = it->second; id != kInvalidId;
+       id = slots_[id].next_same_hash) {
+    if (slots_[id].value == v) return id;
+  }
+  return kInvalidId;
+}
+
+ValueDictionary::InternResult ValueDictionary::intern(const Value& v) {
+  const std::size_t hash = v.hash();
+  if (const ValueId existing = find_in_chain(hash, v);
+      existing != kInvalidId) {
+    ++slots_[existing].refs;
+    return {existing, false};
+  }
+  ValueId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<ValueId>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[id];
+  slot.value = v;
+  slot.refs = 1;
+  auto [it, inserted] = heads_.try_emplace(hash, id);
+  slot.next_same_hash = inserted ? kInvalidId : it->second;
+  it->second = id;
+  ++live_;
+  return {id, true};
+}
+
+bool ValueDictionary::release(ValueId id) {
+  NCPS_DASSERT(id < slots_.size() && slots_[id].refs > 0);
+  Slot& slot = slots_[id];
+  if (--slot.refs > 0) return false;
+  const std::size_t hash = slot.value.hash();
+  const auto it = heads_.find(hash);
+  NCPS_ASSERT(it != heads_.end());
+  if (it->second == id) {
+    if (slot.next_same_hash == kInvalidId) {
+      heads_.erase(it);
+    } else {
+      it->second = slot.next_same_hash;
+    }
+  } else {
+    ValueId prev = it->second;
+    while (slots_[prev].next_same_hash != id) {
+      prev = slots_[prev].next_same_hash;
+      NCPS_ASSERT(prev != kInvalidId);
+    }
+    slots_[prev].next_same_hash = slot.next_same_hash;
+  }
+  slot.value = Value();  // drop any string heap now, not at reuse
+  slot.next_same_hash = kInvalidId;
+  free_.push_back(id);
+  --live_;
+  return true;
+}
+
+ValueDictionary::ValueId ValueDictionary::find(const Value& v) const {
+  return find_in_chain(v.hash(), v);
+}
+
+ValueDictionary::ValueId ValueDictionary::find(std::string_view s) const {
+  // Value::hash hashes strings via std::hash<std::string>, which the
+  // standard requires to agree with std::hash<std::string_view> on the same
+  // character sequence — so this probe needs no temporary std::string.
+  const std::size_t hash = std::hash<std::string_view>{}(s);
+  const auto it = heads_.find(hash);
+  if (it == heads_.end()) return kInvalidId;
+  for (ValueId id = it->second; id != kInvalidId;
+       id = slots_[id].next_same_hash) {
+    const Value& v = slots_[id].value;
+    if (v.type() == ValueType::String && v.as_string() == s) return id;
+  }
+  return kInvalidId;
+}
+
+std::size_t ValueDictionary::memory_bytes() const {
+  std::size_t bytes = vector_bytes(slots_) + vector_bytes(free_) +
+                      unordered_map_bytes(heads_);
+  for (const Slot& slot : slots_) bytes += slot.value.heap_bytes();
+  return bytes;
+}
+
+}  // namespace ncps

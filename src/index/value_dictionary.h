@@ -1,0 +1,85 @@
+// Per-attribute operand dictionary: Value -> dense ValueId (RDF-TDAA-style
+// dictionary coding, scoped to one attribute's index).
+//
+// The phase-1 hash structures used to key unordered_maps directly on Value
+// (a 40-byte variant, heap-owning for strings). Interning every distinct
+// operand once gives the index dense std::uint32_t ids to address flat
+// posting-list arrays with, and makes the probe path allocation-free: event
+// strings probe via std::string_view (std::hash<std::string_view> is
+// guaranteed to agree with std::hash<std::string>, which Value::hash uses
+// for strings).
+//
+// Slots are refcounted — one reference per posting that keys on the value —
+// and recycled through a free list, so churn does not grow the id space.
+// Collision handling lives here, not in the map: the map keys on the full
+// hash and points at a chain of slots threaded through `next_same_hash`.
+// Keeping the map's key a plain size_t (rather than a self-referential
+// transparent hasher over slot indices) leaves the dictionary trivially
+// movable, which the per-attribute index vector relies on when it grows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/memory_tracker.h"
+#include "event/value.h"
+
+namespace ncps {
+
+class ValueDictionary {
+ public:
+  using ValueId = std::uint32_t;
+  static constexpr ValueId kInvalidId = UINT32_MAX;
+
+  struct InternResult {
+    ValueId id;
+    bool fresh;  ///< true when this call allocated the slot
+  };
+
+  /// Intern `v`, bumping its refcount; allocates a slot on first sight.
+  InternResult intern(const Value& v);
+
+  /// Drop one reference; frees and recycles the slot at zero. Returns true
+  /// when the slot was freed.
+  bool release(ValueId id);
+
+  /// Lookup without interning; kInvalidId if absent.
+  [[nodiscard]] ValueId find(const Value& v) const;
+
+  /// Heterogeneous string lookup — no Value, no std::string constructed.
+  [[nodiscard]] ValueId find(std::string_view s) const;
+
+  [[nodiscard]] const Value& value(ValueId id) const {
+    NCPS_DASSERT(id < slots_.size() && slots_[id].refs > 0);
+    return slots_[id].value;
+  }
+
+  /// Live distinct values.
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// One past the largest id ever allocated — the bound for dense arrays.
+  [[nodiscard]] std::size_t id_bound() const { return slots_.size(); }
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  struct Slot {
+    Value value;
+    std::uint32_t refs = 0;
+    ValueId next_same_hash = kInvalidId;
+  };
+
+  [[nodiscard]] ValueId find_in_chain(std::size_t hash, const Value& v) const;
+
+  std::vector<Slot> slots_;
+  std::vector<ValueId> free_;
+  std::unordered_map<std::size_t, ValueId> heads_;  ///< full hash -> chain
+  std::size_t live_ = 0;
+};
+
+}  // namespace ncps

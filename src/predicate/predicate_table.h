@@ -46,6 +46,13 @@ class PredicateTable {
   /// Find without interning; nullopt if absent.
   [[nodiscard]] std::optional<PredicateId> find(const Predicate& p) const;
 
+  /// Pre-size slot and lookup storage for an expected number of distinct
+  /// predicates — bulk loads avoid the rehash/reallocation staircase.
+  void reserve(std::size_t expected) {
+    slots_.reserve(expected);
+    index_.reserve(expected);
+  }
+
   /// Number of live predicates.
   [[nodiscard]] std::size_t size() const { return live_count_; }
 

@@ -15,10 +15,15 @@ class AttributeIndexTest : public ::testing::Test {
  protected:
   PredicateId add(Operator op, Value lo, Value hi = {}) {
     const Predicate p{attr_, op, std::move(lo), std::move(hi)};
-    const PredicateId id = table_.intern(p).id;
-    index_.add(id, table_.get(id));
-    all_.push_back(id);
-    return id;
+    const auto r = table_.intern(p);
+    // The index holds sets, not multisets: a structurally equal predicate
+    // interns to its existing id and is already registered — don't re-add
+    // (the engine adds only on the 0→1 use-count transition).
+    if (r.newly_created) {
+      index_.add(r.id, table_.get(r.id));
+      all_.push_back(r.id);
+    }
+    return r.id;
   }
 
   std::vector<PredicateId> stab(const Value& v) {
@@ -135,6 +140,76 @@ TEST_F(AttributeIndexTest, StringOperandOnOrderedOperatorGoesToScanList) {
   EXPECT_TRUE(stab(Value("z")).empty());
 }
 
+// Every operator class: add → stab → remove to empty() → re-add after the
+// interned predicate id was recycled. Run under ASan in CI, this doubles as
+// a lifetime check for the dictionary/posting-list storage behind each slot.
+TEST_F(AttributeIndexTest, AddRemoveReAddEveryOperatorClass) {
+  struct Case {
+    Operator op;
+    Value lo;
+    Value hi;
+    Value match;  // a value the predicate accepts
+  };
+  const Case cases[] = {
+      {Operator::Eq, Value(7), Value(), Value(7)},            // hash index
+      {Operator::Lt, Value(10), Value(), Value(3)},           // upper strict
+      {Operator::Le, Value(10), Value(), Value(10)},          // upper incl.
+      {Operator::Gt, Value(10), Value(), Value(30)},          // lower strict
+      {Operator::Ge, Value(10), Value(), Value(10)},          // lower incl.
+      {Operator::Between, Value(5), Value(15), Value(9)},     // interval tree
+      {Operator::Prefix, Value("ab"), Value(), Value("abc")}, // prefix index
+      {Operator::Exists, Value(), Value(), Value(999)},       // presence list
+      {Operator::Ne, Value(4), Value(), Value(5)},            // scan residue
+      {Operator::Suffix, Value("cd"), Value(), Value("abcd")},
+      {Operator::Contains, Value("bc"), Value(), Value("abcd")},
+  };
+  for (const Case& c : cases) {
+    all_.clear();
+    const PredicateId first = add(c.op, c.lo, c.hi);
+    EXPECT_EQ(stab(c.match), std::vector{first}) << static_cast<int>(c.op);
+
+    // Remove down to a completely empty index.
+    EXPECT_TRUE(index_.remove(first, table_.get(first)));
+    EXPECT_TRUE(index_.empty()) << static_cast<int>(c.op);
+    EXPECT_TRUE(stab(c.match).empty()) << static_cast<int>(c.op);
+    EXPECT_FALSE(index_.remove(first, table_.get(first)));  // double remove
+    table_.release(first);
+    all_.clear();
+
+    // Re-add: the table recycles the freed id; the index must register the
+    // recycled id cleanly in the same structure.
+    const PredicateId again = add(c.op, c.lo, c.hi);
+    EXPECT_EQ(again, first) << "id reuse expected";
+    EXPECT_EQ(stab(c.match), std::vector{again}) << static_cast<int>(c.op);
+    EXPECT_TRUE(index_.remove(again, table_.get(again)));
+    table_.release(again);
+    all_.clear();
+    EXPECT_TRUE(index_.empty());
+  }
+}
+
+// The seed's documented Between worst case: 10k nested intervals sharing one
+// lo. A stab near the top of the nest used to examine all 10k entries; with
+// hi-descending runs it examines matches+1.
+TEST_F(AttributeIndexTest, NestedIntervalStabExaminesSubLinearEntries) {
+  constexpr std::int64_t kIntervals = 10000;
+  for (std::int64_t k = 1; k <= kIntervals; ++k) {
+    add(Operator::Between, Value(0), Value(k));
+  }
+  index_.reset_interval_probe_count();
+  const std::vector<PredicateId> got = stab(Value(kIntervals - 5));
+  EXPECT_EQ(got.size(), 6u);  // hi in {9995..10000}
+  EXPECT_EQ(got, reference(Value(kIntervals - 5)));
+  // matches + the one terminating probe — sub-linear in the 10k lo-matches.
+  EXPECT_LE(index_.interval_probe_count(), got.size() + 1);
+
+  // A stab below every hi pays one probe per match, nothing more.
+  index_.reset_interval_probe_count();
+  EXPECT_EQ(stab(Value(1)).size(), static_cast<std::size_t>(kIntervals));
+  EXPECT_LE(index_.interval_probe_count(),
+            static_cast<std::uint64_t>(kIntervals) + 1);
+}
+
 TEST_F(AttributeIndexTest, RandomizedAgainstBruteForce) {
   Pcg32 rng(2024);
   // A mix of every operator class over a small domain.
@@ -173,9 +248,15 @@ TEST_F(AttributeIndexTest, RandomizedChurnAgainstBruteForce) {
                                           Operator::Ge, Operator::Ne};
       const Operator op = kOps[rng.bounded(6)];
       const Predicate p{attr_, op, Value(rng.range(0, 20)), {}};
-      const PredicateId id = table_.intern(p).id;
-      index_.add(id, table_.get(id));
-      live.push_back(id);
+      const auto r = table_.intern(p);
+      if (!r.newly_created) {
+        // Already live: the index holds it (set semantics) — undo the
+        // extra table reference and treat the round as a no-op.
+        table_.release(r.id);
+      } else {
+        index_.add(r.id, table_.get(r.id));
+        live.push_back(r.id);
+      }
     } else {
       const std::size_t i = rng.bounded(static_cast<std::uint32_t>(live.size()));
       const PredicateId id = live[i];

@@ -1,0 +1,118 @@
+#include "index/value_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace ncps {
+namespace {
+
+TEST(ValueDictionaryTest, InternRefcountsAndRecyclesIds) {
+  ValueDictionary dict;
+  const auto a = dict.intern(Value(10));
+  EXPECT_TRUE(a.fresh);
+  const auto a2 = dict.intern(Value(10));
+  EXPECT_FALSE(a2.fresh);
+  EXPECT_EQ(a.id, a2.id);
+  EXPECT_EQ(dict.size(), 1u);
+
+  EXPECT_FALSE(dict.release(a.id));  // one ref remains
+  EXPECT_TRUE(dict.release(a.id));   // freed
+  EXPECT_TRUE(dict.empty());
+
+  // The freed slot is recycled for the next new value.
+  const auto b = dict.intern(Value("hello"));
+  EXPECT_TRUE(b.fresh);
+  EXPECT_EQ(b.id, a.id);
+  EXPECT_EQ(dict.value(b.id), Value("hello"));
+}
+
+TEST(ValueDictionaryTest, CrossNumericTypesShareOneSlot) {
+  ValueDictionary dict;
+  const auto i = dict.intern(Value(5));
+  const auto d = dict.intern(Value(5.0));
+  EXPECT_EQ(i.id, d.id);
+  EXPECT_FALSE(d.fresh);
+  EXPECT_EQ(dict.find(Value(5.0)), i.id);
+}
+
+TEST(ValueDictionaryTest, HeterogeneousStringViewFind) {
+  ValueDictionary dict;
+  const auto id = dict.intern(Value("subscription")).id;
+  dict.intern(Value("sub"));
+  const std::string event_value = "subscription_events";
+  EXPECT_EQ(dict.find(std::string_view(event_value).substr(0, 12)), id);
+  EXPECT_EQ(dict.find(std::string_view("absent")),
+            ValueDictionary::kInvalidId);
+  // A string_view probe never matches a non-string slot.
+  dict.intern(Value(42));
+  EXPECT_EQ(dict.find(std::string_view("42")), ValueDictionary::kInvalidId);
+}
+
+TEST(ValueDictionaryTest, FindAbsentValue) {
+  ValueDictionary dict;
+  dict.intern(Value(1));
+  EXPECT_EQ(dict.find(Value(2)), ValueDictionary::kInvalidId);
+  EXPECT_EQ(dict.find(Value("x")), ValueDictionary::kInvalidId);
+}
+
+TEST(ValueDictionaryTest, RandomizedChurnKeepsChainsConsistent) {
+  Pcg32 rng(99);
+  ValueDictionary dict;
+  // id -> (value, refs) for the values we hold references to.
+  struct Entry {
+    Value value;
+    std::uint32_t refs;
+  };
+  std::vector<std::pair<ValueDictionary::ValueId, Entry>> live;
+  for (int round = 0; round < 5000; ++round) {
+    if (live.empty() || rng.chance(0.55)) {
+      Value v;
+      switch (rng.bounded(3)) {
+        case 0: v = Value(static_cast<std::int64_t>(rng.bounded(60))); break;
+        case 1: v = Value(static_cast<double>(rng.bounded(60)) + 0.25); break;
+        default:
+          v = Value("key_" + std::to_string(rng.bounded(60)));
+          break;
+      }
+      const auto r = dict.intern(v);
+      bool merged = false;
+      for (auto& [id, entry] : live) {
+        if (id == r.id) {
+          EXPECT_FALSE(r.fresh);
+          EXPECT_EQ(entry.value, v);
+          ++entry.refs;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        EXPECT_TRUE(r.fresh);
+        live.emplace_back(r.id, Entry{v, 1});
+      }
+    } else {
+      const std::size_t i = rng.bounded(static_cast<std::uint32_t>(live.size()));
+      auto& [id, entry] = live[i];
+      const bool freed = dict.release(id);
+      if (--entry.refs == 0) {
+        EXPECT_TRUE(freed);
+        live[i] = live.back();
+        live.pop_back();
+      } else {
+        EXPECT_FALSE(freed);
+      }
+    }
+    if (round % 250 == 0) {
+      EXPECT_EQ(dict.size(), live.size());
+      for (const auto& [id, entry] : live) {
+        EXPECT_EQ(dict.find(entry.value), id);
+        EXPECT_EQ(dict.value(id), entry.value);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncps
