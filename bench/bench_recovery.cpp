@@ -1,0 +1,227 @@
+// Cold-start benchmark for the crash-recoverable subscription store.
+//
+// The operational claim: rebooting a broker from its snapshot + journal
+// must be much cheaper than rebuilding the same durable state through the
+// control plane — clients re-sending every subscription, each one parsed,
+// normalised, indexed, journaled and fsynced (sync_on_commit is the
+// durability default; a cold start that skips it has not actually restored
+// the store). This bench measures both paths over the paper workload
+// (§4 AND-of-ORs subscriptions):
+//
+//   recovery           — durable store = one snapshot covering the full
+//                        population; time ShardedBroker construction
+//                        (snapshot load) against the durable re-subscribe
+//                        path. The re-subscribe rate is measured over a
+//                        fixed op count (both paths are linear in N; the
+//                        row records the measured ops). Emits `speedup`
+//                        and FAILS (exit 1) below the 5x acceptance floor.
+//                        `resubscribe_ephemeral_bulk_seconds` — the same
+//                        texts through subscribe_bulk with storage off —
+//                        is included for transparency: it is the fastest
+//                        possible rebuild, and it forfeits durability.
+//   recovery_journal_tail — durable store = a snapshot plus a journal tail
+//                        of individually journaled subscribes; time the
+//                        combined load + replay cold start.
+//
+// Output: one JSON row per measurement via bench_util.h's JsonRow, plus a
+// human-readable summary. Scale via REPRO_SCALE (quick | big | paper);
+// quick already runs the 200k-subscription acceptance point.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "broker/sharded_broker.h"
+#include "subscription/printer.h"
+
+namespace {
+
+using namespace ncps;
+using namespace ncps::bench;
+
+struct RecoveryConfig {
+  std::size_t subscriptions;
+  std::size_t tail_ops;
+  std::size_t shards;
+};
+
+RecoveryConfig recovery_config(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick: return {200'000, 5'000, 4};
+    case Scale::kBig: return {500'000, 20'000, 4};
+    case Scale::kPaper: return {1'000'000, 50'000, 4};
+  }
+  return {200'000, 5'000, 4};
+}
+
+ShardedBrokerConfig broker_config(std::size_t shards,
+                                  const std::string& directory) {
+  ShardedBrokerConfig config;
+  config.shard_count = shards;
+  config.engine = EngineKind::NonCanonical;
+  if (!directory.empty()) {
+    config.storage = storage::StorageOptions{.enabled = true,
+                                             .directory = directory,
+                                             .sync_on_commit = true,
+                                             .vfs = nullptr};
+  }
+  return config;
+}
+
+std::size_t g_notifications = 0;
+
+ShardedBroker::NotifyFn discard() {
+  return [](const Notification&) { ++g_notifications; };
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  const RecoveryConfig config = recovery_config(scale);
+  const std::size_t total = config.subscriptions + config.tail_ops;
+  std::printf(
+      "# Recovery cold start (scale=%s, %zu subscriptions + %zu journal tail "
+      "ops, %zu shards)\n",
+      to_string(scale), config.subscriptions, config.tail_ops, config.shards);
+
+  AttributeRegistry attrs;
+  std::vector<std::string> texts;
+  {
+    PredicateTable scratch;
+    PaperWorkloadConfig workload_config;
+    workload_config.predicates_per_subscription = 6;
+    workload_config.seed = 0x5104e7;
+    PaperWorkload workload(workload_config, attrs, scratch);
+    texts.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      const ast::Expr expr = workload.next_subscription();
+      texts.push_back(print_expression(expr.root(), scratch, attrs));
+    }
+  }
+  const std::vector<std::string> bulk(texts.begin(),
+                                      texts.begin() + config.subscriptions);
+
+  const std::filesystem::path directory =
+      std::filesystem::temp_directory_path() /
+      ("ncps_bench_recovery_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(directory);
+
+  // Durable re-subscribe baseline: every control op journals and fsyncs,
+  // like a live broker rebuilding from its clients. Linear in N (fixed
+  // per-op parse/index/commit cost), so a fixed op count gives the rate.
+  const std::size_t baseline_ops = std::min<std::size_t>(20'000, total);
+  double resubscribe_rate;  // subscriptions per second
+  {
+    ShardedBroker broker(attrs,
+                         broker_config(config.shards, directory.string()));
+    const SubscriberId consumer = broker.register_subscriber(discard());
+    const double seconds = time_seconds(
+        [&] {
+          for (std::size_t i = 0; i < baseline_ops; ++i) {
+            (void)broker.subscribe(consumer, texts[i]);
+          }
+        },
+        /*repetitions=*/1);
+    resubscribe_rate = static_cast<double>(baseline_ops) / seconds;
+  }
+  std::filesystem::remove_all(directory);
+  const double resubscribe_seconds =
+      static_cast<double>(total) / resubscribe_rate;
+
+  // Transparency baseline: the fastest possible rebuild — subscribe_bulk
+  // with storage off. It needs the saved texts (which only the store has)
+  // and leaves nothing durable, so it is not the operational alternative.
+  const double ephemeral_bulk_seconds = time_seconds(
+      [&] {
+        ShardedBroker broker(attrs, broker_config(config.shards, ""));
+        const SubscriberId consumer = broker.register_subscriber(discard());
+        (void)broker.subscribe_bulk(consumer, bulk);
+      },
+      /*repetitions=*/1);
+
+  // Build the durable store: bulk load, checkpoint, then a journal tail of
+  // individually journaled subscribes (the post-checkpoint history a real
+  // reboot replays).
+  {
+    ShardedBroker broker(attrs,
+                         broker_config(config.shards, directory.string()));
+    const SubscriberId consumer = broker.register_subscriber(discard());
+    (void)broker.subscribe_bulk(consumer, bulk);
+    broker.checkpoint();
+    for (std::size_t i = 0; i < config.tail_ops; ++i) {
+      (void)broker.subscribe(consumer, texts[config.subscriptions + i]);
+    }
+  }
+
+  // Snapshot + journal-tail cold start (the realistic reboot).
+  std::size_t recovered_count = 0;
+  const double recover_tail_seconds = time_seconds(
+      [&] {
+        ShardedBroker broker(attrs,
+                             broker_config(config.shards, directory.string()));
+        recovered_count = broker.subscription_count();
+      },
+      /*repetitions=*/2);
+  if (recovered_count != total) {
+    std::fprintf(stderr, "recovery dropped subscriptions: %zu != %zu\n",
+                 recovered_count, total);
+    return 1;
+  }
+
+  // Snapshot-only cold start: fold the tail into the snapshot first.
+  {
+    ShardedBroker broker(attrs,
+                         broker_config(config.shards, directory.string()));
+    broker.checkpoint();
+  }
+  const double recover_seconds = time_seconds(
+      [&] {
+        ShardedBroker broker(attrs,
+                             broker_config(config.shards, directory.string()));
+        recovered_count = broker.subscription_count();
+      },
+      /*repetitions=*/2);
+  std::filesystem::remove_all(directory);
+
+  const double speedup = resubscribe_seconds / recover_seconds;
+  JsonRow("recovery")
+      .field("engine", "non_canonical")
+      .field("shards", config.shards)
+      .field("subscriptions", total)
+      .field("resubscribe_measured_ops", baseline_ops)
+      .field("resubscribe_rate_per_sec", resubscribe_rate)
+      .field("resubscribe_seconds", resubscribe_seconds)
+      .field("resubscribe_ephemeral_bulk_seconds", ephemeral_bulk_seconds)
+      .field("recover_seconds", recover_seconds)
+      .field("speedup", speedup)
+      .emit();
+  JsonRow("recovery_journal_tail")
+      .field("engine", "non_canonical")
+      .field("shards", config.shards)
+      .field("snapshot_subscriptions", config.subscriptions)
+      .field("journal_tail_ops", config.tail_ops)
+      .field("recover_seconds", recover_tail_seconds)
+      .emit();
+
+  std::printf(
+      "durable resubscribe %.3fs (rate %.0f/s over %zu ops) | ephemeral bulk "
+      "%.3fs | snapshot recovery %.3fs (%.1fx) | snapshot+%zu-op journal "
+      "tail %.3fs\n",
+      resubscribe_seconds, resubscribe_rate, baseline_ops,
+      ephemeral_bulk_seconds, recover_seconds, speedup, config.tail_ops,
+      recover_tail_seconds);
+
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: recovery speedup %.2fx below the 5x acceptance "
+                 "floor\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

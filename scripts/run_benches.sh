@@ -81,4 +81,17 @@ if [ -s "$phase1_json" ]; then
     fi
   done
 fi
+
+# Schema guard: bench_recovery rows must carry the durable-resubscribe vs
+# snapshot-load speedup (the >= 5x cold-start acceptance claim) and the
+# journal-tail replay timing.
+recovery_json="$repo_root/BENCH_recovery.json"
+if [ -s "$recovery_json" ]; then
+  for col in '"speedup"' '"recover_seconds"' '"journal_tail_ops"'; do
+    if ! grep -q "$col" "$recovery_json"; then
+      echo "error: BENCH_recovery.json lacks the $col column" >&2
+      status=1
+    fi
+  done
+fi
 exit "$status"

@@ -30,6 +30,8 @@ struct BrokerOptions {
   /// Forest normalisation for the non-canonical engine (shared_forest.h).
   Normalisation normalisation = Normalisation::None;
   DeliveryOptions delivery{};
+  /// Crash-recoverable subscription store (storage/snapshot.h); default off.
+  storage::StorageOptions storage{};
 };
 
 class Broker : public ShardedBroker {
@@ -44,7 +46,8 @@ class Broker : public ShardedBroker {
                                           .engine = options.engine,
                                           .normalisation =
                                               options.normalisation,
-                                          .delivery = options.delivery}) {}
+                                          .delivery = options.delivery,
+                                          .storage = options.storage}) {}
 
   /// The engine holds a reference to the broker-owned predicate table, so a
   /// Broker pins its address (copy and move are deleted in the base class).

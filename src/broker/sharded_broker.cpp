@@ -31,7 +31,11 @@ class ShardedBroker::ShardSink final : public MatchSink {
 
 ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
                              ShardedBrokerConfig config)
-    : attrs_(&attrs), router_(config.shard_count) {
+    : attrs_(&attrs),
+      router_(config.shard_count),
+      storage_(config.storage),
+      engine_kind_(config.engine),
+      normalisation_(config.normalisation) {
   NCPS_EXPECTS(config.shard_count >= 1);
   shards_.reserve(config.shard_count);
   for (std::size_t s = 0; s < config.shard_count; ++s) {
@@ -52,6 +56,10 @@ ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
   if (config.delivery.mode == DeliveryMode::Async) {
     delivery_default_policy_ = config.delivery.default_policy;
     delivery_ = std::make_unique<DeliveryPlane>(config.delivery);
+  }
+  if (storage_.enabled) {
+    NCPS_EXPECTS(!storage_.directory.empty());
+    recover_from_storage();
   }
 }
 
@@ -78,7 +86,16 @@ SubscriberId ShardedBroker::register_subscriber_impl(
     NotifyFn callback, BackpressurePolicy policy) {
   NCPS_EXPECTS(callback != nullptr);
   const std::lock_guard<std::mutex> lock(control_mutex_);
-  const SubscriberId id(next_subscriber_++);
+  const SubscriberId id(next_subscriber_);
+  // Journal-commit-before-apply: if the commit throws, no broker state has
+  // changed yet and the id is simply never handed out.
+  if (journal_ != nullptr) {
+    storage::JournalRecord record;
+    record.type = storage::JournalRecord::Type::RegisterSubscriber;
+    record.subscriber = id.value();
+    journal_commit_locked(std::move(record));
+  }
+  ++next_subscriber_;
   subscriptions_by_subscriber_.emplace(id, std::vector<SubscriptionId>{});
   // Exactly one snapshot store owns the callback: the plane's outbox map in
   // async mode, the broker's callback map inline. Maintaining both would
@@ -98,6 +115,15 @@ void ShardedBroker::unregister_subscriber(SubscriberId subscriber) {
   const std::lock_guard<std::mutex> lock(control_mutex_);
   const auto it = subscriptions_by_subscriber_.find(subscriber);
   if (it == subscriptions_by_subscriber_.end()) return;
+  // One record covers the whole cascade: replay re-derives the subscription
+  // list from its own reconstructed state, so the per-subscription
+  // unsubscribes below are deliberately not journalled.
+  if (journal_ != nullptr) {
+    storage::JournalRecord record;
+    record.type = storage::JournalRecord::Type::UnregisterSubscriber;
+    record.subscriber = subscriber.value();
+    journal_commit_locked(std::move(record));
+  }
   for (const SubscriptionId sub : it->second) {
     Route& route = routes_[sub.value()];
     route.live = false;
@@ -188,7 +214,28 @@ SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
     // failure (e.g. DNF explosion in a counting engine) propagates here
     // with no broker state change — the seed broker's exact semantics.
     drain_shard(shard);
+    if (journal_ != nullptr) {
+      // Journal-commit-before-apply requires the apply to be infallible
+      // once the record is durable, so run the queued branch's
+      // pre-validation here too before anything is written.
+      PredicateTable scratch;
+      const ast::Expr expr = intern_tree(*raw, scratch);
+      shard.engine->validate(expr.root(), scratch);
+    }
     global = allocate_global_locked();
+    if (journal_ != nullptr) {
+      storage::JournalRecord record;
+      record.type = storage::JournalRecord::Type::Subscribe;
+      record.subscriber = subscriber.value();
+      record.global = global.value();
+      record.text = std::string(text);
+      try {
+        journal_commit_locked(std::move(record));
+      } catch (...) {
+        free_globals_.push_back(global);  // nothing was registered
+        throw;
+      }
+    }
     try {
       apply_subscribe(shard, global, subscriber, *raw);
     } catch (...) {
@@ -211,6 +258,19 @@ SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
       shard.engine->validate(expr.root(), scratch);
     }
     global = allocate_global_locked();
+    if (journal_ != nullptr) {
+      storage::JournalRecord record;
+      record.type = storage::JournalRecord::Type::Subscribe;
+      record.subscriber = subscriber.value();
+      record.global = global.value();
+      record.text = std::string(text);
+      try {
+        journal_commit_locked(std::move(record));
+      } catch (...) {
+        free_globals_.push_back(global);
+        throw;
+      }
+    }
     ShardCommand command;
     command.kind = ShardCommand::Kind::Subscribe;
     command.global = global;
@@ -227,6 +287,7 @@ SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
   ++subscribe_sequence_;
   routes_[global.value()] = Route{s, subscriber, /*live=*/true};
   subscriptions_by_subscriber_[subscriber].push_back(global);
+  if (journal_ != nullptr) record_text_locked(global, text);
   return global;
 }
 
@@ -266,6 +327,36 @@ std::vector<SubscriptionId> ShardedBroker::subscribe_bulk(
     subscriptions_by_subscriber_[subscriber].push_back(global);
     per_shard[s].push_back(BulkSubscribeItem{global, subscriber, std::move(raw)});
     out.push_back(global);
+  }
+
+  // One journal record covers the whole call: replay re-routes each item
+  // deterministically through the same subscribe_sequence_ counter. If the
+  // commit throws, unwind the bookkeeping above — nothing has reached a
+  // shard yet, so the broker is exactly as before the call.
+  if (journal_ != nullptr) {
+    storage::JournalRecord record;
+    record.type = storage::JournalRecord::Type::BulkSubscribe;
+    record.subscriber = subscriber.value();
+    record.bulk.reserve(texts.size());
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+      record.bulk.push_back(storage::JournalRecord::BulkItem{
+          out[i].value(), std::string(texts[i])});
+    }
+    try {
+      journal_commit_locked(std::move(record));
+    } catch (...) {
+      auto& list = subscriptions_by_subscriber_[subscriber];
+      for (std::size_t i = out.size(); i-- > 0;) {
+        routes_[out[i].value()].live = false;
+        free_globals_.push_back(out[i]);
+        list.pop_back();
+      }
+      subscribe_sequence_ -= texts.size();
+      throw;
+    }
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+      record_text_locked(out[i], texts[i]);
+    }
   }
 
   // One temporary pool serves every shard applied inline from this call; it
@@ -319,6 +410,10 @@ std::vector<SubscriptionId> ShardedBroker::subscribe_bulk(
 
 void ShardedBroker::issue_unsubscribe_locked(SubscriptionId global,
                                              const Route& route) {
+  if (journal_ != nullptr && global.value() < texts_.size()) {
+    texts_[global.value()].clear();
+    texts_[global.value()].shrink_to_fit();
+  }
   Shard& shard = *shards_[route.shard];
   const std::uint64_t generation =
       issue_generation_.load(std::memory_order_relaxed) + 1;
@@ -358,6 +453,14 @@ bool ShardedBroker::unsubscribe(SubscriptionId subscription) {
   if (!subscription.valid() || subscription.value() >= routes_.size() ||
       !routes_[subscription.value()].live) {
     return false;
+  }
+  // Journalled before any state changes: a commit failure leaves the
+  // subscription fully live.
+  if (journal_ != nullptr) {
+    storage::JournalRecord record;
+    record.type = storage::JournalRecord::Type::Unsubscribe;
+    record.global = subscription.value();
+    journal_commit_locked(std::move(record));
   }
   Route& route = routes_[subscription.value()];
   route.live = false;
@@ -561,6 +664,17 @@ void ShardedBroker::quiesce() {
   // Taking the publish lock waits out the in-flight batch, deliveries
   // included; draining then applies everything queued. Batches started
   // after release see every prior control command applied.
+  //
+  // NOT a snapshot fence: control_mutex_ is never held here, so a
+  // concurrent control thread can enqueue a command on a shard *after* its
+  // per-shard drain below but before quiesce() returns — the caller
+  // observes "quiesced" while that shard's engine still lags its queue.
+  // That ordering gap is harmless for quiesce()'s contract (later batches
+  // drain before matching) but fatal for snapshotting, which must capture
+  // engines with every issued command applied. checkpoint() therefore
+  // builds its own fence — publish lock + control lock + all shard locks —
+  // and asserts every shard's generation fence has caught up to
+  // issue_generation_ before serialising a byte.
   const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   for (auto& shard : shards_) {
     const std::lock_guard<std::mutex> shard_lock(shard->mutex);

@@ -77,9 +77,16 @@
 #include "engine/engine_factory.h"
 #include "event/event.h"
 #include "event/schema.h"
+#include "storage/journal.h"
+#include "storage/snapshot.h"
 #include "subscription/parser.h"
 
 namespace ncps {
+
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
 
 struct ShardedBrokerConfig {
   /// Independent engine shards. 1 reproduces the seed single-engine broker.
@@ -97,6 +104,12 @@ struct ShardedBrokerConfig {
   /// them through per-subscriber outboxes and the delivery executor
   /// (delivery/delivery_plane.h).
   DeliveryOptions delivery{};
+  /// Crash-recoverable subscription store (storage/snapshot.h). When
+  /// enabled the broker journals every control operation before applying
+  /// it, checkpoint() writes per-shard snapshots, and construction recovers
+  /// the full subscription state from the storage directory. Default off:
+  /// byte-for-byte the in-memory-only behaviour.
+  storage::StorageOptions storage{};
 };
 
 class ShardedBroker {
@@ -238,6 +251,42 @@ class ShardedBroker {
   [[nodiscard]] AttributeRegistry& attributes() { return *attrs_; }
   [[nodiscard]] MemoryBreakdown memory() const;
 
+  // ---- persistence (only when config.storage.enabled) ----
+
+  [[nodiscard]] bool storage_enabled() const { return journal_ != nullptr; }
+
+  /// Write a snapshot of the whole subscription state and truncate the
+  /// journal. A full barrier, strictly stronger than quiesce(): it holds the
+  /// publish lock (waiting out the in-flight batch and its deliveries),
+  /// flushes async delivery, then freezes the *control plane* too
+  /// (control_mutex_ + every shard mutex) before draining — quiesce() alone
+  /// is NOT a snapshot fence, because control threads may re-queue commands
+  /// on shards it has already drained. With every lock held the generation
+  /// fences are asserted to have caught up with the issue generation; only
+  /// then is the state serialised. Atomic on disk (temp + sync + rename);
+  /// a crash anywhere leaves either the old snapshot with the full journal
+  /// or the new snapshot (journal records it covers replay idempotently).
+  void checkpoint();
+
+  /// Re-attach a delivery callback to a subscriber recovered from storage
+  /// (recovered sessions hold their subscriptions but deliver nothing until
+  /// reattached). The registration itself is already durable, so nothing is
+  /// journaled. Requires the subscriber to exist.
+  void reattach_subscriber(SubscriberId subscriber, NotifyFn callback);
+
+  /// Registered subscriber ids, ascending. Thread-safe.
+  [[nodiscard]] std::vector<SubscriberId> subscriber_ids() const;
+  /// Live subscription ids owned by `subscriber`, ascending (empty for
+  /// unknown subscribers). Thread-safe.
+  [[nodiscard]] std::vector<SubscriptionId> subscriptions_of(
+      SubscriberId subscriber) const;
+  /// The subscription's registered text. Tracked only when storage is
+  /// enabled; nullopt otherwise or for dead ids. Thread-safe.
+  [[nodiscard]] std::optional<std::string> subscription_text(
+      SubscriptionId subscription) const;
+  /// Journal sequence number of the last durable control operation.
+  [[nodiscard]] std::uint64_t journal_sequence() const;
+
  private:
   struct ShardMatch {
     std::uint32_t event_index;
@@ -327,6 +376,18 @@ class ShardedBroker {
 
   SubscriptionId allocate_global_locked();
   void issue_unsubscribe_locked(SubscriptionId global, const Route& route);
+  // ---- persistence internals (broker_persistence.cpp) ----
+  /// Recover snapshot + journal tail into a freshly constructed broker,
+  /// then open the journal for appending. Constructor tail; no locks.
+  void recover_from_storage();
+  /// Stamp the next sequence number on `record`, frame it and commit it
+  /// (one write + one sync). Caller holds control_mutex_; called BEFORE the
+  /// operation is applied (write-ahead discipline).
+  void journal_commit_locked(storage::JournalRecord record);
+  void write_snapshot_payload(storage::Writer& w);
+  void restore_snapshot_payload(storage::Reader& r);
+  void replay_journal_record(const storage::JournalRecord& record);
+  void record_text_locked(SubscriptionId global, std::string_view text);
   /// Apply every queued command on `shard` and advance its fence. Caller
   /// holds shard.mutex.
   void drain_shard(Shard& shard);
@@ -352,6 +413,18 @@ class ShardedBroker {
   BackpressurePolicy delivery_default_policy_ = BackpressurePolicy::Block;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;  // null when shard_count == 1
+
+  // ---- persistence state (null / empty unless storage enabled) ----
+  storage::StorageOptions storage_;
+  storage::Vfs* vfs_ = nullptr;
+  std::unique_ptr<storage::CommandJournal> journal_;
+  std::uint64_t journal_seq_ = 0;   // last sequence number stamped
+  std::uint64_t snapshot_seq_ = 0;  // journal seq the snapshot covers
+  /// Registered text per global id (snapshot source + generic-engine
+  /// recovery); maintained under control_mutex_.
+  std::vector<std::string> texts_;
+  EngineKind engine_kind_;
+  Normalisation normalisation_;
 
   /// Serialises publish_batch (and quiesce) — data-plane only; control
   /// operations never take it.

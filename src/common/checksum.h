@@ -1,0 +1,34 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for storage framing.
+//
+// Every persistent artifact carries a checksum: snapshot files over the
+// whole payload, journal records per frame. The implementation is the
+// classic byte-at-a-time table walk — storage writes are control-plane
+// work (subscribe/checkpoint), never on the matching hot path, so a
+// slice-by-8 variant would buy nothing measurable here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ncps {
+
+/// Incremental form: feed `crc32_update(crc, ...)` chunks starting from
+/// crc32_init(), then finalise with crc32_final(). The one-shot crc32()
+/// wraps all three.
+[[nodiscard]] constexpr std::uint32_t crc32_init() { return 0xffffffffu; }
+
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                         std::size_t size);
+
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t crc) {
+  return crc ^ 0xffffffffu;
+}
+
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace ncps

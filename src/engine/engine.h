@@ -39,6 +39,11 @@
 
 namespace ncps {
 
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
+
 /// Phase-2 work counters, reset per call; cumulative totals kept separately.
 struct MatchStats {
   std::uint64_t candidates = 0;           ///< candidate subscriptions considered
@@ -142,6 +147,49 @@ class FilterEngine {
   [[nodiscard]] const MatchStats& last_stats() const { return stats_; }
   [[nodiscard]] PredicateTable& predicate_table() { return *table_; }
   [[nodiscard]] const PredicateIndex& predicate_index() const { return index_; }
+
+  // ---- state snapshots (broker persistence, storage/snapshot.h) ----
+
+  /// True if the engine can dump and restore its entire state (predicate
+  /// table + internal structures) byte-exactly. Engines without it are
+  /// snapshotted generically: the broker stores subscription texts and
+  /// re-adds them through the bulk path on recovery.
+  [[nodiscard]] virtual bool supports_state_snapshot() const { return false; }
+
+  /// Fold transient slack (quarantines, free-list fragmentation) into a
+  /// canonical shape before save_state() so derived structure needs no
+  /// encoding. Must be called under the same exclusivity add() requires.
+  virtual void prepare_snapshot() {}
+
+  /// Dump the engine's predicate table and full phase-2 state. Only
+  /// engines with supports_state_snapshot() implement these; the defaults
+  /// are unreachable.
+  virtual void save_state(storage::Writer& w) const {
+    (void)w;
+    NCPS_ASSERT(false && "engine does not support state snapshots");
+  }
+
+  /// Rebuild from save_state() bytes into a freshly constructed engine
+  /// (same options, empty predicate table). Attribute ids are remapped
+  /// through `attr_remap`; `pool` (nullable) parallelises the phase-1 index
+  /// build. Throws StorageError on structural violations.
+  virtual void load_state(storage::Reader& r,
+                          std::span<const AttributeId> attr_remap,
+                          ThreadPool* pool) {
+    (void)r;
+    (void)attr_remap;
+    (void)pool;
+    NCPS_ASSERT(false && "engine does not support state snapshots");
+  }
+
+  /// True if `id` is a live subscription in this engine. Used by snapshot
+  /// recovery to validate an untrusted local-id map before it is trusted to
+  /// index broker-side tables. Engines without state snapshots never face
+  /// untrusted ids, so the default is false.
+  [[nodiscard]] virtual bool owns_subscription(SubscriptionId id) const {
+    (void)id;
+    return false;
+  }
 
  protected:
   /// Take an engine-owned reference to a live predicate; the first

@@ -4,6 +4,7 @@
 
 #include "common/contracts.h"
 #include "common/hash.h"
+#include "storage/serializer.h"
 #include "subscription/covering.h"
 
 namespace ncps {
@@ -466,6 +467,241 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
     if (!donor_allows(root)) continue;  // donor refuted: cannot match
     emit_root(root);
   }
+}
+
+std::uint64_t NonCanonicalEngine::root_signature(NodeId root) {
+  // Mirror of expression_signature over the stored root: the stored form
+  // has exactly the written expression's predicate set (normalisation only
+  // reorders; subsumption aliases only onto same-signature roots).
+  pred_scratch_.clear();
+  collect_root_predicates(root, pred_scratch_);
+  std::sort(pred_scratch_.begin(), pred_scratch_.end());
+  pred_scratch_.erase(std::unique(pred_scratch_.begin(), pred_scratch_.end()),
+                      pred_scratch_.end());
+  std::uint64_t sig = hash_mix(0x51d5ull, pred_scratch_.size());
+  for (const PredicateId pid : pred_scratch_) sig = hash_mix(sig, pid.value());
+  return sig;
+}
+
+bool NonCanonicalEngine::permutation_valid(
+    NodeId root, std::span<const std::uint32_t> perm,
+    std::size_t& cursor) const {
+  // Replays exactly the traversal to_ast(root, perm) performs, but returns
+  // false instead of tripping its asserts — snapshot input is untrusted.
+  switch (forest_.kind(root)) {
+    case ast::NodeKind::Leaf:
+      return true;
+    case ast::NodeKind::Not:
+      return permutation_valid(forest_.children(root).front(), perm, cursor);
+    case ast::NodeKind::And:
+    case ast::NodeKind::Or:
+      break;
+  }
+  const std::span<const NodeId> stored = forest_.children(root);
+  if (cursor + stored.size() > perm.size()) return false;
+  const std::span<const std::uint32_t> p = perm.subspan(cursor, stored.size());
+  cursor += stored.size();
+  std::uint64_t seen = 0;
+  for (std::size_t written = 0; written < stored.size(); ++written) {
+    if (p[written] >= stored.size()) return false;
+    if (stored.size() <= 64) {
+      // Fast duplicate check for the overwhelmingly common small fan-out.
+      const std::uint64_t bit = 1ull << p[written];
+      if (seen & bit) return false;
+      seen |= bit;
+    }
+    if (!permutation_valid(stored[p[written]], perm, cursor)) return false;
+  }
+  if (stored.size() > 64) {
+    std::vector<std::uint32_t> sorted(p.begin(), p.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i] != i) return false;
+    }
+  }
+  return true;
+}
+
+void NonCanonicalEngine::prepare_snapshot() {
+  forest_.compact_storage();
+}
+
+void NonCanonicalEngine::save_state(storage::Writer& w) const {
+  table_->save_state(w);
+  forest_.save_state(w);
+
+  w.varint(subs_.size());
+  w.varint(live_count_);
+  for (std::uint32_t id = 0; id < subs_.size(); ++id) {
+    const SubRecord& record = subs_[id];
+    if (!record.live) continue;
+    w.varint(id);
+    w.varint(record.root);
+    w.varint(record.perm.size());
+    for (const std::uint32_t entry : record.perm) w.varint(entry);
+  }
+
+  std::uint64_t borrowers = 0;
+  for (const NodeId donor : donor_of_) {
+    if (donor != SharedForest::kNoNode) ++borrowers;
+  }
+  NCPS_DASSERT(borrowers == live_borrowers_);
+  w.varint(borrowers);
+  for (NodeId root = 0; root < donor_of_.size(); ++root) {
+    if (donor_of_[root] != SharedForest::kNoNode) {
+      w.varint(root);
+      w.varint(donor_of_[root]);
+    }
+  }
+}
+
+void NonCanonicalEngine::load_state(storage::Reader& r,
+                                    std::span<const AttributeId> attr_remap,
+                                    ThreadPool* pool) {
+  NCPS_EXPECTS(subs_.empty() && live_count_ == 0 &&
+               forest_.live_nodes() == 0 && table_->size() == 0);
+
+  table_->load_state(r, attr_remap);
+  forest_.load_state(r, table_->id_bound());
+
+  // The predicate ownership ledger: at a quiesced snapshot every live table
+  // predicate is owned by exactly its forest leaf (the leaf hooks), so the
+  // two live sets must coincide.
+  const std::size_t pred_bound = table_->id_bound();
+  use_count_.assign(pred_bound, 0);
+  std::vector<PredicateIndex::BulkEntry> entries;
+  entries.reserve(table_->size());
+  for (std::uint32_t pid = 0; pid < pred_bound; ++pid) {
+    const bool pred_live = table_->is_live(PredicateId(pid));
+    const bool leaf_live = forest_.leaf_of(PredicateId(pid)) !=
+                           SharedForest::kNoNode;
+    if (pred_live != leaf_live) {
+      throw StorageError("predicate/leaf ownership mismatch in snapshot");
+    }
+    if (!pred_live) continue;
+    use_count_[pid] = 1;
+    entries.push_back({PredicateId(pid), &table_->get(PredicateId(pid))});
+  }
+  index_.bulk_load(entries, pool);
+
+  // Subscription records: each live subscription holds one root reference
+  // and (under SortedChildren) its evaluation permutation.
+  const std::size_t node_bound = forest_.node_bound();
+  const std::uint64_t sub_bound =
+      r.varint_max(1u << 30, "subscription id bound");
+  const std::uint64_t live = r.varint_max(sub_bound, "live subscriptions");
+  subs_.resize(sub_bound);
+  for (std::uint64_t n = 0; n < live; ++n) {
+    const std::uint64_t id =
+        r.varint_max(sub_bound - 1, "subscription id");
+    if (subs_[id].live) throw StorageError("duplicate subscription id");
+    const std::uint64_t root =
+        r.varint_max(node_bound - 1, "subscription root");
+    if (!forest_.is_live(static_cast<NodeId>(root))) {
+      throw StorageError("subscription attached to a dead root");
+    }
+    const std::uint64_t perm_size =
+        r.varint_max(r.remaining(), "permutation size");
+    std::vector<std::uint32_t> perm;
+    perm.reserve(perm_size);
+    for (std::uint64_t i = 0; i < perm_size; ++i) {
+      perm.push_back(static_cast<std::uint32_t>(
+          r.varint_max(SharedForest::kMaxChildren - 1, "permutation entry")));
+    }
+    if (!perm.empty()) {
+      if (options_.normalisation == Normalisation::None) {
+        throw StorageError("permutation under order-preserving identity");
+      }
+      std::size_t cursor = 0;
+      if (!permutation_valid(static_cast<NodeId>(root), perm, cursor) ||
+          cursor != perm.size()) {
+        throw StorageError("invalid evaluation permutation");
+      }
+    }
+    attach(SubscriptionId(static_cast<std::uint32_t>(id)),
+           static_cast<NodeId>(root),
+           root_signature(static_cast<NodeId>(root)));
+    subs_[id].perm = std::move(perm);
+    ++live_count_;
+  }
+  for (std::uint32_t id = static_cast<std::uint32_t>(sub_bound); id-- > 0;) {
+    if (!subs_[id].live) free_ids_.push_back(SubscriptionId(id));
+  }
+
+  // Partial-sharing borrower -> donor pairs.
+  const std::uint64_t borrowers =
+      r.varint_max(live, "borrower count");
+  donor_of_.assign(node_bound, SharedForest::kNoNode);
+  for (std::uint64_t n = 0; n < borrowers; ++n) {
+    const std::uint64_t root = r.varint_max(node_bound - 1, "borrower root");
+    const std::uint64_t donor = r.varint_max(node_bound - 1, "donor node");
+    if (!options_.partial_sharing) {
+      throw StorageError("donor records but partial sharing is disabled");
+    }
+    if (!forest_.is_live(static_cast<NodeId>(donor)) ||
+        root_head_.find(static_cast<NodeId>(root)) == root_head_.end()) {
+      throw StorageError("borrower/donor pair references a dead node");
+    }
+    if (donor_of_[root] != SharedForest::kNoNode) {
+      throw StorageError("duplicate borrower record");
+    }
+    if (donor_of_[donor] != SharedForest::kNoNode) {
+      throw StorageError("chained borrower in snapshot");
+    }
+    donor_of_[root] = static_cast<NodeId>(donor);
+  }
+  live_borrowers_ = borrowers;
+  // A donor that is itself a borrower can also appear with the pairs in
+  // the other order; the chain check above only catches donor-first.
+  for (NodeId root = 0; root < donor_of_.size(); ++root) {
+    const NodeId donor = donor_of_[root];
+    if (donor != SharedForest::kNoNode &&
+        donor_of_[donor] != SharedForest::kNoNode) {
+      throw StorageError("chained borrower in snapshot");
+    }
+  }
+
+  // Donor candidate index: exactly the current result roots, each filed
+  // under its smallest predicate id (mirrors add()/detach()). Ascending
+  // node id keeps recovered probe order deterministic.
+  if (options_.partial_sharing) {
+    std::vector<NodeId> roots;
+    roots.reserve(root_head_.size());
+    for (const auto& [root, head] : root_head_) roots.push_back(root);
+    std::sort(roots.begin(), roots.end());
+    for (const NodeId root : roots) {
+      pred_scratch_.clear();
+      collect_root_predicates(root, pred_scratch_);
+      const PredicateId min_pred =
+          *std::min_element(pred_scratch_.begin(), pred_scratch_.end());
+      roots_by_pred_[min_pred.value()].push_back(root);
+    }
+  }
+
+  // Full ownership ledger: every forest reference must be accounted for by
+  // a parent edge, a subscription's root reference or a borrower's donor
+  // reference. An over-count merely leaks, but an under-count would free a
+  // node still chained to subscriptions — reject both.
+  std::vector<std::uint32_t> expected(node_bound, 0);
+  for (NodeId id = 0; id < node_bound; ++id) {
+    if (!forest_.is_live(id) || forest_.kind(id) == ast::NodeKind::Leaf) {
+      continue;
+    }
+    for (const NodeId child : forest_.children(id)) ++expected[child];
+  }
+  for (const SubRecord& record : subs_) {
+    if (record.live) ++expected[record.root];
+  }
+  for (const NodeId donor : donor_of_) {
+    if (donor != SharedForest::kNoNode) ++expected[donor];
+  }
+  for (NodeId id = 0; id < node_bound; ++id) {
+    if (forest_.is_live(id) && forest_.ref_count(id) != expected[id]) {
+      throw StorageError("forest ownership ledger mismatch");
+    }
+  }
+
+  if (touched_.capacity() < node_bound) touched_.resize(node_bound);
 }
 
 void NonCanonicalEngine::compact_storage() {

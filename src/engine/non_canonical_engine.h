@@ -109,6 +109,18 @@ class NonCanonicalEngine final : public FilterEngine {
   }
   void compact_storage() override;
 
+  /// Forest-structural snapshots: the predicate table, the hash-consed DAG
+  /// and every subscription's root attachment round-trip byte-exactly, so
+  /// recovery skips re-parsing and re-interning (storage/snapshot.h).
+  [[nodiscard]] bool supports_state_snapshot() const override { return true; }
+  void prepare_snapshot() override;
+  void save_state(storage::Writer& w) const override;
+  void load_state(storage::Reader& r, std::span<const AttributeId> attr_remap,
+                  ThreadPool* pool) override;
+  [[nodiscard]] bool owns_subscription(SubscriptionId id) const override {
+    return id.valid() && id.value() < subs_.size() && subs_[id.value()].live;
+  }
+
   /// The underlying DAG, for inspection (tests, benches).
   [[nodiscard]] const SharedForest& forest() const { return forest_; }
   /// Distinct result roots currently attached to subscriptions.
@@ -160,6 +172,10 @@ class NonCanonicalEngine final : public FilterEngine {
                                std::vector<PredicateId>& out) const;
   [[nodiscard]] std::uint64_t expression_signature(
       const ast::Node& expression);
+  [[nodiscard]] std::uint64_t root_signature(NodeId root);
+  [[nodiscard]] bool permutation_valid(NodeId root,
+                                       std::span<const std::uint32_t> perm,
+                                       std::size_t& cursor) const;
 
   template <typename Emit>
   void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);

@@ -1,6 +1,8 @@
 #include "predicate/predicate_table.h"
 
 #include "common/contracts.h"
+#include "storage/codec.h"
+#include "storage/serializer.h"
 
 namespace ncps {
 
@@ -56,6 +58,52 @@ std::uint32_t PredicateTable::ref_count(PredicateId id) const {
 std::optional<PredicateId> PredicateTable::find(const Predicate& p) const {
   if (auto it = index_.find(p); it != index_.end()) return it->second;
   return std::nullopt;
+}
+
+void PredicateTable::save_state(storage::Writer& w) const {
+  w.varint(slots_.size());
+  w.varint(live_count_);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (slot.ref_count == 0) continue;
+    w.varint(i);
+    w.varint(slot.ref_count);
+    storage::write_predicate(w, slot.predicate);
+  }
+}
+
+void PredicateTable::load_state(storage::Reader& r,
+                                std::span<const AttributeId> attr_remap) {
+  NCPS_EXPECTS(slots_.empty() && live_count_ == 0);
+  constexpr std::uint64_t kMaxSlots = 1u << 30;
+  const std::uint64_t bound = r.varint_max(kMaxSlots, "predicate id bound");
+  const std::uint64_t live = r.varint_max(bound, "live predicate count");
+  slots_.resize(bound);
+  index_.reserve(live);
+  for (std::uint64_t n = 0; n < live; ++n) {
+    const std::uint64_t id = r.varint_max(bound - 1, "predicate id");
+    const std::uint64_t refs =
+        r.varint_max(0xffffffffu, "predicate refcount");
+    if (refs == 0) throw StorageError("live predicate with zero refcount");
+    Slot& slot = slots_[id];
+    if (slot.ref_count != 0) {
+      throw StorageError("duplicate predicate id in snapshot");
+    }
+    slot.predicate = storage::read_predicate(r, attr_remap);
+    slot.ref_count = static_cast<std::uint32_t>(refs);
+    if (!index_.emplace(slot.predicate, PredicateId(
+                            static_cast<std::uint32_t>(id))).second) {
+      throw StorageError("duplicate predicate value in snapshot");
+    }
+  }
+  live_count_ = live;
+  // Dead slots feed the free list largest-first, so future interns reuse
+  // the smallest ids first (matching the LIFO shape of a churned table).
+  for (std::uint32_t i = static_cast<std::uint32_t>(bound); i-- > 0;) {
+    if (slots_[i].ref_count == 0) {
+      free_list_.push_back(PredicateId(i));
+    }
+  }
 }
 
 MemoryBreakdown PredicateTable::memory() const {

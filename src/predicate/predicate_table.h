@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +20,11 @@
 #include "predicate/predicate.h"
 
 namespace ncps {
+
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
 
 class PredicateTable {
  public:
@@ -68,6 +74,18 @@ class PredicateTable {
   }
 
   [[nodiscard]] MemoryBreakdown memory() const;
+
+  /// Snapshot every live slot verbatim: (id, refcount, predicate). Ids and
+  /// refcounts must survive a round trip exactly — forest leaves and engine
+  /// use counts are keyed by PredicateId, and the refcounts are the
+  /// engine's ownership ledger at the (quiesced) snapshot point.
+  void save_state(storage::Writer& w) const;
+
+  /// Rebuild from save_state() bytes into an empty table; attribute ids
+  /// are remapped through `attr_remap` (storage/codec.h). The intern map
+  /// and free list are derived, not stored. Throws StorageError on any
+  /// structural violation (duplicate ids, duplicate predicates).
+  void load_state(storage::Reader& r, std::span<const AttributeId> attr_remap);
 
  private:
   struct Slot {

@@ -1,0 +1,214 @@
+#include "storage/fault_vfs.h"
+
+#include "storage/serializer.h"
+
+namespace ncps::storage {
+
+class FaultFileWriter final : public FileWriter {
+ public:
+  FaultFileWriter(FaultInjectingVfs* vfs, std::string path)
+      : vfs_(vfs), path_(std::move(path)) {}
+
+  void append(std::string_view bytes) override {
+    vfs_->writer_append(path_, bytes);
+  }
+
+  void sync() override { vfs_->writer_sync(path_); }
+
+ private:
+  FaultInjectingVfs* vfs_;
+  std::string path_;
+};
+
+FaultInjectingVfs::Fate FaultInjectingVfs::boundary() {
+  if (crashed_) return Fate::Dead;
+  ++op_count_;
+  if (crash_at_ != 0 && op_count_ == crash_at_) {
+    crashed_ = true;
+    return Fate::Crash;
+  }
+  return Fate::Proceed;
+}
+
+std::unique_ptr<FileWriter> FaultInjectingVfs::open_append(
+    const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // File creation itself is not a durability boundary here (metadata only);
+  // the first append/sync is.
+  if (!crashed_) state_.try_emplace(path);
+  return std::make_unique<FaultFileWriter>(this, path);
+}
+
+std::unique_ptr<FileWriter> FaultInjectingVfs::open_truncate(
+    const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (boundary()) {
+    case Fate::Dead:
+      break;
+    case Fate::Crash:
+      throw SimulatedCrash();
+    case Fate::Proceed: {
+      FileState& file = state_[path];
+      file.durable.clear();
+      file.pending.clear();
+      break;
+    }
+  }
+  return std::make_unique<FaultFileWriter>(this, path);
+}
+
+void FaultInjectingVfs::writer_append(const std::string& path,
+                                      std::string_view bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (boundary()) {
+    case Fate::Dead:
+      return;
+    case Fate::Crash:
+      // The bytes never reached even the volatile buffer.
+      throw SimulatedCrash();
+    case Fate::Proceed:
+      state_[path].pending.append(bytes);
+      return;
+  }
+}
+
+void FaultInjectingVfs::writer_sync(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (boundary()) {
+    case Fate::Dead:
+      return;
+    case Fate::Crash: {
+      if (torn_sync_) {
+        // Partial writeback: a prefix of the buffer made it to the medium.
+        FileState& file = state_[path];
+        file.durable.append(file.pending, 0, file.pending.size() / 2);
+      }
+      throw SimulatedCrash();
+    }
+    case Fate::Proceed: {
+      FileState& file = state_[path];
+      file.durable.append(file.pending);
+      file.pending.clear();
+      return;
+    }
+  }
+}
+
+std::optional<std::string> FaultInjectingVfs::read_file(
+    const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = state_.find(path);
+  if (it == state_.end()) return std::nullopt;
+  return it->second.durable;
+}
+
+void FaultInjectingVfs::rename(const std::string& from,
+                               const std::string& to) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (boundary()) {
+    case Fate::Dead:
+      return;
+    case Fate::Crash:
+      throw SimulatedCrash();
+    case Fate::Proceed: {
+      const auto it = state_.find(from);
+      if (it == state_.end()) {
+        throw StorageError("rename source missing: " + from);
+      }
+      // Callers sync before renaming; any stray volatile suffix is lost,
+      // never carried across the rename.
+      state_[to].durable = std::move(it->second.durable);
+      state_[to].pending.clear();
+      state_.erase(it);
+      return;
+    }
+  }
+}
+
+void FaultInjectingVfs::truncate(const std::string& path,
+                                 std::uint64_t size) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (boundary()) {
+    case Fate::Dead:
+      return;
+    case Fate::Crash:
+      throw SimulatedCrash();
+    case Fate::Proceed: {
+      const auto it = state_.find(path);
+      if (it == state_.end()) {
+        throw StorageError("truncate on missing file: " + path);
+      }
+      if (it->second.durable.size() > size) it->second.durable.resize(size);
+      it->second.pending.clear();
+      return;
+    }
+  }
+}
+
+void FaultInjectingVfs::remove(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (boundary()) {
+    case Fate::Dead:
+      return;
+    case Fate::Crash:
+      throw SimulatedCrash();
+    case Fate::Proceed:
+      state_.erase(path);
+      return;
+  }
+}
+
+bool FaultInjectingVfs::exists(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_.find(path) != state_.end();
+}
+
+void FaultInjectingVfs::crash_at_boundary(std::uint64_t boundary) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  crash_at_ = boundary;
+}
+
+void FaultInjectingVfs::set_torn_sync(bool torn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  torn_sync_ = torn;
+}
+
+std::uint64_t FaultInjectingVfs::boundary_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return op_count_;
+}
+
+bool FaultInjectingVfs::crashed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+void FaultInjectingVfs::restart() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [path, file] : state_) file.pending.clear();
+  crashed_ = false;
+  crash_at_ = 0;
+}
+
+std::vector<std::string> FaultInjectingVfs::files() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(state_.size());
+  for (const auto& [path, file] : state_) names.push_back(path);
+  return names;
+}
+
+std::string FaultInjectingVfs::durable_contents(
+    const std::string& path) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = state_.find(path);
+  return it == state_.end() ? std::string() : it->second.durable;
+}
+
+void FaultInjectingVfs::set_durable_contents(const std::string& path,
+                                             std::string bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  state_[path].durable = std::move(bytes);
+}
+
+}  // namespace ncps::storage

@@ -1,0 +1,105 @@
+// Deterministic crash injection for the storage write path.
+//
+// FaultInjectingVfs is an in-memory filesystem with an explicit
+// volatile/durable split per file: append() lands in a volatile buffer,
+// sync() promotes it to the durable image — exactly the guarantee contract
+// of vfs.h. Every state-changing operation (append, sync, truncating open,
+// rename, remove) is a numbered *boundary*; arming crash_at_boundary(k)
+// makes the k-th boundary throw SimulatedCrash *instead of* applying,
+// after which the instance plays dead: further writes are swallowed
+// silently (the process model has exited; C++ unwinding must not throw
+// again) until restart() discards all volatile buffers — the reboot — and
+// recovery reads the durable image.
+//
+// A crash at a sync boundary can optionally retain a torn prefix of the
+// buffer being synced (set_torn_sync), modelling a partial writeback. The
+// crash-injection suite runs each boundary both ways.
+//
+// The suite's protocol: run the workload once unarmed and read
+// boundary_count(); then for k = 1..count, re-run on a fresh instance armed
+// at k, restart(), recover, and compare against a never-crashed reference.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/vfs.h"
+
+namespace ncps::storage {
+
+/// Thrown at the armed boundary: models the process dying mid-write. Not a
+/// StorageError — recovery code must never catch it as routine corruption.
+class SimulatedCrash : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "simulated crash at injected write/fsync boundary";
+  }
+};
+
+class FaultInjectingVfs final : public Vfs {
+ public:
+  std::unique_ptr<FileWriter> open_append(const std::string& path) override;
+  std::unique_ptr<FileWriter> open_truncate(const std::string& path) override;
+  std::optional<std::string> read_file(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void remove(const std::string& path) override;
+  [[nodiscard]] bool exists(const std::string& path) override;
+  void create_directories(const std::string& /*path*/) override {}
+
+  /// Arm the k-th (1-based) state-changing operation to crash; 0 disarms.
+  void crash_at_boundary(std::uint64_t boundary);
+
+  /// When armed and the crash lands on a sync(), make the first half of the
+  /// volatile buffer durable anyway — a torn write.
+  void set_torn_sync(bool torn);
+
+  /// State-changing operations observed so far (including the crashed one).
+  [[nodiscard]] std::uint64_t boundary_count() const;
+
+  [[nodiscard]] bool crashed() const;
+
+  /// Reboot: drop every volatile buffer, keep the durable image, disarm,
+  /// and accept operations again.
+  void restart();
+
+  // ---- test introspection / corruption hooks ----
+
+  /// Durable file names, sorted.
+  [[nodiscard]] std::vector<std::string> files() const;
+  /// Durable contents ("" if absent).
+  [[nodiscard]] std::string durable_contents(const std::string& path) const;
+  /// Overwrite the durable image directly (corruption-fuzz mutations).
+  void set_durable_contents(const std::string& path, std::string bytes);
+
+ private:
+  friend class FaultFileWriter;
+
+  struct FileState {
+    std::string durable;
+    std::string pending;  // appended, not yet synced
+  };
+
+  enum class Fate { Dead, Proceed, Crash };
+
+  void writer_append(const std::string& path, std::string_view bytes);
+  void writer_sync(const std::string& path);
+
+  /// Count one boundary. Dead: instance already crashed, caller no-ops.
+  /// Crash: this is the armed boundary — caller applies its crash-specific
+  /// partial effect (if any) and throws SimulatedCrash.
+  [[nodiscard]] Fate boundary();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FileState> state_;
+  std::uint64_t op_count_ = 0;
+  std::uint64_t crash_at_ = 0;
+  bool torn_sync_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace ncps::storage

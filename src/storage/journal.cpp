@@ -1,0 +1,201 @@
+#include "storage/journal.h"
+
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/contracts.h"
+#include "storage/serializer.h"
+
+namespace ncps::storage {
+
+namespace {
+
+constexpr std::string_view kJournalMagic = "NCPSJRN1";
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+void encode_payload(Writer& w, const JournalRecord& record) {
+  w.varint(record.seq);
+  w.u8(static_cast<std::uint8_t>(record.type));
+  switch (record.type) {
+    case JournalRecord::Type::RegisterSubscriber:
+    case JournalRecord::Type::UnregisterSubscriber:
+      w.varint(record.subscriber);
+      break;
+    case JournalRecord::Type::Subscribe:
+      w.varint(record.subscriber);
+      w.varint(record.global);
+      w.string(record.text);
+      break;
+    case JournalRecord::Type::Unsubscribe:
+      w.varint(record.global);
+      break;
+    case JournalRecord::Type::BulkSubscribe:
+      w.varint(record.subscriber);
+      w.varint(record.bulk.size());
+      for (const JournalRecord::BulkItem& item : record.bulk) {
+        w.varint(item.global);
+        w.string(item.text);
+      }
+      break;
+  }
+}
+
+JournalRecord decode_payload(Reader& r) {
+  JournalRecord record;
+  record.seq = r.varint();
+  const std::uint8_t type = r.u8();
+  if (type < 1 || type > 5) {
+    throw StorageError("unknown journal record type " + std::to_string(type));
+  }
+  record.type = static_cast<JournalRecord::Type>(type);
+  constexpr std::uint64_t kMaxId = 0xfffffffeu;  // StrongId range
+  switch (record.type) {
+    case JournalRecord::Type::RegisterSubscriber:
+    case JournalRecord::Type::UnregisterSubscriber:
+      record.subscriber = static_cast<std::uint32_t>(
+          r.varint_max(kMaxId, "journal subscriber id"));
+      break;
+    case JournalRecord::Type::Subscribe:
+      record.subscriber = static_cast<std::uint32_t>(
+          r.varint_max(kMaxId, "journal subscriber id"));
+      record.global = static_cast<std::uint32_t>(
+          r.varint_max(kMaxId, "journal subscription id"));
+      record.text = r.string();
+      break;
+    case JournalRecord::Type::Unsubscribe:
+      record.global = static_cast<std::uint32_t>(
+          r.varint_max(kMaxId, "journal subscription id"));
+      break;
+    case JournalRecord::Type::BulkSubscribe: {
+      record.subscriber = static_cast<std::uint32_t>(
+          r.varint_max(kMaxId, "journal subscriber id"));
+      const std::uint64_t count =
+          r.varint_max(r.remaining(), "journal bulk count");
+      record.bulk.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        JournalRecord::BulkItem item;
+        item.global = static_cast<std::uint32_t>(
+            r.varint_max(kMaxId, "journal subscription id"));
+        item.text = r.string();
+        record.bulk.push_back(std::move(item));
+      }
+      break;
+    }
+  }
+  if (!r.done()) {
+    throw StorageError("journal record has trailing bytes");
+  }
+  return record;
+}
+
+}  // namespace
+
+CommandJournal::CommandJournal(Vfs& vfs, std::string path, bool sync_on_commit)
+    : vfs_(&vfs), path_(std::move(path)), sync_on_commit_(sync_on_commit) {}
+
+CommandJournal::ReplayResult CommandJournal::replay(Vfs& vfs,
+                                                    const std::string& path) {
+  ReplayResult result;
+  const std::optional<std::string> contents = vfs.read_file(path);
+  if (!contents.has_value()) return result;
+  const std::string& bytes = *contents;
+  if (bytes.size() < kJournalMagic.size()) {
+    // A crash before the magic was fully durable; there cannot be any
+    // record after a partial header, so this is an empty journal.
+    result.torn_tail = !bytes.empty();
+    return result;
+  }
+  if (std::string_view(bytes).substr(0, kJournalMagic.size()) !=
+      kJournalMagic) {
+    throw StorageError("journal magic mismatch: " + path);
+  }
+
+  Reader reader{std::string_view(bytes)};
+  (void)reader.view(kJournalMagic.size());
+  result.valid_bytes = kJournalMagic.size();
+  std::uint64_t prev_seq = 0;
+  while (!reader.done()) {
+    if (reader.remaining() < 8) {
+      result.torn_tail = true;
+      break;
+    }
+    const std::uint32_t len = reader.u32();
+    const std::uint32_t stored_crc = reader.u32();
+    if (len > kMaxRecordBytes || len > reader.remaining()) {
+      // Interrupted append: the length prefix or the payload never became
+      // fully durable. (A mid-file flip of a length field is
+      // indistinguishable from this; the clean-prefix contract covers both
+      // — see the header comment.)
+      result.torn_tail = true;
+      break;
+    }
+    const std::string_view payload = reader.view(len);
+    if (crc32(payload) != stored_crc) {
+      result.torn_tail = true;
+      break;
+    }
+    Reader payload_reader{payload};
+    JournalRecord record = decode_payload(payload_reader);
+    if (record.seq <= prev_seq) {
+      // CRC-valid but out of order: this is not a torn append, the file is
+      // structurally corrupt. Refuse rather than replay a wrong history.
+      throw StorageError("journal sequence regression at record seq " +
+                         std::to_string(record.seq));
+    }
+    prev_seq = record.seq;
+    result.max_seq = record.seq;
+    result.valid_bytes = reader.position();
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+void CommandJournal::open_for_append(const ReplayResult& replayed) {
+  NCPS_EXPECTS(writer_ == nullptr);
+  const bool exists = vfs_->exists(path_);
+  if (exists && replayed.torn_tail) {
+    // Drop the garbage so appended records extend the valid prefix.
+    vfs_->truncate(path_, replayed.valid_bytes);
+  }
+  writer_ = vfs_->open_append(path_);
+  if (!exists || replayed.valid_bytes < kJournalMagic.size()) {
+    // Brand new (or truncated-to-empty) journal: start with the magic. It
+    // rides with the first commit's sync; an unsynced magic lost in a
+    // crash leaves an empty file, which replays as empty.
+    writer_->append(kJournalMagic);
+  }
+}
+
+void CommandJournal::ensure_writer() {
+  NCPS_EXPECTS(writer_ != nullptr &&
+               "open_for_append() must precede appends");
+}
+
+void CommandJournal::append(const JournalRecord& record) {
+  ensure_writer();
+  Writer payload;
+  encode_payload(payload, record);
+  Writer frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload.bytes()));
+  pending_.append(frame.bytes());
+  pending_.append(payload.bytes());
+}
+
+void CommandJournal::commit() {
+  if (pending_.empty()) return;
+  ensure_writer();
+  writer_->append(pending_);
+  appended_bytes_ += pending_.size();
+  pending_.clear();
+  if (sync_on_commit_) writer_->sync();
+}
+
+void CommandJournal::reset() {
+  pending_.clear();
+  writer_ = vfs_->open_truncate(path_);
+  writer_->append(kJournalMagic);
+  writer_->sync();
+}
+
+}  // namespace ncps::storage

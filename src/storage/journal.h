@@ -1,0 +1,114 @@
+// CommandJournal: the control-plane write-ahead log.
+//
+// Between snapshots, every state-changing control operation (register/
+// unregister subscriber, subscribe, unsubscribe, bulk-subscribe) is framed
+// into the journal and committed *before* it is applied in memory — the
+// WAL rule. A bulk subscribe is one record however many subscriptions it
+// carries, so its framing and its fsync are paid once per control call
+// (group commit); StorageOptions::sync_on_commit can relax the fsync for
+// throughput at the cost of losing the newest acknowledged operations in a
+// crash (never consistency: recovery still sees a clean record prefix).
+//
+// File layout: 8-byte magic, then records framed as
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//
+// where payload = varint seq, u8 type, type-specific fields (codec.h for
+// values). Sequence numbers are broker-assigned, strictly increasing across
+// the journal's life; the snapshot stores the last sequence it covers, and
+// recovery replays only records above it — that makes replay idempotent
+// when a crash lands between the snapshot rename and the journal
+// truncation (both prefixes of effects are valid recovery inputs).
+//
+// Torn-tail policy (DESIGN.md §6): a final record that fails its length or
+// CRC check is an interrupted append — replay stops at the last valid
+// record and reports the clean-prefix length, and the broker truncates the
+// garbage before appending resumes. A CRC-valid record whose sequence
+// number regresses is structural corruption and a hard StorageError.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/vfs.h"
+
+namespace ncps::storage {
+
+struct JournalRecord {
+  enum class Type : std::uint8_t {
+    RegisterSubscriber = 1,
+    UnregisterSubscriber = 2,
+    Subscribe = 3,
+    Unsubscribe = 4,
+    BulkSubscribe = 5,
+  };
+
+  struct BulkItem {
+    std::uint32_t global = 0;
+    std::string text;
+  };
+
+  std::uint64_t seq = 0;
+  Type type = Type::Subscribe;
+  std::uint32_t subscriber = 0;  // Register/Unregister/Subscribe/Bulk
+  std::uint32_t global = 0;      // Subscribe/Unsubscribe
+  std::string text;              // Subscribe
+  std::vector<BulkItem> bulk;    // BulkSubscribe
+};
+
+class CommandJournal {
+ public:
+  /// Does not touch the file; call open_for_append() (after replay decides
+  /// the valid prefix) before the first append.
+  CommandJournal(Vfs& vfs, std::string path, bool sync_on_commit);
+
+  CommandJournal(const CommandJournal&) = delete;
+  CommandJournal& operator=(const CommandJournal&) = delete;
+
+  struct ReplayResult {
+    std::vector<JournalRecord> records;
+    /// Bytes of the valid prefix (magic + intact records); anything beyond
+    /// is a torn tail.
+    std::uint64_t valid_bytes = 0;
+    bool torn_tail = false;
+    std::uint64_t max_seq = 0;
+  };
+
+  /// Parse the durable journal. Missing file or empty/torn header replays
+  /// as empty. Throws StorageError only on structural corruption (sequence
+  /// regression, oversized frame mid-file) — never on a torn tail.
+  [[nodiscard]] static ReplayResult replay(Vfs& vfs, const std::string& path);
+
+  /// Position the journal for appending: truncate away a torn tail (from
+  /// replay's valid_bytes), create the file + magic if absent or empty.
+  void open_for_append(const ReplayResult& replayed);
+
+  /// Frame a record into the commit buffer (no I/O).
+  void append(const JournalRecord& record);
+
+  /// Write the buffered frames and (by policy) fsync — one write + one
+  /// fsync per control operation however many records it appended.
+  void commit();
+
+  /// After a snapshot made every journaled effect redundant: restart the
+  /// file as magic-only. The snapshot file must already be durable.
+  void reset();
+
+  [[nodiscard]] std::uint64_t appended_bytes() const {
+    return appended_bytes_;
+  }
+
+ private:
+  void ensure_writer();
+
+  Vfs* vfs_;
+  std::string path_;
+  bool sync_on_commit_;
+  std::unique_ptr<FileWriter> writer_;
+  std::string pending_;
+  std::uint64_t appended_bytes_ = 0;  // since construction; monitoring only
+};
+
+}  // namespace ncps::storage

@@ -1,0 +1,164 @@
+// Byte-level serialisation for snapshot and journal payloads.
+//
+// Writer appends into a growable byte buffer; Reader walks a byte view with
+// hard bounds checks — every read that would step past the end throws
+// StorageError. That is the loader's first line of defence: a corrupt or
+// truncated file (the corruption-fuzz suite bit-flips and truncates at
+// random offsets) must fail with a clean error, never index out of bounds.
+// Checksums catch corruption probabilistically; the bounds checks make the
+// parser itself total, so even a CRC-colliding mutation cannot crash it.
+//
+// Encoding conventions (all little-endian):
+//   - fixed-width u8/u32/u64 for structure fields read back as arrays;
+//   - LEB128 varints for counts and ids (subscription populations are
+//     large, their ids are small);
+//   - strings/blobs as varint length + raw bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ncps {
+
+/// Any failure to persist or recover broker state: framing violations,
+/// checksum mismatches, version skew, truncated files, out-of-range ids.
+/// Recovery either succeeds completely or throws this — it never installs a
+/// partially parsed state.
+class StorageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace storage {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+
+  void f64(double v) {
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void string(std::string_view s) {
+    varint(s.size());
+    raw(s.data(), s.size());
+  }
+
+  void raw(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  [[nodiscard]] const std::string& bytes() const { return buffer_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  std::string take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t v;
+    need(sizeof v);
+    std::memcpy(&v, bytes_.data() + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v;
+    need(sizeof v);
+    std::memcpy(&v, bytes_.data() + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8();
+      v |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+      if ((byte & 0x80u) == 0) return v;
+    }
+    throw StorageError("varint longer than 64 bits");
+  }
+
+  /// varint() narrowed with an explicit ceiling — loaders bound every
+  /// count/id they read so corrupt input cannot drive giant allocations.
+  [[nodiscard]] std::uint64_t varint_max(std::uint64_t max,
+                                         const char* what) {
+    const std::uint64_t v = varint();
+    if (v > max) {
+      throw StorageError(std::string(what) + " out of range: " +
+                         std::to_string(v));
+    }
+    return v;
+  }
+
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  [[nodiscard]] std::string string() {
+    const std::uint64_t size = varint();
+    need(size);
+    std::string s(bytes_.substr(pos_, size));
+    pos_ += size;
+    return s;
+  }
+
+  [[nodiscard]] std::string_view view(std::size_t size) {
+    need(size);
+    const std::string_view v = bytes_.substr(pos_, size);
+    pos_ += size;
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::uint64_t size) const {
+    if (size > bytes_.size() - pos_) {
+      throw StorageError("truncated payload: need " + std::to_string(size) +
+                         " bytes at offset " + std::to_string(pos_));
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace storage
+}  // namespace ncps

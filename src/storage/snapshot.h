@@ -1,0 +1,59 @@
+// Snapshot file framing and the StorageOptions knob.
+//
+// A snapshot is one self-contained, versioned, whole-file-checksummed
+// image of the broker's control-plane state (ForestSnapshot payloads for
+// forest-backed shards, subscription texts for the canonicalising
+// engines; the payload grammar lives with the broker in
+// broker/broker_persistence.cpp and is documented in DESIGN.md §6).
+//
+// Atomicity: the payload is staged to `snapshot.tmp`, synced, then renamed
+// over `snapshot.ncps` — a reader never observes a half-written snapshot,
+// only the old image or the new one. The snapshot–journal handshake:
+// the payload records the journal sequence number it covers; recovery
+// replays only journal records above it, so a crash anywhere between the
+// rename and the journal truncation replays idempotently.
+//
+// File layout:  magic "NCPSSNP1" | u32 version | u32 crc32(payload) |
+//               u64 payload_len | payload
+// Any mismatch — magic, version, length, checksum — is a hard
+// StorageError: unlike a journal tail, a snapshot has no valid prefix.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "storage/vfs.h"
+
+namespace ncps::storage {
+
+/// Broker persistence knob (ShardedBrokerConfig::storage /
+/// BrokerOptions::storage). Default-constructed = disabled: the broker is
+/// purely in-memory, byte-for-byte the pre-storage behaviour.
+struct StorageOptions {
+  bool enabled = false;
+  /// Directory for snapshot.ncps + journal.wal; created if absent.
+  /// Required when enabled.
+  std::string directory;
+  /// fsync the journal on every control operation (the durability default).
+  /// Off: acknowledged operations may be lost in a crash — recovery still
+  /// sees a clean prefix, never a corrupt state.
+  bool sync_on_commit = true;
+  /// Filesystem seam; null = the real filesystem (posix_vfs()). Tests
+  /// inject FaultInjectingVfs here.
+  Vfs* vfs = nullptr;
+};
+
+[[nodiscard]] std::string snapshot_path(const std::string& directory);
+[[nodiscard]] std::string snapshot_tmp_path(const std::string& directory);
+[[nodiscard]] std::string journal_path(const std::string& directory);
+
+/// Stage + sync + rename `payload` into place as the current snapshot.
+void write_snapshot_file(Vfs& vfs, const std::string& directory,
+                         const std::string& payload);
+
+/// The current snapshot's payload; nullopt if no snapshot exists. Throws
+/// StorageError on any framing or checksum violation.
+[[nodiscard]] std::optional<std::string> read_snapshot_payload(
+    Vfs& vfs, const std::string& directory);
+
+}  // namespace ncps::storage

@@ -1,0 +1,140 @@
+#include "storage/vfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "storage/serializer.h"
+
+namespace ncps::storage {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw StorageError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+class PosixFileWriter final : public FileWriter {
+ public:
+  PosixFileWriter(const std::string& path, bool truncate) : path_(path) {
+    const int flags =
+        O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0) throw_errno("open", path);
+  }
+
+  ~PosixFileWriter() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void append(std::string_view bytes) override {
+    const char* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write", path_);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// fsync the directory containing `path`, so a just-completed rename (or
+/// create) of the entry itself is durable.
+void sync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("fsync dir", dir);
+}
+
+class PosixVfs final : public Vfs {
+ public:
+  std::unique_ptr<FileWriter> open_append(const std::string& path) override {
+    return std::make_unique<PosixFileWriter>(path, /*truncate=*/false);
+  }
+
+  std::unique_ptr<FileWriter> open_truncate(const std::string& path) override {
+    return std::make_unique<PosixFileWriter>(path, /*truncate=*/true);
+  }
+
+  std::optional<std::string> read_file(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) return std::nullopt;
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    if (in.bad()) throw StorageError("read failed for '" + path + "'");
+    return std::move(contents).str();
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) throw_errno("rename", from);
+    sync_parent_dir(to);
+  }
+
+  void truncate(const std::string& path, std::uint64_t size) override {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) throw_errno("stat", path);
+    if (static_cast<std::uint64_t>(st.st_size) <= size) return;
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      throw_errno("truncate", path);
+    }
+    // Make the shrink durable before anything is appended after it.
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) throw_errno("open", path);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) throw_errno("fsync", path);
+  }
+
+  void remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      throw_errno("unlink", path);
+    }
+  }
+
+  bool exists(const std::string& path) override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  void create_directories(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      throw StorageError("create_directories '" + path +
+                         "': " + ec.message());
+    }
+  }
+};
+
+}  // namespace
+
+Vfs& posix_vfs() {
+  static PosixVfs instance;
+  return instance;
+}
+
+}  // namespace ncps::storage

@@ -1,0 +1,74 @@
+// Virtual filesystem seam for the storage subsystem.
+//
+// Every byte the broker persists flows through this interface, for one
+// reason: durability claims must be *testable*. PosixVfs is the real thing
+// (O_APPEND writes, fsync, atomic rename); FaultInjectingVfs (fault_vfs.h)
+// is an in-memory twin with an explicit volatile/durable split that can kill
+// the process model at any write or fsync boundary. The crash-injection
+// suite enumerates those boundaries exhaustively, so the recovery path is
+// exercised against every prefix of durable effects the real filesystem
+// could have retained.
+//
+// Contract (what recovery is allowed to assume):
+//   - append() buffers; only sync() makes previously appended bytes
+//     durable. A crash loses any unsynced suffix, and may retain a torn
+//     prefix of the bytes being synced.
+//   - rename() over an existing path atomically replaces it (POSIX rename
+//     semantics) and is durable once it returns — callers sync file
+//     contents *before* renaming (the snapshot temp-file protocol).
+//   - read_file() returns the durable contents, nullopt if absent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ncps::storage {
+
+class FileWriter {
+ public:
+  virtual ~FileWriter() = default;
+
+  /// Buffered append at end of file; durable only after sync().
+  virtual void append(std::string_view bytes) = 0;
+
+  /// Make everything appended so far durable (fsync).
+  virtual void sync() = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Open for appending, creating the file if absent.
+  virtual std::unique_ptr<FileWriter> open_append(const std::string& path) = 0;
+
+  /// Open truncated to zero length, creating if absent.
+  virtual std::unique_ptr<FileWriter> open_truncate(
+      const std::string& path) = 0;
+
+  /// Durable contents of the file; nullopt if it does not exist.
+  virtual std::optional<std::string> read_file(const std::string& path) = 0;
+
+  /// Atomically replace `to` with `from` (both in the same directory).
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// Shrink the file to `size` bytes (no-op if already smaller). Used to
+  /// repair a torn journal tail before appending resumes.
+  virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+
+  virtual void remove(const std::string& path) = 0;
+
+  [[nodiscard]] virtual bool exists(const std::string& path) = 0;
+
+  /// mkdir -p. No-op if the directory already exists.
+  virtual void create_directories(const std::string& path) = 0;
+};
+
+/// Process-wide real-filesystem instance.
+[[nodiscard]] Vfs& posix_vfs();
+
+}  // namespace ncps::storage

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/hash.h"
+#include "storage/serializer.h"
 
 namespace ncps {
 
@@ -392,6 +393,220 @@ void SharedForest::compact_storage() {
   free_nodes_.shrink_to_fit();
   quarantine_.shrink_to_fit();
   for (auto& entry : extra_parents_) entry.second.shrink_to_fit();
+}
+
+void SharedForest::save_state(storage::Writer& w) const {
+  NCPS_EXPECTS(quarantine_.empty() &&
+               "compact_storage() must precede save_state()");
+  w.varint(metas_.size());
+  w.varint(live_count_);
+  for (NodeId id = 0; id < metas_.size(); ++id) {
+    if (metas_[id].refs == 0) continue;
+    w.varint(id);
+    w.varint(metas_[id].refs);
+    w.u8(static_cast<std::uint8_t>(kind(id)));
+    if (kind(id) == ast::NodeKind::Leaf) {
+      w.varint(leaf_predicate(id).value());
+    } else {
+      const std::span<const NodeId> kids = children(id);
+      w.varint(kids.size());
+      for (const NodeId k : kids) w.varint(k);
+    }
+  }
+}
+
+void SharedForest::load_state(storage::Reader& r,
+                              std::size_t predicate_bound) {
+  NCPS_EXPECTS(metas_.empty() && live_count_ == 0);
+  constexpr std::uint64_t kMaxNodes = 1u << 30;
+  const std::uint64_t bound = r.varint_max(kMaxNodes, "forest node bound");
+  const std::uint64_t live = r.varint_max(bound, "forest live count");
+
+  // Pass 1: decode into a staging area. Nothing derived is built until the
+  // whole DAG has been read and validated — a truncated or corrupted dump
+  // must not leave a half-built forest behind an exception.
+  struct Staged {
+    ast::NodeKind kind = ast::NodeKind::Leaf;
+    std::uint32_t refs = 0;
+    std::uint32_t data = 0;         // leaf: predicate id; else staging offset
+    std::uint32_t child_count = 0;
+  };
+  std::vector<Staged> staged(bound);
+  std::vector<NodeId> staged_children;
+  for (std::uint64_t n = 0; n < live; ++n) {
+    const std::uint64_t id = r.varint_max(bound - 1, "forest node id");
+    Staged& s = staged[id];
+    if (s.refs != 0) throw StorageError("duplicate forest node id");
+    const std::uint64_t refs = r.varint_max(0xffffffffu, "forest refcount");
+    if (refs == 0) throw StorageError("live forest node with zero refcount");
+    s.refs = static_cast<std::uint32_t>(refs);
+    const std::uint8_t k = r.u8();
+    if (k > static_cast<std::uint8_t>(ast::NodeKind::Not)) {
+      throw StorageError("unknown forest node kind " + std::to_string(k));
+    }
+    s.kind = static_cast<ast::NodeKind>(k);
+    if (s.kind == ast::NodeKind::Leaf) {
+      if (predicate_bound == 0) {
+        throw StorageError("forest leaf but empty predicate table");
+      }
+      s.data = static_cast<std::uint32_t>(
+          r.varint_max(predicate_bound - 1, "forest leaf predicate"));
+    } else {
+      const std::uint64_t count =
+          r.varint_max(kMaxChildren, "forest child count");
+      if (count == 0 || (s.kind == ast::NodeKind::Not && count != 1)) {
+        throw StorageError("forest node with invalid child count");
+      }
+      s.data = static_cast<std::uint32_t>(staged_children.size());
+      s.child_count = static_cast<std::uint32_t>(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t child =
+            r.varint_max(bound - 1, "forest child id");
+        staged_children.push_back(static_cast<NodeId>(child));
+      }
+    }
+  }
+
+  // Pass 2: validate — every child is a loaded node, the graph is acyclic
+  // (ranks computed by DFS; a back edge is a cycle), and depth stays under
+  // the forest limit.
+  std::vector<std::uint32_t> ranks(bound, 0);
+  std::vector<std::uint8_t> colour(bound, 0);  // 0 unvisited 1 open 2 done
+  std::vector<NodeId> stack;
+  for (std::uint64_t root = 0; root < bound; ++root) {
+    if (staged[root].refs == 0 || colour[root] == 2) continue;
+    stack.push_back(static_cast<NodeId>(root));
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      const Staged& s = staged[id];
+      if (colour[id] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      if (colour[id] == 0) {
+        colour[id] = 1;
+        bool descend = false;
+        for (std::uint32_t i = 0; i < s.child_count; ++i) {
+          const NodeId child = staged_children[s.data + i];
+          if (staged[child].refs == 0) {
+            throw StorageError("forest child references a dead node");
+          }
+          if (colour[child] == 1) throw StorageError("forest contains a cycle");
+          if (colour[child] == 0) {
+            stack.push_back(child);
+            descend = true;
+          }
+        }
+        if (descend) continue;
+      }
+      std::uint32_t rank = 0;
+      for (std::uint32_t i = 0; i < s.child_count; ++i) {
+        rank = std::max(rank, ranks[staged_children[s.data + i]] + 1);
+      }
+      if (rank > kMaxDepth) throw StorageError("forest deeper than limit");
+      ranks[id] = rank;
+      colour[id] = 2;
+      stack.pop_back();
+    }
+  }
+
+  // Refcount floor: every in-DAG child occurrence owns one reference; the
+  // surplus is externally owned (engine roots, donors). A deficit means the
+  // dump's ownership ledger is corrupt.
+  std::vector<std::uint32_t> parent_occurrences(bound, 0);
+  for (std::uint64_t id = 0; id < bound; ++id) {
+    const Staged& s = staged[id];
+    for (std::uint32_t i = 0; i < s.child_count; ++i) {
+      ++parent_occurrences[staged_children[s.data + i]];
+    }
+  }
+  for (std::uint64_t id = 0; id < bound; ++id) {
+    if (staged[id].refs != 0 && staged[id].refs < parent_occurrences[id]) {
+      throw StorageError("forest refcount below parent edge count");
+    }
+  }
+
+  // Pass 3: build. NodeIds are the dump's ids verbatim; static truth, parent
+  // edges, the leaf index and the intern table are all recomputed. Leaf
+  // hooks deliberately do not fire.
+  metas_.assign(bound, Meta{});
+  next_.assign(bound, kNoNode);
+  child_arena_.reserve(staged_children.size());
+  std::vector<std::uint8_t> truth(bound, 0);
+  // Ascending rank is a topological order, so children are materialised
+  // (with static truth known) before any parent reads them.
+  std::vector<NodeId> order;
+  order.reserve(live);
+  for (std::uint64_t id = 0; id < bound; ++id) {
+    metas_[id].parent0 = kNoNode;
+    if (staged[id].refs != 0) order.push_back(static_cast<NodeId>(id));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](NodeId a, NodeId b) { return ranks[a] < ranks[b]; });
+  for (const NodeId id : order) {
+    const Staged& s = staged[id];
+    if (s.kind == ast::NodeKind::Leaf) {
+      if (s.data >= leaf_by_pred_.size()) {
+        leaf_by_pred_.resize(s.data + 1, kNoNode);
+      }
+      if (leaf_by_pred_[s.data] != kNoNode) {
+        throw StorageError("duplicate forest leaf for one predicate");
+      }
+      leaf_by_pred_[s.data] = id;
+      metas_[id] = Meta{s.data, s.refs, kNoNode,
+                        pack(0, 0, ast::NodeKind::Leaf, /*static=*/false)};
+      continue;
+    }
+    bool stat = false;
+    const NodeId* kids = staged_children.data() + s.data;
+    switch (s.kind) {
+      case ast::NodeKind::And:
+        stat = std::all_of(kids, kids + s.child_count,
+                           [&](NodeId k) { return truth[k] != 0; });
+        break;
+      case ast::NodeKind::Or:
+        stat = std::any_of(kids, kids + s.child_count,
+                           [&](NodeId k) { return truth[k] != 0; });
+        break;
+      case ast::NodeKind::Not:
+        stat = truth[kids[0]] == 0;
+        break;
+      case ast::NodeKind::Leaf:
+        NCPS_ASSERT(false && "unreachable");
+    }
+    truth[id] = stat ? 1 : 0;
+    const std::uint32_t offset = alloc_children(s.child_count);
+    std::copy(kids, kids + s.child_count, child_arena_.begin() + offset);
+    metas_[id] = Meta{offset, s.refs, kNoNode,
+                      pack(s.child_count, ranks[id], s.kind, stat)};
+  }
+  // Parent edges after all metas are final (add_parent touches child metas).
+  for (const NodeId id : order) {
+    const Staged& s = staged[id];
+    for (std::uint32_t i = 0; i < s.child_count; ++i) {
+      add_parent(staged_children[s.data + i], id);
+    }
+  }
+  live_count_ = live;
+  for (std::uint32_t id = static_cast<std::uint32_t>(bound); id-- > 0;) {
+    if (staged[id].refs == 0) free_nodes_.push_back(id);
+  }
+  rehash(std::max<std::size_t>(64, std::bit_ceil(live_count_ / 2 + 1)));
+
+  // Hash-consing invariant: no two live nodes may be structurally
+  // identical. The freshly built intern chains make this a cheap check.
+  for (const NodeId id : order) {
+    for (NodeId other = next_[id]; other != kNoNode; other = next_[other]) {
+      if (kind(other) != kind(id) || child_count(other) != child_count(id)) {
+        continue;
+      }
+      const bool same =
+          kind(id) == ast::NodeKind::Leaf
+              ? leaf_predicate(other) == leaf_predicate(id)
+              : std::ranges::equal(children(other), children(id));
+      if (same) throw StorageError("duplicate structure in forest dump");
+    }
+  }
 }
 
 MemoryBreakdown SharedForest::memory() const {

@@ -70,6 +70,11 @@
 
 namespace ncps {
 
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
+
 /// Thrown when an expression exceeds the forest's encoding limits.
 class ForestLimitError : public std::runtime_error {
  public:
@@ -245,6 +250,25 @@ class SharedForest {
   void compact_storage();
 
   [[nodiscard]] MemoryBreakdown memory() const;
+
+  /// Serialise every live node: (id, refcount, kind, predicate | stored
+  /// children). Ranks, static truth, parent edges, the intern table and the
+  /// leaf index are all derivable and are NOT stored — load_state()
+  /// recomputes them, so a corrupted snapshot cannot smuggle in an
+  /// inconsistent derived structure. Call compact_storage() first (the
+  /// engines' prepare_snapshot() does) so the quarantine and free lists are
+  /// empty and need no encoding.
+  void save_state(storage::Writer& w) const;
+
+  /// Rebuild from save_state() bytes into an empty forest. NodeIds survive
+  /// verbatim (engine side tables are keyed by them). Leaf hooks are NOT
+  /// fired — the loading engine reconstructs its own predicate ownership.
+  /// `predicate_bound` bounds leaf predicate ids (the predicate table's
+  /// id_bound()). Throws StorageError on any structural violation: dangling
+  /// or dead child ids, cycles, depth/width over the forest limits,
+  /// duplicate structure (a hash-consing violation), duplicate leaves for
+  /// one predicate, or refcounts below the in-DAG parent edge count.
+  void load_state(storage::Reader& r, std::size_t predicate_bound);
 
  private:
   // packed: child_count:15 | rank:12 | kind:2 | static_truth:1 | extra:1

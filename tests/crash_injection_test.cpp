@@ -1,0 +1,324 @@
+// Exhaustive crash-injection differential: a scripted control-plane
+// workload runs against a storage-enabled broker on the fault-injecting
+// VFS; the suite then re-runs it once per write/fsync boundary, crashing
+// exactly there, rebooting, and recovering. Every recovered state must
+// equal the reference broker after either `acked` operations (everything
+// that returned before the crash) or `acked + 1` (the in-flight operation,
+// whose journal commit may or may not have become durable) — compared both
+// as control-plane images (owners, ids, texts) and as notification streams
+// under probe events. Runs for all four engine kinds, plus a torn-sync
+// variant where the crashing fsync retains half its buffer.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "broker/sharded_broker.h"
+#include "storage/fault_vfs.h"
+
+namespace ncps {
+namespace {
+
+struct ScriptOp {
+  enum class Kind {
+    Register,
+    Subscribe,
+    Bulk,
+    Unsubscribe,
+    Unregister,
+    Checkpoint,
+    Publish,
+  };
+  Kind kind = Kind::Register;
+  std::size_t session = 0;          // Subscribe/Bulk owner; Unregister victim
+  std::string text;                 // Subscribe
+  std::vector<std::string> texts;   // Bulk
+  std::size_t target = 0;           // Unsubscribe: index into issued ids
+  std::size_t event = 0;            // Publish: probe event index
+};
+
+ScriptOp reg() { return ScriptOp{}; }
+ScriptOp sub(std::size_t session, std::string text) {
+  ScriptOp op;
+  op.kind = ScriptOp::Kind::Subscribe;
+  op.session = session;
+  op.text = std::move(text);
+  return op;
+}
+ScriptOp bulk(std::size_t session, std::vector<std::string> texts) {
+  ScriptOp op;
+  op.kind = ScriptOp::Kind::Bulk;
+  op.session = session;
+  op.texts = std::move(texts);
+  return op;
+}
+ScriptOp unsub(std::size_t target) {
+  ScriptOp op;
+  op.kind = ScriptOp::Kind::Unsubscribe;
+  op.target = target;
+  return op;
+}
+ScriptOp unreg(std::size_t session) {
+  ScriptOp op;
+  op.kind = ScriptOp::Kind::Unregister;
+  op.session = session;
+  return op;
+}
+ScriptOp ckpt() {
+  ScriptOp op;
+  op.kind = ScriptOp::Kind::Checkpoint;
+  return op;
+}
+ScriptOp pub(std::size_t event) {
+  ScriptOp op;
+  op.kind = ScriptOp::Kind::Publish;
+  op.event = event;
+  return op;
+}
+
+std::vector<ScriptOp> make_script() {
+  return {
+      reg(),
+      reg(),
+      sub(0, "a0 > 3 and a1 < 7"),                          // issued 0
+      sub(1, "a2 == 5 or a0 < 2"),                          // issued 1
+      bulk(0, {"a1 >= 4", "a3 < 9 and a0 == 5",
+               "a4 exists"}),                               // issued 2-4
+      pub(0),
+      sub(1, "not a3 == 1"),                                // issued 5
+      unsub(1),
+      ckpt(),
+      reg(),
+      sub(2, "a0 < 8 and a2 > 1"),                          // issued 6
+      bulk(2, {"a5 == 2", "a0 > 1 and a1 > 1 and a2 > 1"}), // issued 7-8
+      pub(1),
+      unsub(0),
+      sub(0, "a2 <= 4"),                                    // issued 9
+      unreg(1),
+      ckpt(),
+      sub(2, "a3 > 2 or a4 < 5"),                           // issued 10
+      sub(0, "a5 >= 3"),                                    // issued 11
+      unsub(6),
+      pub(2),
+  };
+}
+
+std::vector<Event> make_probes(AttributeRegistry& attrs) {
+  std::vector<Event> probes;
+  probes.push_back(EventBuilder(attrs)
+                       .set("a0", 5).set("a1", 5).set("a2", 5)
+                       .set("a3", 5).set("a4", 1).set("a5", 2).build());
+  probes.push_back(EventBuilder(attrs)
+                       .set("a0", 1).set("a1", 9).set("a2", 3)
+                       .set("a3", 1).set("a5", 7).build());
+  probes.push_back(EventBuilder(attrs)
+                       .set("a0", 7).set("a2", 2).set("a4", 4).build());
+  probes.push_back(EventBuilder(attrs).set("a3", 8).set("a5", 3).build());
+  return probes;
+}
+
+using Delivery = std::pair<std::uint32_t, std::uint32_t>;
+
+/// A storage-enabled broker driven by the script.
+struct Driver {
+  explicit Driver(AttributeRegistry& attrs, EngineKind engine,
+                  storage::Vfs* vfs) {
+    ShardedBrokerConfig config;
+    config.shard_count = 2;
+    config.engine = engine;
+    config.storage = storage::StorageOptions{.enabled = true,
+                                             .directory = "store",
+                                             .sync_on_commit = true,
+                                             .vfs = vfs};
+    broker = ShardedBroker::create(attrs, config);
+  }
+
+  /// Applies one op. SimulatedCrash propagates to the caller.
+  void apply(const ScriptOp& op, const std::vector<Event>& probes) {
+    switch (op.kind) {
+      case ScriptOp::Kind::Register:
+        sessions.push_back(broker->register_subscriber(
+            [this](const Notification& n) {
+              log.emplace_back(n.subscriber.value(), n.subscription.value());
+            }));
+        break;
+      case ScriptOp::Kind::Subscribe:
+        issued.push_back(broker->subscribe(sessions[op.session], op.text));
+        break;
+      case ScriptOp::Kind::Bulk:
+        for (const SubscriptionId id :
+             broker->subscribe_bulk(sessions[op.session], op.texts)) {
+          issued.push_back(id);
+        }
+        break;
+      case ScriptOp::Kind::Unsubscribe:
+        ASSERT_TRUE(broker->unsubscribe(issued[op.target]));
+        break;
+      case ScriptOp::Kind::Unregister:
+        broker->unregister_subscriber(sessions[op.session]);
+        break;
+      case ScriptOp::Kind::Checkpoint:
+        broker->checkpoint();
+        break;
+      case ScriptOp::Kind::Publish:
+        (void)broker->publish(probes[op.event]);
+        break;
+    }
+  }
+
+  std::unique_ptr<ShardedBroker> broker;
+  std::vector<SubscriberId> sessions;
+  std::vector<SubscriptionId> issued;
+  std::vector<Delivery> log;
+};
+
+using ControlImage =
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, std::string>>;
+
+ControlImage control_image(ShardedBroker& broker) {
+  ControlImage image;
+  for (const SubscriberId subscriber : broker.subscriber_ids()) {
+    const auto subs = broker.subscriptions_of(subscriber);
+    if (subs.empty()) {
+      image.emplace_back(subscriber.value(), 0xffffffffu, "<session>");
+    }
+    for (const SubscriptionId sub : subs) {
+      image.emplace_back(subscriber.value(), sub.value(),
+                         broker.subscription_text(sub).value_or("<none>"));
+    }
+  }
+  std::sort(image.begin(), image.end());
+  return image;
+}
+
+/// Reference images after each op prefix, from a broker on its own unarmed
+/// VFS (storage enabled, so subscription texts are tracked like the
+/// recovered broker's).
+std::vector<ControlImage> reference_images(AttributeRegistry& attrs,
+                                           EngineKind engine,
+                                           const std::vector<ScriptOp>& script,
+                                           const std::vector<Event>& probes) {
+  std::vector<ControlImage> images;
+  storage::FaultInjectingVfs vfs;
+  Driver reference(attrs, engine, &vfs);
+  images.push_back(control_image(*reference.broker));
+  for (const ScriptOp& op : script) {
+    reference.apply(op, probes);
+    images.push_back(control_image(*reference.broker));
+  }
+  return images;
+}
+
+void run_crash_sweep(EngineKind engine, bool torn_sync) {
+  AttributeRegistry attrs;
+  const std::vector<ScriptOp> script = make_script();
+  const std::vector<Event> probes = make_probes(attrs);
+  const std::vector<ControlImage> expected =
+      reference_images(attrs, engine, script, probes);
+
+  // Unarmed run: count the write/fsync boundaries the workload crosses.
+  std::uint64_t boundary_total = 0;
+  {
+    storage::FaultInjectingVfs vfs;
+    Driver unarmed(attrs, engine, &vfs);
+    for (const ScriptOp& op : script) unarmed.apply(op, probes);
+    boundary_total = vfs.boundary_count();
+  }
+  ASSERT_GT(boundary_total, 20u);
+
+  for (std::uint64_t k = 1; k <= boundary_total; ++k) {
+    SCOPED_TRACE("boundary=" + std::to_string(k) +
+                 (torn_sync ? " torn" : ""));
+    storage::FaultInjectingVfs vfs;
+    vfs.crash_at_boundary(k);
+    vfs.set_torn_sync(torn_sync);
+
+    std::size_t acked = 0;
+    bool crashed = false;
+    try {
+      Driver armed(attrs, engine, &vfs);
+      for (const ScriptOp& op : script) {
+        armed.apply(op, probes);
+        if (::testing::Test::HasFatalFailure()) return;
+        ++acked;
+      }
+    } catch (const storage::SimulatedCrash&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed) << "boundary " << k << " never fired";
+
+    vfs.restart();
+    Driver recovered(attrs, engine, &vfs);  // recovery must never crash
+    const ControlImage image = control_image(*recovered.broker);
+
+    // The in-flight operation is atomic at its journal commit: the
+    // recovered state is the acked prefix, or that prefix plus one.
+    std::size_t matched;
+    if (image == expected[acked]) {
+      matched = acked;
+    } else {
+      ASSERT_LT(acked + 1, expected.size());
+      ASSERT_EQ(image, expected[acked + 1])
+          << "recovered state matches neither acked=" << acked
+          << " nor acked+1";
+      matched = acked + 1;
+    }
+
+    // Notification differential against a reference broker replaying the
+    // matched prefix: engine state (not just control maps) must agree.
+    storage::FaultInjectingVfs reference_vfs;
+    Driver reference(attrs, engine, &reference_vfs);
+    for (std::size_t i = 0; i < matched; ++i) {
+      reference.apply(script[i], probes);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    for (const SubscriberId subscriber : recovered.broker->subscriber_ids()) {
+      recovered.broker->reattach_subscriber(
+          subscriber, [&recovered](const Notification& n) {
+            recovered.log.emplace_back(n.subscriber.value(),
+                                       n.subscription.value());
+          });
+    }
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      recovered.log.clear();
+      reference.log.clear();
+      const std::size_t n_recovered = recovered.broker->publish(probes[p]);
+      const std::size_t n_reference = reference.broker->publish(probes[p]);
+      EXPECT_EQ(n_recovered, n_reference) << "probe " << p;
+      std::sort(recovered.log.begin(), recovered.log.end());
+      std::sort(reference.log.begin(), reference.log.end());
+      ASSERT_EQ(recovered.log, reference.log) << "probe " << p;
+    }
+  }
+}
+
+class CrashInjectionTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(CrashInjectionTest, RecoversAtEveryWriteBoundary) {
+  run_crash_sweep(GetParam(), /*torn_sync=*/false);
+}
+
+TEST_P(CrashInjectionTest, RecoversAtEveryWriteBoundaryWithTornSyncs) {
+  run_crash_sweep(GetParam(), /*torn_sync=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, CrashInjectionTest,
+                         ::testing::ValuesIn(kAllEngineKinds),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineKind::NonCanonical: return "Forest";
+                             case EngineKind::NonCanonicalTree: return "Tree";
+                             case EngineKind::Counting: return "Counting";
+                             case EngineKind::CountingVariant:
+                               return "CountingVariant";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace ncps
