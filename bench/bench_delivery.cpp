@@ -12,8 +12,12 @@
 // Sweep: slow fraction {0, 1%, 10%} × shards {1, 4} × delivery
 // {inline, async×{block, drop_oldest, drop_newest}}. One JSON row per cell
 // with sustained publish events/sec, end-to-end drain seconds, delivered /
-// dropped counts and delivery latency (mean + max, measured from the
-// publish timestamp of the event's batch to callback entry).
+// dropped counts and delivery latency: mean + max measured by the bench's
+// own callbacks (publish timestamp of the event's batch to callback
+// entry), and p50/p99/p999 from the broker's telemetry histogram
+// (ncps_publish_notify_latency_seconds — publish_batch entry to
+// notification emit, both delivery paths merged). The percentile columns
+// read 0 when the library is built with NCPS_METRICS=OFF.
 //
 // The async outbox capacity is deliberately smaller than the batch count so
 // the drop policies actually shed load and Block actually throttles; the
@@ -74,6 +78,10 @@ struct CellResult {
   std::size_t dropped = 0;
   double mean_latency_us = 0;
   double max_latency_us = 0;
+  // From the broker's publish→notify histogram (0 under NCPS_METRICS=OFF).
+  double p50_latency_us = 0;
+  double p99_latency_us = 0;
+  double p999_latency_us = 0;
 };
 
 CellResult run_cell(AttributeRegistry& attrs, const DeliveryScale& scale,
@@ -173,6 +181,13 @@ CellResult run_cell(AttributeRegistry& attrs, const DeliveryScale& scale,
         static_cast<double>(measured);
     result.max_latency_us = static_cast<double>(latency_max_us.load());
   }
+  const obs::HistogramData latency_hist =
+      broker.metrics().histogram_merged("ncps_publish_notify_latency_seconds");
+  if (!latency_hist.empty()) {
+    result.p50_latency_us = latency_hist.quantile_seconds(0.50) * 1e6;
+    result.p99_latency_us = latency_hist.quantile_seconds(0.99) * 1e6;
+    result.p999_latency_us = latency_hist.quantile_seconds(0.999) * 1e6;
+  }
   return result;
 }
 
@@ -245,6 +260,9 @@ int main() {
             .field("dropped", result.dropped)
             .field("mean_latency_us", result.mean_latency_us)
             .field("max_latency_us", result.max_latency_us)
+            .field("p50_latency_us", result.p50_latency_us)
+            .field("p99_latency_us", result.p99_latency_us)
+            .field("p999_latency_us", result.p999_latency_us)
             .field("speedup_vs_inline",
                    inline_events_per_sec > 0
                        ? events_per_sec / inline_events_per_sec

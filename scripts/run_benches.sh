@@ -94,4 +94,26 @@ if [ -s "$recovery_json" ]; then
     fi
   done
 fi
+
+# Schema guard: bench_delivery rows must carry the telemetry-histogram
+# latency percentiles (the unified-telemetry acceptance column) next to the
+# bench's own mean/max measurement.
+delivery_json="$repo_root/BENCH_delivery.json"
+if [ -s "$delivery_json" ] && ! grep -q '"p99_latency_us"' "$delivery_json"; then
+  echo "error: BENCH_delivery.json lacks the \"p99_latency_us\" column" >&2
+  status=1
+fi
+
+# Schema guard: bench_obs rows must carry the metrics-on/off overhead and
+# the scrape cost — the telemetry plane's <= 2% budget is scraped from
+# overhead_pct (and enforced by the bench's own exit code above).
+obs_json="$repo_root/BENCH_obs.json"
+if [ -s "$obs_json" ]; then
+  for col in '"overhead_pct"' '"snapshot_us"'; do
+    if ! grep -q "$col" "$obs_json"; then
+      echo "error: BENCH_obs.json lacks the $col column" >&2
+      status=1
+    fi
+  done
+fi
 exit "$status"

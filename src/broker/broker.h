@@ -32,6 +32,8 @@ struct BrokerOptions {
   DeliveryOptions delivery{};
   /// Crash-recoverable subscription store (storage/snapshot.h); default off.
   storage::StorageOptions storage{};
+  /// Runtime telemetry gate (see ShardedBrokerConfig::metrics).
+  bool metrics = true;
 };
 
 class Broker : public ShardedBroker {
@@ -47,7 +49,8 @@ class Broker : public ShardedBroker {
                                           .normalisation =
                                               options.normalisation,
                                           .delivery = options.delivery,
-                                          .storage = options.storage}) {}
+                                          .storage = options.storage,
+                                          .metrics = options.metrics}) {}
 
   /// The engine holds a reference to the broker-owned predicate table, so a
   /// Broker pins its address (copy and move are deleted in the base class).

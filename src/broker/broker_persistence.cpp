@@ -92,7 +92,19 @@ void ShardedBroker::journal_commit_locked(storage::JournalRecord record) {
   // requires strict increase.
   record.seq = ++journal_seq_;
   journal_->append(record);
+  if (cells_ == nullptr) {
+    journal_->commit();
+    return;
+  }
+  const std::uint64_t start = obs::now_ticks();
   journal_->commit();
+  const std::uint64_t end = obs::now_ticks();
+  cells_->journal_commits.add();
+  cells_->journal_bytes.add(journal_->last_commit_bytes());
+  cells_->journal_commit_latency.record(end > start ? end - start : 0);
+  if (journal_->last_sync_ns() != 0) {
+    cells_->journal_fsync_latency.record(journal_->last_sync_ns());
+  }
 }
 
 void ShardedBroker::record_text_locked(SubscriptionId global,
@@ -394,6 +406,10 @@ void ShardedBroker::replay_journal_record(
 
 void ShardedBroker::checkpoint() {
   NCPS_EXPECTS(journal_ != nullptr);
+  // Wall-clock span of the whole barrier + serialisation — lock waits
+  // included, since that is the stall a checkpoint inflicts on the broker.
+  const std::uint64_t checkpoint_start =
+      cells_ == nullptr ? 0 : obs::now_ticks();
   // The snapshot fence, strictly stronger than quiesce(): the publish lock
   // waits out the in-flight batch, the flush completes async deliveries,
   // and — the part quiesce() lacks — the control lock plus every shard lock
@@ -427,6 +443,12 @@ void ShardedBroker::checkpoint() {
   // are below the new snapshot's covered seq).
   snapshot_seq_ = journal_seq_;
   journal_->reset();
+  if (cells_ != nullptr) {
+    cells_->checkpoints.add();
+    const std::uint64_t end = obs::now_ticks();
+    cells_->checkpoint_duration.record(
+        end > checkpoint_start ? end - checkpoint_start : 0);
+  }
 }
 
 void ShardedBroker::reattach_subscriber(SubscriberId subscriber,

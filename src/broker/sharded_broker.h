@@ -77,6 +77,7 @@
 #include "engine/engine_factory.h"
 #include "event/event.h"
 #include "event/schema.h"
+#include "obs/broker_metrics.h"
 #include "storage/journal.h"
 #include "storage/snapshot.h"
 #include "subscription/parser.h"
@@ -110,6 +111,12 @@ struct ShardedBrokerConfig {
   /// the full subscription state from the storage directory. Default off:
   /// byte-for-byte the in-memory-only behaviour.
   storage::StorageOptions storage{};
+  /// Runtime telemetry gate. When false no metric cells are allocated and
+  /// every instrumentation site reduces to one null check — the same
+  /// observable behaviour as compiling with NCPS_METRICS=OFF, which removes
+  /// even that check. metrics() still works, reporting only values sampled
+  /// from existing structures (per-shard match stats, gauges).
+  bool metrics = true;
 };
 
 class ShardedBroker {
@@ -251,6 +258,16 @@ class ShardedBroker {
   [[nodiscard]] AttributeRegistry& attributes() { return *attrs_; }
   [[nodiscard]] MemoryBreakdown memory() const;
 
+  /// Point-in-time telemetry snapshot: every registry cell (publish/latency
+  /// counters and histograms, delivery and journal cells) plus values
+  /// sampled under the broker's locks — per-shard cumulative match stats,
+  /// control-plane apply lag and queue depth, outbox gauges. Thread-safe
+  /// and concurrent with publishing (it takes each shard mutex briefly, one
+  /// at a time); never call it from a delivery callback, whose thread may
+  /// hold a shard mutex through the publish path. Render with
+  /// to_prometheus() / to_json().
+  [[nodiscard]] obs::MetricsSnapshot metrics() const;
+
   // ---- persistence (only when config.storage.enabled) ----
 
   [[nodiscard]] bool storage_enabled() const { return journal_ != nullptr; }
@@ -328,6 +345,9 @@ class ShardedBroker {
     /// Matches from the current batch; only touched under `mutex`.
     std::vector<ShardMatch> matches;
     MpscQueue<ShardCommand> commands;
+    /// Commands pushed but not yet applied (telemetry only: MpscQueue has no
+    /// size, and metrics() must not take the shard mutex to estimate one).
+    std::atomic<std::uint64_t> queued_commands{0};
     GenerationFence fence;
     std::mutex mutex;
   };
@@ -400,8 +420,10 @@ class ShardedBroker {
                                         BackpressurePolicy policy);
   void run_shard_tasks(std::span<const Event> events);
   std::size_t merge_and_deliver(std::span<const Event> events,
-                                const CallbackMap& callbacks);
-  std::size_t merge_and_enqueue(std::span<const Event> events);
+                                const CallbackMap& callbacks,
+                                std::uint64_t publish_tick);
+  std::size_t merge_and_enqueue(std::span<const Event> events,
+                                std::uint64_t publish_tick);
   /// Per-event deterministic merge of the shard match buffers into
   /// merge_scratch_ (ascending global subscription id); calls
   /// per_event(event_index) for each event in batch order.
@@ -467,6 +489,14 @@ class ShardedBroker {
 
   std::vector<ShardMatch> merge_scratch_;
   std::vector<std::size_t> merge_cursor_;
+
+  /// Telemetry plane. The registry owns every hot cell; cells_ bundles
+  /// stable references for the instrumentation sites and doubles as the
+  /// runtime gate (null when config.metrics is false — sites check the
+  /// pointer, not a flag). Declared before delivery_ so the executor
+  /// workers' cells outlive their last write.
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::BrokerMetrics> cells_;
 
   /// Async delivery plane; null under inline delivery. Declared last so its
   /// destruction (which joins the executor workers) precedes everything the

@@ -97,6 +97,9 @@ struct OutboxBatch {
 
   std::shared_ptr<const std::vector<Event>> events;
   std::vector<Item> items;
+  /// obs::now_ticks() at publish_batch entry; 0 when telemetry is off. Read
+  /// at drain time to record publish→notify latency for the whole batch.
+  std::uint64_t publish_tick = 0;
 
   [[nodiscard]] std::size_t notification_count() const { return items.size(); }
 };

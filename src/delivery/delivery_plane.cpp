@@ -17,8 +17,11 @@ std::size_t default_threads(std::size_t requested) {
 
 }  // namespace
 
-DeliveryPlane::DeliveryPlane(DeliveryOptions options)
-    : options_(options), executor_(default_threads(options.threads)) {
+DeliveryPlane::DeliveryPlane(DeliveryOptions options,
+                             obs::DeliveryMetrics* metrics)
+    : options_(options),
+      metrics_(metrics),
+      executor_(default_threads(options.threads)) {
   NCPS_EXPECTS(options.outbox_capacity >= 1);
   outboxes_.store(std::make_shared<const OutboxMap>());
 }
@@ -29,7 +32,7 @@ void DeliveryPlane::add_subscriber(SubscriberId subscriber, NotifyFn callback,
   updated->insert_or_assign(
       subscriber,
       std::make_shared<Outbox>(subscriber, std::move(callback), policy,
-                               options_.outbox_capacity, progress_));
+                               options_.outbox_capacity, progress_, metrics_));
   outboxes_.store(std::shared_ptr<const OutboxMap>(std::move(updated)));
 }
 
@@ -56,7 +59,9 @@ std::optional<DeliveryStats> DeliveryPlane::stats(
   return it->second->stats();
 }
 
-void DeliveryPlane::begin_batch(std::span<const Event> events) {
+void DeliveryPlane::begin_batch(std::span<const Event> events,
+                                std::uint64_t publish_tick) {
+  batch_publish_tick_ = publish_tick;
   batch_events_ = events;
   event_remap_.assign(events.size(), kNoCopy);
   copied_events_.clear();
@@ -93,6 +98,7 @@ std::size_t DeliveryPlane::commit_batch() {
     const auto it = outboxes->find(subscriber);
     if (it == outboxes->end()) continue;  // unregistered since matching
     batch.events = events_block;
+    batch.publish_tick = batch_publish_tick_;
     const std::size_t accepted = it->second->push(std::move(batch));
     if (accepted > 0) {
       progress_.accepted.fetch_add(accepted);
@@ -128,6 +134,22 @@ void DeliveryPlane::flush() {
         lock, [&] { return outbox->completed_marker() >= target; });
     progress_.waiters.fetch_sub(1);
   }
+}
+
+void DeliveryPlane::sample_metrics(obs::MetricsSnapshot& out) const {
+  const std::shared_ptr<const OutboxMap> outboxes = outboxes_.load();
+  std::uint64_t pending = 0;
+  std::uint64_t peak = 0;
+  for (const auto& [subscriber, outbox] : *outboxes) {
+    const std::uint64_t accepted = outbox->accepted_marker();
+    const std::uint64_t completed = outbox->completed_marker();
+    if (accepted > completed) pending += accepted - completed;
+    peak = std::max<std::uint64_t>(peak, outbox->stats().max_queue_depth);
+  }
+  out.add_gauge("ncps_outboxes", {}, static_cast<double>(outboxes->size()));
+  out.add_gauge("ncps_outbox_pending_notifications", {},
+                static_cast<double>(pending));
+  out.add_gauge("ncps_outbox_max_depth", {}, static_cast<double>(peak));
 }
 
 std::uint64_t DeliveryPlane::subscriber_accepted_marker(

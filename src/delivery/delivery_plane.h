@@ -44,7 +44,10 @@ class DeliveryPlane {
  public:
   using NotifyFn = Outbox::NotifyFn;
 
-  explicit DeliveryPlane(DeliveryOptions options);
+  /// `metrics` (nullable) is the broker's delivery cell bundle; it must
+  /// outlive the plane. Null disables delivery telemetry at runtime.
+  explicit DeliveryPlane(DeliveryOptions options,
+                         obs::DeliveryMetrics* metrics = nullptr);
 
   /// Stops the executor. Batches still queued at destruction are abandoned
   /// (no callbacks fire during teardown); call flush() first for loss-free
@@ -70,7 +73,11 @@ class DeliveryPlane {
 
   /// Start building the submission for one publish batch over `events`
   /// (borrowed only until commit_batch(); matched events are copied).
-  void begin_batch(std::span<const Event> events);
+  /// `publish_tick` (obs::now_ticks() at publish entry, 0 when telemetry is
+  /// off) rides along on every OutboxBatch so drain can record
+  /// publish→notify latency.
+  void begin_batch(std::span<const Event> events,
+                   std::uint64_t publish_tick = 0);
 
   /// Record one merged match. Must be called in delivery order (event index
   /// ascending; the per-subscriber FIFO order is exactly the call order).
@@ -114,6 +121,11 @@ class DeliveryPlane {
     return executor_.thread_count();
   }
 
+  /// Sample plane-wide gauges (pending notifications, outbox count, peak
+  /// queue depth) into a snapshot. Values are instantaneous reads of relaxed
+  /// counters — coherent enough for monitoring, not a barrier.
+  void sample_metrics(obs::MetricsSnapshot& out) const;
+
  private:
   using OutboxMap =
       std::unordered_map<SubscriberId, std::shared_ptr<Outbox>>;
@@ -121,6 +133,7 @@ class DeliveryPlane {
   static constexpr std::uint32_t kNoCopy = 0xffffffffu;
 
   DeliveryOptions options_;
+  obs::DeliveryMetrics* metrics_;
   DeliveryProgress progress_;
   std::atomic<std::shared_ptr<const OutboxMap>> outboxes_;
   // Declared after the state the workers touch, so destruction joins the
@@ -128,6 +141,7 @@ class DeliveryPlane {
   DeliveryExecutor executor_;
 
   // Submission builder state (producer-only, reused across batches).
+  std::uint64_t batch_publish_tick_ = 0;
   std::span<const Event> batch_events_;
   std::vector<std::uint32_t> event_remap_;  // original index -> copied index
   std::vector<Event> copied_events_;

@@ -29,6 +29,7 @@
 #include "common/contracts.h"
 #include "common/spsc_ring.h"
 #include "delivery/delivery.h"
+#include "obs/broker_metrics.h"
 
 namespace ncps {
 
@@ -58,12 +59,17 @@ class Outbox {
  public:
   using NotifyFn = std::function<void(const Notification&)>;
 
+  /// `metrics` (nullable — null when telemetry is off at runtime) is the
+  /// plane-wide cell bundle shared by every outbox; cells are relaxed
+  /// atomics, so concurrent producers/consumers write them directly.
   Outbox(SubscriberId subscriber, NotifyFn callback, BackpressurePolicy policy,
-         std::size_t capacity_batches, DeliveryProgress& progress)
+         std::size_t capacity_batches, DeliveryProgress& progress,
+         obs::DeliveryMetrics* metrics = nullptr)
       : subscriber_(subscriber),
         callback_(std::move(callback)),
         policy_(policy),
         progress_(&progress),
+        metrics_(metrics),
         ring_(capacity_batches) {
     NCPS_EXPECTS(callback_ != nullptr);
   }
@@ -78,14 +84,14 @@ class Outbox {
     const std::size_t n = batch.items.size();
     if (n == 0) return 0;
     if (closed_.load(std::memory_order_acquire)) {
-      dropped_.fetch_add(n, std::memory_order_relaxed);
+      count_dropped(n);
       return 0;
     }
     while (!ring_.try_push(std::move(batch))) {
       switch (policy_) {
         case BackpressurePolicy::Block: {
           if (!wait_for_space()) {  // false: closed while waiting
-            dropped_.fetch_add(n, std::memory_order_relaxed);
+            count_dropped(n);
             return 0;
           }
           break;  // slot freed (or eviction raced us) — retry the push
@@ -93,7 +99,7 @@ class Outbox {
         case BackpressurePolicy::DropOldest: {
           if (auto victim = ring_.pop()) {
             const std::size_t evicted = victim->items.size();
-            dropped_.fetch_add(evicted, std::memory_order_relaxed);
+            count_dropped(evicted);
             depth_.fetch_sub(evicted, std::memory_order_relaxed);
             complete(evicted);
           }
@@ -102,10 +108,11 @@ class Outbox {
           break;
         }
         case BackpressurePolicy::DropNewest:
-          dropped_.fetch_add(n, std::memory_order_relaxed);
+          count_dropped(n);
           return 0;
       }
     }
+    if (metrics_ != nullptr) metrics_->accepted.add(n);
     accepted_total_.fetch_add(n);  // seq_cst: precedes the publish-epoch tick
     const std::size_t depth = depth_.fetch_add(n, std::memory_order_relaxed) + n;
     std::size_t peak = max_depth_.load(std::memory_order_relaxed);
@@ -127,13 +134,24 @@ class Outbox {
       signal_space();
       const std::size_t n = batch->items.size();
       if (closed_.load(std::memory_order_acquire)) {
-        dropped_.fetch_add(n, std::memory_order_relaxed);
+        count_dropped(n);
       } else {
         for (const OutboxBatch::Item& item : batch->items) {
           callback_(Notification{subscriber_, item.subscription,
                                  &(*batch->events)[item.event_index]});
         }
         delivered_.fetch_add(n, std::memory_order_relaxed);
+        if (metrics_ != nullptr) {
+          metrics_->delivered.add(n);
+          // One clock read covers the whole batch: every item shares the
+          // publish tick, and intra-batch callback skew is noise next to
+          // queueing delay.
+          if (batch->publish_tick != 0) {
+            const std::uint64_t now = obs::now_ticks();
+            metrics_->latency.record_n(
+                now > batch->publish_tick ? now - batch->publish_tick : 0, n);
+          }
+        }
       }
       depth_.fetch_sub(n, std::memory_order_relaxed);
       complete(n);
@@ -189,6 +207,14 @@ class Outbox {
   }
 
  private:
+  /// Every drop site (policy drops and close discards) funnels here; the
+  /// registry cell is keyed by this outbox's policy, which is also what
+  /// caused a close-discard backlog to exist.
+  void count_dropped(std::size_t n) {
+    dropped_.fetch_add(n, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->dropped(policy_).add(n);
+  }
+
   /// An accepted batch of `n` notifications is done (delivered, evicted by
   /// DropOldest, or discarded after close). Per-outbox marker first, then
   /// the plane-wide progress (which wakes flush waiters): a woken waiter
@@ -225,6 +251,7 @@ class Outbox {
   const NotifyFn callback_;
   const BackpressurePolicy policy_;
   DeliveryProgress* progress_;
+  obs::DeliveryMetrics* metrics_;
   SpscRing<OutboxBatch> ring_;
 
   std::atomic<bool> closed_{false};

@@ -4,9 +4,9 @@
 
 namespace ncps {
 
-void CountingEngine::match_predicates(std::span<const PredicateId> fulfilled,
-                                      std::size_t event_index,
-                                      const Event& event, MatchSink& sink) {
+void CountingEngine::match_predicates_impl(
+    std::span<const PredicateId> fulfilled, std::size_t event_index,
+    const Event& event, MatchSink& sink) {
   match_impl(fulfilled, [&](SubscriptionId sid) {
     sink.on_match(event_index, event, sid);
   });
@@ -15,7 +15,6 @@ void CountingEngine::match_predicates(std::span<const PredicateId> fulfilled,
 template <typename Emit>
 void CountingEngine::match_impl(std::span<const PredicateId> fulfilled,
                                 Emit&& emit) {
-  stats_.reset();
   matched_subs_.clear();
 
   // Step 1: increment hit counters along the association lists.

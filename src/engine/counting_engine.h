@@ -17,10 +17,9 @@ class CountingEngine final : public CountingBase {
                           bool support_unsubscription = true)
       : CountingBase(table, options, support_unsubscription) {}
 
-  using FilterEngine::match_predicates;
-  void match_predicates(std::span<const PredicateId> fulfilled,
-                        std::size_t event_index, const Event& event,
-                        MatchSink& sink) override;
+  void match_predicates_impl(std::span<const PredicateId> fulfilled,
+                             std::size_t event_index, const Event& event,
+                             MatchSink& sink) override;
 
   [[nodiscard]] std::string_view name() const override { return "counting"; }
 

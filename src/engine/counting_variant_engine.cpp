@@ -2,7 +2,7 @@
 
 namespace ncps {
 
-void CountingVariantEngine::match_predicates(
+void CountingVariantEngine::match_predicates_impl(
     std::span<const PredicateId> fulfilled, std::size_t event_index,
     const Event& event, MatchSink& sink) {
   match_impl(fulfilled, [&](SubscriptionId sid) {
@@ -13,7 +13,6 @@ void CountingVariantEngine::match_predicates(
 template <typename Emit>
 void CountingVariantEngine::match_impl(std::span<const PredicateId> fulfilled,
                                        Emit&& emit) {
-  stats_.reset();
   matched_subs_.clear();
   touched_.clear();
   if (touched_set_.capacity() < required_.size()) {

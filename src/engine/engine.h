@@ -44,8 +44,13 @@ class Writer;
 class Reader;
 }  // namespace storage
 
-/// Phase-2 work counters, reset per call; cumulative totals kept separately.
+/// Phase-2 work counters. Two instances live in every engine: `last_stats()`
+/// covers exactly the most recent match_predicates call (reset by the base
+/// class before each dispatch), while `cumulative_stats()` accumulates
+/// forever — that one feeds the telemetry plane's per-shard match counters.
 struct MatchStats {
+  std::uint64_t events = 0;               ///< phase-2 invocations folded in
+  std::uint64_t fulfilled_predicates = 0; ///< phase-1 candidates handed to phase 2
   std::uint64_t candidates = 0;           ///< candidate subscriptions considered
   std::uint64_t tree_evaluations = 0;     ///< Boolean trees evaluated (non-canonical)
   std::uint64_t node_evaluations = 0;     ///< DAG nodes evaluated (shared forest)
@@ -56,6 +61,19 @@ struct MatchStats {
   std::uint64_t matches = 0;              ///< subscriptions reported
 
   void reset() { *this = MatchStats{}; }
+
+  void accumulate(const MatchStats& other) {
+    events += other.events;
+    fulfilled_predicates += other.fulfilled_predicates;
+    candidates += other.candidates;
+    tree_evaluations += other.tree_evaluations;
+    node_evaluations += other.node_evaluations;
+    truth_lookups += other.truth_lookups;
+    hit_increments += other.hit_increments;
+    counter_comparisons += other.counter_comparisons;
+    covering_skips += other.covering_skips;
+    matches += other.matches;
+  }
 };
 
 /// Receives subscription matches as they are found, so results stream out of
@@ -97,13 +115,21 @@ class FilterEngine {
   /// Unregister. Returns false if the id is unknown or already removed.
   virtual bool remove(SubscriptionId id) = 0;
 
-  /// Phase 2, streaming form — the one entry point engines implement:
-  /// report subscriptions satisfied when exactly the given predicates are
-  /// fulfilled, emitting each match (once, in unspecified order) to `sink`
-  /// with the event context.
-  virtual void match_predicates(std::span<const PredicateId> fulfilled,
-                                std::size_t event_index, const Event& event,
-                                MatchSink& sink) = 0;
+  /// Phase 2, streaming form: report subscriptions satisfied when exactly
+  /// the given predicates are fulfilled, emitting each match (once, in
+  /// unspecified order) to `sink` with the event context. Non-virtual: the
+  /// base class owns the stats lifecycle (reset per-call stats, dispatch to
+  /// match_predicates_impl, fold into the cumulative totals) so no engine
+  /// can forget half of it.
+  void match_predicates(std::span<const PredicateId> fulfilled,
+                        std::size_t event_index, const Event& event,
+                        MatchSink& sink) {
+    stats_.reset();
+    stats_.events = 1;
+    stats_.fulfilled_predicates = fulfilled.size();
+    match_predicates_impl(fulfilled, event_index, event, sink);
+    cumulative_stats_.accumulate(stats_);
+  }
 
   /// Legacy phase-2 entry: appends matching ids to `out`. Non-virtual
   /// adapter over the MatchSink overload (with an empty event context) —
@@ -144,7 +170,24 @@ class FilterEngine {
   /// memory benchmarks measure). Matching behaviour is unchanged.
   virtual void compact_storage() { use_count_.shrink_to_fit(); }
 
+  /// Work counters for the most recent match_predicates call only.
+  ///
+  /// Migration note (PR 8): last_stats() used to be the only stats surface,
+  /// and engines reset it at the top of their own match bodies — fine for
+  /// the single-threaded figure benchmarks it was built for, but racy and
+  /// meaningless under ShardedBroker, where N shards overwrite their
+  /// engines' stats on every publish and a reader can never sample all N
+  /// between two batches. It remains per-call (same semantics, now reset by
+  /// the base-class wrapper instead of each engine) for the benchmarks;
+  /// anything observability-shaped should use cumulative_stats(), which
+  /// only grows and is sampled per shard under the shard mutex by
+  /// ShardedBroker::metrics() into ncps_match_* counters.
   [[nodiscard]] const MatchStats& last_stats() const { return stats_; }
+
+  /// Totals over every match_predicates call since construction.
+  [[nodiscard]] const MatchStats& cumulative_stats() const {
+    return cumulative_stats_;
+  }
   [[nodiscard]] PredicateTable& predicate_table() { return *table_; }
   [[nodiscard]] const PredicateIndex& predicate_index() const { return index_; }
 
@@ -192,6 +235,13 @@ class FilterEngine {
   }
 
  protected:
+  /// Phase-2 body — what engines actually implement. Called by the public
+  /// match_predicates wrapper with stats_ freshly reset; implementations
+  /// add to stats_ and must NOT reset it.
+  virtual void match_predicates_impl(std::span<const PredicateId> fulfilled,
+                                     std::size_t event_index,
+                                     const Event& event, MatchSink& sink) = 0;
+
   /// Take an engine-owned reference to a live predicate; the first
   /// engine-local use registers it with the phase-1 index. Index membership
   /// is driven by the engine's own use count, NOT the table's global
@@ -243,6 +293,8 @@ class FilterEngine {
   std::vector<std::uint32_t> use_count_;  // engine-local uses per predicate id
 
  private:
+  MatchStats cumulative_stats_;
+
   // Bulk-load state: predicates whose first engine-local use happened while
   // bulk_loading_ (index registration deferred to finish_bulk_load).
   bool bulk_loading_ = false;

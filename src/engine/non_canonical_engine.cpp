@@ -303,7 +303,7 @@ bool NonCanonicalEngine::remove(SubscriptionId id) {
   return true;
 }
 
-void NonCanonicalEngine::match_predicates(
+void NonCanonicalEngine::match_predicates_impl(
     std::span<const PredicateId> fulfilled, std::size_t event_index,
     const Event& event, MatchSink& sink) {
   match_impl(fulfilled, [&](SubscriptionId sid) {
@@ -314,7 +314,6 @@ void NonCanonicalEngine::match_predicates(
 template <typename Emit>
 void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
                                     Emit&& emit) {
-  stats_.reset();
   const std::size_t bound = forest_.node_bound();
   if (touched_.capacity() < bound) touched_.resize(bound);
   if (value_.size() < bound) value_.resize(bound);

@@ -95,10 +95,9 @@ class NonCanonicalEngine final : public FilterEngine {
   bool remove(SubscriptionId id) override;
   void validate(const ast::Node& expression,
                 PredicateTable& scratch) const override;
-  using FilterEngine::match_predicates;
-  void match_predicates(std::span<const PredicateId> fulfilled,
-                        std::size_t event_index, const Event& event,
-                        MatchSink& sink) override;
+  void match_predicates_impl(std::span<const PredicateId> fulfilled,
+                             std::size_t event_index, const Event& event,
+                             MatchSink& sink) override;
 
   [[nodiscard]] std::size_t subscription_count() const override {
     return live_count_;

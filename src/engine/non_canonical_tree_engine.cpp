@@ -100,7 +100,7 @@ bool NonCanonicalTreeEngine::remove(SubscriptionId id) {
   return true;
 }
 
-void NonCanonicalTreeEngine::match_predicates(
+void NonCanonicalTreeEngine::match_predicates_impl(
     std::span<const PredicateId> fulfilled, std::size_t event_index,
     const Event& event, MatchSink& sink) {
   match_impl(fulfilled, [&](SubscriptionId sid) {
@@ -111,7 +111,6 @@ void NonCanonicalTreeEngine::match_predicates(
 template <typename Emit>
 void NonCanonicalTreeEngine::match_impl(std::span<const PredicateId> fulfilled,
                                     Emit&& emit) {
-  stats_.reset();
   truth_.clear();
   seen_subs_.clear();
 

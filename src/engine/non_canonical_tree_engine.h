@@ -58,10 +58,9 @@ class NonCanonicalTreeEngine final : public FilterEngine {
   /// queued command cannot fail at application time.
   void validate(const ast::Node& expression,
                 PredicateTable& scratch) const override;
-  using FilterEngine::match_predicates;
-  void match_predicates(std::span<const PredicateId> fulfilled,
-                        std::size_t event_index, const Event& event,
-                        MatchSink& sink) override;
+  void match_predicates_impl(std::span<const PredicateId> fulfilled,
+                             std::size_t event_index, const Event& event,
+                             MatchSink& sink) override;
 
   [[nodiscard]] std::size_t subscription_count() const override {
     return live_count_;

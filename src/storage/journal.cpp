@@ -4,6 +4,7 @@
 
 #include "common/checksum.h"
 #include "common/contracts.h"
+#include "obs/metrics.h"
 #include "storage/serializer.h"
 
 namespace ncps::storage {
@@ -187,8 +188,15 @@ void CommandJournal::commit() {
   ensure_writer();
   writer_->append(pending_);
   appended_bytes_ += pending_.size();
+  last_commit_bytes_ = pending_.size();
   pending_.clear();
-  if (sync_on_commit_) writer_->sync();
+  last_sync_ns_ = 0;
+  if (sync_on_commit_) {
+    const std::uint64_t start = obs::now_ticks();
+    writer_->sync();
+    const std::uint64_t end = obs::now_ticks();
+    last_sync_ns_ = end > start ? end - start : 0;
+  }
 }
 
 void CommandJournal::reset() {

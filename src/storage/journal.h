@@ -100,6 +100,15 @@ class CommandJournal {
     return appended_bytes_;
   }
 
+  /// Payload bytes of the most recent commit() (0 before the first); the
+  /// broker's telemetry scrapes this right after journal_commit_locked.
+  [[nodiscard]] std::uint64_t last_commit_bytes() const {
+    return last_commit_bytes_;
+  }
+  /// Nanoseconds the most recent commit() spent in fsync (0 when
+  /// sync_on_commit is off or metrics are compiled out).
+  [[nodiscard]] std::uint64_t last_sync_ns() const { return last_sync_ns_; }
+
  private:
   void ensure_writer();
 
@@ -109,6 +118,8 @@ class CommandJournal {
   std::unique_ptr<FileWriter> writer_;
   std::string pending_;
   std::uint64_t appended_bytes_ = 0;  // since construction; monitoring only
+  std::uint64_t last_commit_bytes_ = 0;
+  std::uint64_t last_sync_ns_ = 0;
 };
 
 }  // namespace ncps::storage
