@@ -1,20 +1,31 @@
-// Publish throughput of the sharded broker versus shard count.
+// Publish throughput of the sharded broker: shard count × scheduler ×
+// load shape.
 //
 // The paper workload (AND of binary ORs over unique predicates, §4) is
-// registered once as subscription text, then replayed into brokers with
-// 1, 2, 4 and 8 engine shards; full-pipeline events (every schema attribute
-// present, values uniform over the domain) are pushed through
-// publish_batch() and wall-clock publish throughput is reported.
+// registered once as subscription text, then replayed into brokers across a
+// three-axis sweep:
 //
-// Each shard runs phase 1 + phase 2 over ~1/N of the subscriptions in
-// parallel, so on a multi-core host throughput rises with the shard count
-// until cores (or the per-shard phase-1 repetition) saturate. On a
-// single-core host the sweep degenerates to measuring sharding overhead —
-// the JSON rows record hardware_concurrency so downstream tooling can tell
-// the regimes apart.
+//   shards     1, 2, 4, 8 engine shards;
+//   scheduler  kWorkStealing (the (shard × chunk) default) versus kPerShard
+//              (one task per shard — the pre-work-stealing design, kept as
+//              the baseline that quantifies what stealing buys);
+//   scenario   "uniform" spreads subscriptions evenly (kSpread placement,
+//              balanced subscriber population) while "skewed" gives one
+//              heavy subscriber most of the population under
+//              kSubscriberAffine placement, concentrating its whole
+//              portfolio on one hot shard. Under kPerShard that shard is
+//              the batch's critical path; under work stealing idle workers
+//              take its chunks, which is the effect this bench measures.
 //
-// Output: one JSON row per (engine, shard count) via bench_util.h's JsonRow,
-// plus a human-readable speedup summary per engine.
+// Honest about hardware: every row records hw_threads (via JsonRow run
+// metadata) and events_per_sec_per_hw_thread, so a single-core container
+// run — where the sweep degenerates to measuring scheduling overhead — is
+// distinguishable from the multi-core regime the speedup claims live in.
+// Scheduler-telemetry columns (match_tasks, steals) come from the broker's
+// own metrics snapshot, proving stealing actually happened on skew.
+//
+// Output: one JSON row per (scenario, engine, shards, scheduler) via
+// bench_util.h's JsonRow, plus per-scenario human-readable summaries.
 //
 // Scale via REPRO_SCALE (quick | big | paper); engines via
 // NCPS_SHARDED_ENGINES=all (default: non-canonical only).
@@ -35,36 +46,79 @@ struct SweepConfig {
   std::size_t subscriptions;
   std::size_t batch_size;
   std::size_t batches;
+  /// Shard counts swept. The quick scale keeps only the endpoints — the
+  /// scenario × scheduler axes already multiply the cell count by four, and
+  /// quick's job is schema + smoke, not the scaling curve.
+  std::vector<std::size_t> shard_counts;
 };
 
 SweepConfig sweep_config(Scale scale) {
   switch (scale) {
-    case Scale::kQuick: return {20'000, 64, 4};
-    case Scale::kBig: return {100'000, 128, 8};
-    case Scale::kPaper: return {500'000, 256, 8};
+    case Scale::kQuick: return {10'000, 64, 3, {1, 4}};
+    case Scale::kBig: return {100'000, 128, 8, {1, 2, 4, 8}};
+    case Scale::kPaper: return {500'000, 256, 8, {1, 2, 4, 8}};
   }
-  return {20'000, 64, 4};
+  return {10'000, 64, 3, {1, 4}};
 }
+
+/// One load shape: how subscriptions map to subscribers, and how the router
+/// places those subscribers on shards.
+struct Scenario {
+  const char* name;
+  ShardPlacement placement;
+  /// Fraction of the population owned by subscriber 0; the rest is dealt
+  /// round-robin to the others.
+  double heavy_fraction;
+  std::size_t subscriber_count;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"uniform", ShardPlacement::kSpread, 0.0, 8},
+    {"skewed", ShardPlacement::kSubscriberAffine, 0.75, 8},
+};
 
 /// Discards notifications; delivery cost stays in the measurement, callback
 /// work stays out of it.
 std::size_t g_notifications = 0;
 
-double run_once(AttributeRegistry& attrs, EngineKind kind, std::size_t shards,
-                const std::vector<std::string>& texts,
-                const std::vector<Event>& events, std::size_t batch_size,
-                std::size_t* notifications_out) {
-  ShardedBroker broker(
-      attrs, ShardedBrokerConfig{.shard_count = shards, .engine = kind});
-  const SubscriberId consumer = broker.register_subscriber(
-      [](const Notification&) { ++g_notifications; });
-  for (const std::string& text : texts) broker.subscribe(consumer, text);
+struct RunResult {
+  double seconds = 0;
+  std::size_t notifications = 0;
+  std::uint64_t match_tasks = 0;
+  std::uint64_t steals = 0;
+};
+
+RunResult run_once(AttributeRegistry& attrs, EngineKind kind,
+                   const Scenario& scenario, std::size_t shards,
+                   MatchScheduler scheduler,
+                   const std::vector<std::string>& texts,
+                   const std::vector<Event>& events, std::size_t batch_size) {
+  ShardedBroker broker(attrs, ShardedBrokerConfig{.shard_count = shards,
+                                                  .engine = kind,
+                                                  .placement =
+                                                      scenario.placement,
+                                                  .scheduler = scheduler});
+  std::vector<SubscriberId> consumers;
+  for (std::size_t i = 0; i < scenario.subscriber_count; ++i) {
+    consumers.push_back(broker.register_subscriber(
+        [](const Notification&) { ++g_notifications; }));
+  }
+  const auto heavy =
+      static_cast<std::size_t>(scenario.heavy_fraction *
+                               static_cast<double>(texts.size()));
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    const SubscriberId owner =
+        i < heavy ? consumers[0]
+                  : consumers[i % scenario.subscriber_count];
+    broker.subscribe(owner, texts[i]);
+  }
 
   // Warm-up batch: fault in scratch buffers and per-shard caches.
-  broker.publish_batch(
-      std::span<const Event>(events.data(), batch_size));
+  broker.publish_batch(std::span<const Event>(events.data(), batch_size));
+  const obs::MetricsSnapshot before = broker.metrics();
 
-  const double seconds = time_seconds(
+  RunResult result;
+  result.seconds = time_seconds(
       [&] {
         g_notifications = 0;  // keep the count per-pass, not per-repetition
         for (std::size_t off = 0; off + batch_size <= events.size();
@@ -74,8 +128,18 @@ double run_once(AttributeRegistry& attrs, EngineKind kind, std::size_t shards,
         }
       },
       /*repetitions=*/3);
-  *notifications_out = g_notifications;
-  return seconds;
+  result.notifications = g_notifications;
+  const obs::MetricsSnapshot after = broker.metrics();
+  result.match_tasks = after.counter_total("ncps_match_tasks_total") -
+                       before.counter_total("ncps_match_tasks_total");
+  result.steals = after.counter_total("ncps_steals_total") -
+                  before.counter_total("ncps_steals_total");
+  return result;
+}
+
+const char* to_string(MatchScheduler scheduler) {
+  return scheduler == MatchScheduler::kWorkStealing ? "work-stealing"
+                                                    : "per-shard";
 }
 
 }  // namespace
@@ -86,17 +150,18 @@ int main() {
   const char* engines_env = std::getenv("NCPS_SHARDED_ENGINES");
   const bool all_engines =
       engines_env != nullptr && std::string_view(engines_env) == "all";
+  const unsigned hw_threads = std::thread::hardware_concurrency();
 
   std::printf(
       "# Sharded publish throughput (scale=%s, %zu subscriptions, "
       "%zu x %zu events, hw threads=%u)\n",
       to_string(scale), config.subscriptions, config.batches,
-      config.batch_size, std::thread::hardware_concurrency());
+      config.batch_size, hw_threads);
 
   AttributeRegistry attrs;
 
   // One workload instance: identical subscription texts and events for every
-  // (engine, shard count) cell of the sweep.
+  // cell of the sweep.
   std::vector<std::string> texts;
   std::vector<Event> events;
   {
@@ -123,39 +188,71 @@ int main() {
                                   EngineKind::Counting,
                                   EngineKind::CountingVariant};
   const std::span<const EngineKind> kinds(kinds_all, all_engines ? 3 : 1);
+  const double total_events =
+      static_cast<double>(config.batches * config.batch_size);
 
-  for (const EngineKind kind : kinds) {
-    double baseline = 0;
-    double best_speedup = 0;
-    std::size_t best_shards = 1;
-    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
-      std::size_t notifications = 0;
-      const double seconds =
-          run_once(attrs, kind, shards, texts, events, config.batch_size,
-                   &notifications);
-      const double events_per_sec =
-          static_cast<double>(config.batches * config.batch_size) / seconds;
-      if (shards == 1) baseline = seconds;
+  for (const Scenario& scenario : kScenarios) {
+    for (const EngineKind kind : kinds) {
+      double stealing_baseline = 0;  // 1-shard work-stealing seconds
+      double best_speedup = 0;
+      std::size_t best_shards = 1;
+      double best_steal_gain = 0;  // stealing vs per-shard, same shard count
+      std::size_t best_steal_shards = 1;
+      for (const std::size_t shards : config.shard_counts) {
+        double per_shard_seconds = 0;
+        for (const MatchScheduler scheduler :
+             {MatchScheduler::kPerShard, MatchScheduler::kWorkStealing}) {
+          const RunResult r =
+              run_once(attrs, kind, scenario, shards, scheduler, texts,
+                       events, config.batch_size);
+          const double events_per_sec = total_events / r.seconds;
+          const bool stealing = scheduler == MatchScheduler::kWorkStealing;
+          if (!stealing) per_shard_seconds = r.seconds;
+          if (stealing && shards == 1) stealing_baseline = r.seconds;
 
-      JsonRow("sharded_publish")
-          .field("engine", to_string(kind))
-          .field("shards", shards)
-          .field("subscriptions", config.subscriptions)
-          .field("batch_size", config.batch_size)
-          .field("events", config.batches * config.batch_size)
-          .field("seconds", seconds)
-          .field("events_per_sec", events_per_sec)
-          .field("notifications", notifications)
-          .field("speedup_vs_1_shard", baseline / seconds)
-          .emit();
-      if (baseline / seconds > best_speedup) {
-        best_speedup = baseline / seconds;
-        best_shards = shards;
+          JsonRow("sharded_publish")
+              .field("scenario", scenario.name)
+              .field("engine", ncps::to_string(kind))
+              .field("scheduler", to_string(scheduler))
+              .field("shards", shards)
+              .field("subscriptions", config.subscriptions)
+              .field("batch_size", config.batch_size)
+              .field("events", config.batches * config.batch_size)
+              .field("seconds", r.seconds)
+              .field("events_per_sec", events_per_sec)
+              .field("events_per_sec_per_hw_thread",
+                     events_per_sec /
+                         static_cast<double>(hw_threads == 0 ? 1
+                                                             : hw_threads))
+              .field("notifications", r.notifications)
+              .field("match_tasks", r.match_tasks)
+              .field("steals", r.steals)
+              .field("speedup_vs_1_shard",
+                     stealing ? stealing_baseline / r.seconds : 0.0)
+              .field("speedup_vs_per_shard",
+                     stealing ? per_shard_seconds / r.seconds : 0.0)
+              .emit();
+
+          if (stealing) {
+            const double speedup = stealing_baseline / r.seconds;
+            if (speedup > best_speedup) {
+              best_speedup = speedup;
+              best_shards = shards;
+            }
+            const double steal_gain = per_shard_seconds / r.seconds;
+            if (steal_gain > best_steal_gain) {
+              best_steal_gain = steal_gain;
+              best_steal_shards = shards;
+            }
+          }
+        }
       }
+      std::printf(
+          "# %s/%s: best %.2fx vs 1 shard at %zu shards; stealing up to "
+          "%.2fx vs per-shard (at %zu shards)\n",
+          scenario.name, std::string(ncps::to_string(kind)).c_str(),
+          best_speedup, best_shards, best_steal_gain, best_steal_shards);
     }
-    std::printf("# %s: best %.2fx vs 1 shard at %zu shards\n",
-                std::string(to_string(kind)).c_str(), best_speedup,
-                best_shards);
   }
   return 0;
 }

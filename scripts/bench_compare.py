@@ -14,16 +14,21 @@ neutral change.
 
 Usage:
     scripts/bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
-                             [--strict]
+                             [--strict] [--only GLOB]
 
 Exit status is 0 unless --strict is given and at least one regression
 exceeds the threshold — the CI hook runs it non-blocking (no --strict) so a
-noisy runner annotates the log instead of failing the build.
+noisy runner annotates the log instead of failing the build. --only narrows
+the comparison to file names matching a glob (e.g. --only
+'BENCH_sharded.json'), which is how the scheduled big-scale job gates just
+the scheduler-throughput columns strictly while the rest of the suite stays
+advisory.
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import math
 import sys
@@ -111,6 +116,9 @@ def main() -> int:
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any regression exceeds the "
                              "threshold")
+    parser.add_argument("--only", metavar="GLOB", default=None,
+                        help="compare only BENCH_*.json files whose name "
+                             "matches this glob")
     args = parser.parse_args()
 
     for tree in (args.baseline, args.current):
@@ -120,8 +128,15 @@ def main() -> int:
 
     base_files = {p.name: p for p in sorted(args.baseline.glob("BENCH_*.json"))}
     cur_files = {p.name: p for p in sorted(args.current.glob("BENCH_*.json"))}
+    if args.only is not None:
+        base_files = {n: p for n, p in base_files.items()
+                      if fnmatch.fnmatch(n, args.only)}
+        cur_files = {n: p for n, p in cur_files.items()
+                     if fnmatch.fnmatch(n, args.only)}
     if not base_files or not cur_files:
-        print("error: no BENCH_*.json files to compare", file=sys.stderr)
+        print("error: no BENCH_*.json files to compare"
+              + (f" (after --only {args.only})" if args.only else ""),
+              file=sys.stderr)
         return 2
 
     for name in sorted(set(base_files) - set(cur_files)):

@@ -242,6 +242,14 @@ void ShardedBroker::restore_snapshot_payload(storage::Reader& r) {
     ++live_per_shard[shard];
   }
 
+  // Recovery-time build pool: engine state loads and bulk index builds take
+  // a generic ThreadPool (the match scheduler's work-stealing pool is not
+  // one). Constructor tail, so a temporary sized to the match pool is fine.
+  std::unique_ptr<ThreadPool> build_pool;
+  if (pool_ != nullptr) {
+    build_pool = std::make_unique<ThreadPool>(pool_->thread_count());
+  }
+
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     const std::uint8_t tag = r.u8();
@@ -250,7 +258,7 @@ void ShardedBroker::restore_snapshot_payload(storage::Reader& r) {
         throw StorageError(
             "snapshot has engine state for an engine without snapshots");
       }
-      shard.engine->load_state(r, attr_remap, pool_.get());
+      shard.engine->load_state(r, attr_remap, build_pool.get());
       const std::uint64_t mapped =
           r.varint_max(route_bound, "shard subscription map");
       if (mapped != shard.engine->subscription_count() ||
@@ -304,7 +312,7 @@ void ShardedBroker::restore_snapshot_payload(storage::Reader& r) {
               e.what());
         }
       }
-      shard.engine->finish_bulk_load(pool_.get());
+      shard.engine->finish_bulk_load(build_pool.get());
     } else {
       throw StorageError("unknown shard snapshot tag");
     }
@@ -419,7 +427,7 @@ void ShardedBroker::checkpoint() {
   const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   if (delivery_ != nullptr) delivery_->flush();
   const std::lock_guard<std::mutex> control_lock(control_mutex_);
-  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
   shard_locks.reserve(shards_.size());
   for (auto& shard : shards_) shard_locks.emplace_back(shard->mutex);
   for (auto& shard : shards_) drain_shard(*shard);

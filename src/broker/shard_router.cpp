@@ -15,7 +15,8 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
-ShardRouter::ShardRouter(std::size_t shard_count) : shard_count_(shard_count) {
+ShardRouter::ShardRouter(std::size_t shard_count, ShardPlacement placement)
+    : shard_count_(shard_count), placement_(placement) {
   NCPS_EXPECTS(shard_count >= 1);
 }
 
@@ -23,7 +24,9 @@ std::uint32_t ShardRouter::route(SubscriberId subscriber,
                                  std::uint64_t sequence) const {
   if (shard_count_ == 1) return 0;
   const std::uint64_t key =
-      (static_cast<std::uint64_t>(subscriber.value()) << 32) ^ sequence;
+      placement_ == ShardPlacement::kSubscriberAffine
+          ? static_cast<std::uint64_t>(subscriber.value())
+          : (static_cast<std::uint64_t>(subscriber.value()) << 32) ^ sequence;
   return static_cast<std::uint32_t>(mix64(key) % shard_count_);
 }
 

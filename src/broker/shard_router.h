@@ -5,12 +5,18 @@
 // carries ~1/N of the subscription population (phase-2 work is per-shard).
 // The router's job is purely to spread subscriptions evenly.
 //
-// The routing key mixes the subscriber id with a broker-wide registration
-// sequence number: hashing the subscriber alone would pin a heavy
-// subscriber's entire portfolio to one shard, while the sequence component
-// spreads even a single subscriber's subscriptions across all shards.
-// Placement is deterministic for a given registration history, which the
-// shard-equivalence property tests rely on.
+// Under the default kSpread policy the routing key mixes the subscriber id
+// with a broker-wide registration sequence number: hashing the subscriber
+// alone would pin a heavy subscriber's entire portfolio to one shard, while
+// the sequence component spreads even a single subscriber's subscriptions
+// across all shards. kSubscriberAffine does exactly the opposite on
+// purpose — it hashes the subscriber alone, colocating a subscriber's whole
+// portfolio on one shard. That is the principled way to produce shard skew
+// (a heavy subscriber = a hot shard), which the work-stealing benchmarks
+// use to measure what chunk stealing buys; it is also what a deployment
+// would pick if per-subscriber locality mattered more than balance.
+// Either way, placement is deterministic for a given registration history,
+// which the shard-equivalence property tests rely on.
 #pragma once
 
 #include <cstddef>
@@ -21,18 +27,27 @@
 
 namespace ncps {
 
+/// How subscriptions are spread over shards (see file comment).
+enum class ShardPlacement : std::uint8_t {
+  kSpread,            ///< mix(subscriber, sequence): even load, the default
+  kSubscriberAffine,  ///< mix(subscriber): one subscriber → one shard
+};
+
 class ShardRouter {
  public:
-  explicit ShardRouter(std::size_t shard_count);
+  explicit ShardRouter(std::size_t shard_count,
+                       ShardPlacement placement = ShardPlacement::kSpread);
 
   /// Shard for the `sequence`-th successful registration by `subscriber`.
   [[nodiscard]] std::uint32_t route(SubscriberId subscriber,
                                     std::uint64_t sequence) const;
 
   [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  [[nodiscard]] ShardPlacement placement() const { return placement_; }
 
  private:
   std::size_t shard_count_;
+  ShardPlacement placement_;
 };
 
 }  // namespace ncps

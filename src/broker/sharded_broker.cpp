@@ -1,6 +1,8 @@
 #include "broker/sharded_broker.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -9,30 +11,49 @@
 
 namespace ncps {
 
-/// Streams one shard's matches into its per-shard buffer, translating
-/// engine-local subscription ids to broker-global ids and attaching the
-/// owning subscriber (so delivery never reads control-plane maps). Runs
-/// under the shard's mutex; touches only that shard's state.
-class ShardedBroker::ShardSink final : public MatchSink {
+namespace {
+
+/// Adaptive chunking target: total match tasks per batch aims at this many
+/// per pool worker, so a worker that finishes its own slice finds several
+/// stealable chunks on a skew-loaded shard's deque. 8 keeps per-task
+/// overhead (one shared-lock + one stats fold) well under 1% for the
+/// benchmark batch sizes while leaving enough granularity to level a
+/// worst-case all-on-one-shard skew.
+constexpr std::size_t kMatchTasksPerWorker = 8;
+
+/// Per-event-range merge fan-out (tasks per worker). Merging is cheap per
+/// event, so fewer, larger ranges than the match fan-out.
+constexpr std::size_t kMergeTasksPerWorker = 4;
+
+}  // namespace
+
+/// Streams one (shard × chunk) task's matches into that task's buffer,
+/// translating engine-local subscription ids to broker-global ids and
+/// attaching the owning subscriber (so delivery never reads control-plane
+/// maps). Runs under the shard's shared lock: to_global/owner_of are only
+/// mutated under the exclusive lock, and the buffer belongs to this task
+/// alone.
+class ShardedBroker::ChunkSink final : public MatchSink {
  public:
-  explicit ShardSink(Shard& shard) : shard_(&shard) {}
+  ChunkSink(Shard& shard, std::vector<ShardMatch>& out)
+      : shard_(&shard), out_(&out) {}
 
   void on_match(std::size_t event_index, const Event& /*event*/,
                 SubscriptionId local) override {
-    shard_->matches.push_back(
-        ShardMatch{static_cast<std::uint32_t>(event_index),
-                   shard_->to_global[local.value()],
-                   shard_->owner_of[local.value()]});
+    out_->push_back(ShardMatch{static_cast<std::uint32_t>(event_index),
+                               shard_->to_global[local.value()],
+                               shard_->owner_of[local.value()]});
   }
 
  private:
   Shard* shard_;
+  std::vector<ShardMatch>* out_;
 };
 
 ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
                              ShardedBrokerConfig config)
     : attrs_(&attrs),
-      router_(config.shard_count),
+      router_(config.shard_count, config.placement),
       storage_(config.storage),
       engine_kind_(config.engine),
       normalisation_(config.normalisation) {
@@ -48,13 +69,25 @@ ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
   if (config.metrics && obs::kMetricsEnabled) {
     cells_ = std::make_unique<obs::BrokerMetrics>(registry_);
   }
-  if (config.shard_count > 1) {
-    std::size_t threads = config.worker_threads;
-    if (threads == 0) {
-      const std::size_t hw = std::thread::hardware_concurrency();
-      threads = std::min(config.shard_count, hw == 0 ? std::size_t{1} : hw);
+  scheduler_ = config.scheduler;
+  match_chunk_events_ = config.match_chunk_events;
+  std::size_t threads = config.worker_threads;
+  if (threads == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    threads = std::min(config.shard_count, hw == 0 ? std::size_t{1} : hw);
+  }
+  if (config.shard_count > 1 || threads > 1) {
+    pool_ = std::make_unique<WorkStealingPool>(threads);
+    // One context per worker, built from shard 0's engine (all shards run
+    // the same engine kind, and contexts of one kind are interchangeable).
+    worker_contexts_.reserve(pool_->thread_count());
+    for (std::size_t w = 0; w < pool_->thread_count(); ++w) {
+      worker_contexts_.push_back(shards_[0]->engine->make_context());
     }
-    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  shard_match_stats_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shard_match_stats_.push_back(std::make_unique<AtomicMatchStats>());
   }
   if (config.delivery.mode == DeliveryMode::Async) {
     delivery_default_policy_ = config.delivery.default_policy;
@@ -213,7 +246,16 @@ SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
   SubscriptionId global;
   const std::uint64_t generation =
       issue_generation_.load(std::memory_order_relaxed) + 1;
-  std::unique_lock<std::mutex> shard_lock(shard.mutex, std::try_to_lock);
+  std::unique_lock<std::shared_mutex> shard_lock(shard.mutex,
+                                                 std::try_to_lock);
+  if (shard_lock.owns_lock() &&
+      matching_active_.load(std::memory_order_acquire)) {
+    // Won the lock mid-fan-out: the shard's chunk tasks simply haven't
+    // started (or have all finished) — applying now could let chunks of one
+    // batch see different engine states. Queue instead (see
+    // matching_active_ in the header for why this re-check is sound).
+    shard_lock.unlock();
+  }
   if (shard_lock.owns_lock()) {
     // Shard idle: apply inline (after anything already queued, preserving
     // command order). The engine's add() validates as it registers, so a
@@ -387,7 +429,12 @@ std::vector<SubscriptionId> ShardedBroker::subscribe_bulk(
     Shard& shard = *shards_[s];
     const std::uint64_t generation =
         issue_generation_.load(std::memory_order_relaxed) + 1;
-    std::unique_lock<std::mutex> shard_lock(shard.mutex, std::try_to_lock);
+    std::unique_lock<std::shared_mutex> shard_lock(shard.mutex,
+                                                   std::try_to_lock);
+    if (shard_lock.owns_lock() &&
+        matching_active_.load(std::memory_order_acquire)) {
+      shard_lock.unlock();  // mid-fan-out: queue, do not apply (see header)
+    }
     if (shard_lock.owns_lock()) {
       drain_shard(shard);
       // Pre-size the shard's predicate table for the incoming batch (a few
@@ -427,7 +474,12 @@ void ShardedBroker::issue_unsubscribe_locked(SubscriptionId global,
   Shard& shard = *shards_[route.shard];
   const std::uint64_t generation =
       issue_generation_.load(std::memory_order_relaxed) + 1;
-  std::unique_lock<std::mutex> shard_lock(shard.mutex, std::try_to_lock);
+  std::unique_lock<std::shared_mutex> shard_lock(shard.mutex,
+                                                 std::try_to_lock);
+  if (shard_lock.owns_lock() &&
+      matching_active_.load(std::memory_order_acquire)) {
+    shard_lock.unlock();  // mid-fan-out: queue, do not apply (see header)
+  }
   if (shard_lock.owns_lock()) {
     drain_shard(shard);
     apply_unsubscribe(shard, global);
@@ -548,44 +600,159 @@ void ShardedBroker::apply_unsubscribe(Shard& shard, SubscriptionId global) {
   shard.owner_of[local.value()] = SubscriberId::invalid();
 }
 
-void ShardedBroker::run_shard_tasks(std::span<const Event> events) {
-  const auto shard_task = [&](std::size_t s) {
-    Shard& shard = *shards_[s];
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    drain_shard(shard);  // apply control commands between batches
-    shard.matches.clear();
-    ShardSink sink(shard);
-    shard.engine->match_batch(events, sink);
-  };
+void ShardedBroker::run_match_tasks(std::span<const Event> events) {
+  const std::size_t shard_count = shards_.size();
   if (pool_ == nullptr) {
-    for (std::size_t s = 0; s < shards_.size(); ++s) shard_task(s);
-  } else {
-    pool_->parallel_for(shards_.size(), shard_task);
+    // Seed path (one shard, one thread): drain and match under one
+    // continuous exclusive lock through the engine's legacy match_batch, so
+    // its last_stats()/cumulative_stats() keep their single-threaded
+    // per-publish semantics.
+    chunk_events_ = events.size();
+    chunk_count_ = 1;
+    if (match_buffers_.empty()) match_buffers_.resize(1);
+    match_buffers_[0].clear();
+    Shard& shard = *shards_[0];
+    const std::lock_guard<std::shared_mutex> lock(shard.mutex);
+    drain_shard(shard);
+    ChunkSink sink(shard, match_buffers_[0]);
+    shard.engine->match_batch(events, sink);
+    return;
+  }
+
+  // Phase A — control window: apply queued commands shard by shard under
+  // the exclusive lock. matching_active_ is raised first so a control
+  // thread that wins a shard lock after its drain still queues rather than
+  // mutating an engine some chunks of this batch have already read (all
+  // chunks of a shard in a batch must see one engine state).
+  matching_active_.store(true, std::memory_order_release);
+  struct ActiveGuard {
+    std::atomic<bool>& flag;
+    ~ActiveGuard() { flag.store(false, std::memory_order_release); }
+  } active_guard{matching_active_};
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::shared_mutex> lock(shard->mutex);
+    drain_shard(*shard);
+  }
+
+  // Chunking: enough (shard × chunk) tasks that stealing can level a
+  // skewed shard, but no more — per-task cost is one shared-lock round
+  // trip plus one stats fold.
+  const std::size_t workers = pool_->thread_count();
+  std::size_t chunk = match_chunk_events_;
+  if (scheduler_ == MatchScheduler::kPerShard) {
+    chunk = events.size();
+  } else if (chunk == 0) {
+    const std::size_t target_tasks =
+        std::max(shard_count, workers * kMatchTasksPerWorker);
+    const std::size_t per_shard =
+        std::max<std::size_t>(1, target_tasks / shard_count);
+    chunk = (events.size() + per_shard - 1) / per_shard;
+  }
+  chunk_events_ = std::max<std::size_t>(1, std::min(chunk, events.size()));
+  chunk_count_ = (events.size() + chunk_events_ - 1) / chunk_events_;
+
+  const std::size_t task_count = shard_count * chunk_count_;
+  if (match_buffers_.size() < task_count) match_buffers_.resize(task_count);
+  for (std::size_t t = 0; t < task_count; ++t) match_buffers_[t].clear();
+
+  // Phase B — concurrent matching: task t is chunk (t % chunk_count_) of
+  // shard (t / chunk_count_). Shard-major, so the contiguous slices the
+  // pool deals keep a worker on one shard's engine until it runs dry and
+  // steals. Workers match under the shard's *shared* lock with their own
+  // context; a shard's engine may be read by many workers at once.
+  const auto fn = [&](std::size_t task, std::size_t worker) {
+    const std::size_t s = task / chunk_count_;
+    const std::size_t first = (task % chunk_count_) * chunk_events_;
+    const std::size_t last =
+        std::min(events.size(), first + chunk_events_);
+    Shard& shard = *shards_[s];
+    MatchContext& ctx = *worker_contexts_[worker];
+    ctx.stats.reset();
+    {
+      const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      ChunkSink sink(shard, match_buffers_[task]);
+      shard.engine->match_range(events, first, last, sink, ctx);
+    }
+    shard_match_stats_[s]->add(ctx.stats);
+  };
+  const WorkStealingPool::RunStats run = pool_->run_tasks(task_count, fn);
+  if (cells_ != nullptr) {
+    cells_->match_tasks.add(run.tasks);
+    cells_->steals.add(run.steals);
   }
 }
 
-template <typename PerEvent>
-void ShardedBroker::merge_matches(std::span<const Event> events,
-                                  PerEvent&& per_event) {
-  // Each shard's buffer is already ordered by event index (engines process
-  // the batch in order), so a cursor per shard gives each event's slice.
-  merge_cursor_.assign(shards_.size(), 0);
-  for (std::size_t e = 0; e < events.size(); ++e) {
-    merge_scratch_.clear();
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      const auto& matches = shards_[s]->matches;
-      std::size_t& c = merge_cursor_[s];
-      while (c < matches.size() && matches[c].event_index == e) {
-        merge_scratch_.push_back(matches[c++]);
-      }
+void ShardedBroker::merge_all(std::span<const Event> events) {
+  // Per-event slice bounds first: one counting pass over every task buffer
+  // (cheap — an increment per match), prefix-summed into event_offsets_.
+  // Each event then has a fixed destination slice in merged_, so the
+  // per-event-range merge tasks write disjoint ranges with no
+  // coordination.
+  const std::size_t event_count = events.size();
+  event_offsets_.assign(event_count + 1, 0);
+  const std::size_t task_count = shards_.size() * chunk_count_;
+  for (std::size_t t = 0; t < task_count; ++t) {
+    for (const ShardMatch& match : match_buffers_[t]) {
+      ++event_offsets_[match.event_index + 1];
     }
-    // Ascending global id: the merged order is independent of shard count
-    // and thread scheduling.
-    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
-              [](const ShardMatch& a, const ShardMatch& b) {
-                return a.subscription < b.subscription;
-              });
-    per_event(e);
+  }
+  for (std::size_t e = 0; e < event_count; ++e) {
+    event_offsets_[e + 1] += event_offsets_[e];
+  }
+  merged_.resize(event_offsets_[event_count]);
+
+  if (pool_ == nullptr || event_count == 1) {
+    merge_event_range(0, event_count);
+    return;
+  }
+  const std::size_t merge_tasks =
+      std::min(event_count, pool_->thread_count() * kMergeTasksPerWorker);
+  const std::size_t range = (event_count + merge_tasks - 1) / merge_tasks;
+  pool_->run_tasks(merge_tasks, [&](std::size_t task, std::size_t) {
+    const std::size_t first = std::min(task * range, event_count);
+    merge_event_range(first, std::min(first + range, event_count));
+  });
+}
+
+void ShardedBroker::merge_event_range(std::size_t first, std::size_t last) {
+  if (first >= last) return;
+  const std::size_t shard_count = shards_.size();
+  // Each task buffer is ordered by event index (a chunk's events are
+  // processed in order), so within one chunk a cursor per shard walks the
+  // range; the cursors start at lower_bound(first event of the overlap).
+  std::vector<std::size_t> cursor(shard_count);
+  for (std::size_t c = first / chunk_events_;
+       c < chunk_count_ && c * chunk_events_ < last; ++c) {
+    const std::size_t chunk_begin = c * chunk_events_;
+    const std::size_t e0 = std::max(first, chunk_begin);
+    const std::size_t e1 = std::min(last, chunk_begin + chunk_events_);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const auto& buffer = match_buffers_[s * chunk_count_ + c];
+      cursor[s] = static_cast<std::size_t>(
+          std::lower_bound(buffer.begin(), buffer.end(), e0,
+                           [](const ShardMatch& m, std::size_t e) {
+                             return m.event_index < e;
+                           }) -
+          buffer.begin());
+    }
+    for (std::size_t e = e0; e < e1; ++e) {
+      std::size_t pos = event_offsets_[e];
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        const auto& buffer = match_buffers_[s * chunk_count_ + c];
+        std::size_t& cur = cursor[s];
+        while (cur < buffer.size() && buffer[cur].event_index == e) {
+          merged_[pos++] = buffer[cur++];
+        }
+      }
+      // Ascending global id: the merged order is independent of shard
+      // count, chunking and steal interleaving (ids are unique per event).
+      std::sort(
+          merged_.begin() + static_cast<std::ptrdiff_t>(event_offsets_[e]),
+          merged_.begin() + static_cast<std::ptrdiff_t>(pos),
+          [](const ShardMatch& a, const ShardMatch& b) {
+            return a.subscription < b.subscription;
+          });
+    }
   }
 }
 
@@ -593,14 +760,16 @@ std::size_t ShardedBroker::merge_and_deliver(std::span<const Event> events,
                                              const CallbackMap& callbacks,
                                              std::uint64_t publish_tick) {
   std::size_t delivered = 0;
-  merge_matches(events, [&](std::size_t e) {
-    for (const ShardMatch& match : merge_scratch_) {
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const std::size_t end = event_offsets_[e + 1];
+    for (std::size_t i = event_offsets_[e]; i < end; ++i) {
+      const ShardMatch& match = merged_[i];
       const auto cb = callbacks.find(match.owner);
       if (cb == callbacks.end()) continue;  // unregistered mid-batch
       cb->second(Notification{match.owner, match.subscription, &events[e]});
       ++delivered;
     }
-  });
+  }
   // One clock read per *batch*, weighted by its notification count — the
   // same amortisation the async path uses per drained outbox batch. A
   // per-event read costs ~10% of publish throughput on a cheap workload
@@ -625,12 +794,13 @@ std::size_t ShardedBroker::merge_and_enqueue(std::span<const Event> events,
   // The plane filters subscribers unregistered since matching via its own
   // snapshot, so no callback map is consulted here.
   delivery_->begin_batch(events, publish_tick);
-  merge_matches(events, [&](std::size_t e) {
-    for (const ShardMatch& match : merge_scratch_) {
-      delivery_->add_match(static_cast<std::uint32_t>(e), match.owner,
-                           match.subscription);
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const std::size_t end = event_offsets_[e + 1];
+    for (std::size_t i = event_offsets_[e]; i < end; ++i) {
+      delivery_->add_match(static_cast<std::uint32_t>(e), merged_[i].owner,
+                           merged_[i].subscription);
     }
-  });
+  }
   return delivery_->commit_batch();
 }
 
@@ -651,7 +821,8 @@ std::size_t ShardedBroker::publish_batch(std::span<const Event> events) {
   }
   publishing_thread_.store(std::this_thread::get_id(),
                            std::memory_order_relaxed);
-  run_shard_tasks(events);
+  run_match_tasks(events);
+  merge_all(events);
   std::size_t delivered;
   if (delivery_ != nullptr) {
     delivered = merge_and_enqueue(events, publish_tick);
@@ -715,7 +886,7 @@ void ShardedBroker::quiesce() {
   // issue_generation_ before serialising a byte.
   const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   for (auto& shard : shards_) {
-    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const std::lock_guard<std::shared_mutex> shard_lock(shard->mutex);
     drain_shard(*shard);
   }
   // Async mode: the in-flight batch only *enqueued* its notifications;
@@ -728,7 +899,7 @@ void ShardedBroker::quiesce() {
 std::size_t ShardedBroker::subscription_count() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const std::shared_lock<std::shared_mutex> lock(shard->mutex);
     total += shard->engine->subscription_count();
   }
   return total;
@@ -745,7 +916,7 @@ std::size_t ShardedBroker::subscriber_count() const {
 
 std::size_t ShardedBroker::shard_subscription_count(std::size_t shard) const {
   NCPS_EXPECTS(shard < shards_.size());
-  const std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  const std::shared_lock<std::shared_mutex> lock(shards_[shard]->mutex);
   return shards_[shard]->engine->subscription_count();
 }
 
@@ -755,11 +926,13 @@ obs::MetricsSnapshot ShardedBroker::metrics() const {
   // and journal cells): a pure copy of relaxed atomics, no broker locks.
   registry_.snapshot_into(snap);
 
-  // Per-shard samples under each shard's mutex, taken one at a time so a
-  // long batch on shard 3 doesn't block sampling shard 0. The engines'
-  // cumulative stats are plain integers the shard's worker updates under
-  // the same mutex — this is the "aggregate only at snapshot time" side of
-  // the design: zero atomics on the match path.
+  // Per-shard samples under each shard's lock (shared — sampling is a
+  // read), taken one at a time so a long batch on shard 3 doesn't block
+  // sampling shard 0. Two disjoint sources fold together: the engine's own
+  // cumulative stats (grown only by the legacy single-threaded publish
+  // path, plain integers under the exclusive lock) and the per-shard
+  // AtomicMatchStats cells the concurrent match tasks feed once per task —
+  // still zero atomics per event on the match path.
   const std::uint64_t issued =
       issue_generation_.load(std::memory_order_acquire);
   std::size_t subscriptions_total = 0;
@@ -768,10 +941,11 @@ obs::MetricsSnapshot ShardedBroker::metrics() const {
     MatchStats stats;
     std::size_t subs = 0;
     {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const std::shared_lock<std::shared_mutex> lock(shard.mutex);
       stats = shard.engine->cumulative_stats();
       subs = shard.engine->subscription_count();
     }
+    stats.accumulate(shard_match_stats_[s]->load());
     subscriptions_total += subs;
     const obs::Labels labels{{"shard", std::to_string(s)}};
     snap.add_counter("ncps_match_events_total", labels, stats.events);
@@ -806,6 +980,28 @@ obs::MetricsSnapshot ShardedBroker::metrics() const {
                    static_cast<double>(subs));
   }
   snap.add_gauge("ncps_shards", {}, static_cast<double>(shards_.size()));
+  // Match scheduler health: deque depths and how evenly the pool's workers
+  // are loaded. Busy fraction is cumulative drain time over pool lifetime —
+  // a persistently low worker under a hot batch stream means the chunking
+  // is too coarse to steal.
+  if (pool_ != nullptr) {
+    const std::vector<WorkStealingPool::WorkerSample> samples =
+        pool_->sample_workers();
+    const std::uint64_t lifetime = pool_->lifetime_ns();
+    double queued_total = 0;
+    for (std::size_t w = 0; w < samples.size(); ++w) {
+      queued_total += static_cast<double>(samples[w].queued);
+      snap.add_gauge("ncps_worker_busy_fraction",
+                     {{"worker", std::to_string(w)}},
+                     lifetime == 0
+                         ? 0.0
+                         : static_cast<double>(samples[w].busy_ns) /
+                               static_cast<double>(lifetime));
+    }
+    snap.add_gauge("ncps_pool_queue_depth", {}, queued_total);
+    snap.add_gauge("ncps_pool_workers", {},
+                   static_cast<double>(samples.size()));
+  }
   snap.add_gauge("ncps_subscriptions", {},
                  static_cast<double>(subscriptions_total));
   snap.add_gauge("ncps_subscribers", {},
@@ -823,12 +1019,12 @@ MemoryBreakdown ShardedBroker::memory() const {
   if (shards_.size() == 1) {
     // Seed broker component names, so existing breakdown consumers and the
     // memory benches keep working unchanged.
-    const std::lock_guard<std::mutex> lock(shards_[0]->mutex);
+    const std::shared_lock<std::shared_mutex> lock(shards_[0]->mutex);
     mem.add_nested("engine/", shards_[0]->engine->memory());
     mem.add_nested("predicates/", shards_[0]->table.memory());
   } else {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      const std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      const std::shared_lock<std::shared_mutex> lock(shards_[s]->mutex);
       const std::string prefix = "shard" + std::to_string(s) + "/";
       mem.add_nested(prefix + "engine/", shards_[s]->engine->memory());
       mem.add_nested(prefix + "predicates/", shards_[s]->table.memory());

@@ -7,18 +7,29 @@
 // ShardRouter; published events visit every shard, so each shard performs
 // phase 1 + phase 2 over ~1/N of the subscription population.
 //
-// The data plane is batch-oriented: publish_batch() fans the whole batch to
-// the shards through a fixed ThreadPool (one task per shard — each engine is
-// only ever touched by one thread at a time), shards stream matches into
-// per-shard buffers via the engines' MatchSink interface, and the publishing
-// thread merges the buffers deterministically (per event, ascending
-// subscription id) before handing them to delivery. In the default inline
-// delivery mode callbacks run on the publishing thread, never concurrently;
-// with DeliveryOptions::mode == Async the merged matches are deposited into
-// per-subscriber bounded outboxes and callbacks run on the delivery
-// executor's threads (delivery/delivery_plane.h), so a slow consumer blocks
-// neither matching nor other subscribers. In both modes callbacks must not
-// publish back into the broker.
+// The data plane is batch-oriented and scheduled at sub-shard granularity:
+// publish_batch() splits the batch into (shard × event-chunk) match tasks on
+// a work-stealing pool (common/work_stealing_pool.h). Tasks are dealt
+// shard-major — a worker's initial slice covers consecutive chunks of the
+// same shard, so its engine's structures stay hot — and an idle worker
+// steals the oldest chunk of the most loaded deque, which is what keeps a
+// skew-loaded shard from becoming the batch's critical path (one task per
+// shard, the previous design, made it exactly that). Matching inside a
+// shard is read-mostly concurrent: any number of workers may match one
+// engine at once because every write lands in a per-worker MatchContext
+// (engine/engine.h); the shard's shared_mutex admits them as readers while
+// control-plane mutation takes it exclusively. Each task streams matches
+// into its own (shard, chunk) buffer via the engines' MatchSink interface,
+// and the buffers are merged deterministically (per event, ascending global
+// subscription id — byte-identical regardless of shard count, chunking or
+// steal interleaving) by parallel per-event-range merge tasks on the same
+// pool. In the default inline delivery mode callbacks run on the publishing
+// thread, never concurrently; with DeliveryOptions::mode == Async the
+// merged matches are deposited into per-subscriber bounded outboxes and
+// callbacks run on the delivery executor's threads
+// (delivery/delivery_plane.h), so a slow consumer blocks neither matching
+// nor other subscribers. In both modes callbacks must not publish back into
+// the broker.
 //
 // The control plane (register/subscribe/unsubscribe) may be called from any
 // number of threads concurrently with publishing. Every control operation is
@@ -28,11 +39,14 @@
 //     commands already queued for the shard — is applied inline, so
 //     single-threaded callers observe the exact seed-broker semantics:
 //     a subscription is matchable the instant subscribe() returns;
-//   - if the shard is busy matching a batch, the command is pushed onto the
-//     shard's lock-free MPSC queue and applied by whichever thread next
-//     drains the shard — the shard's worker at the start of the next batch,
-//     or quiesce(). Control threads never wait for the data plane, and the
-//     publisher never takes the control-plane lock.
+//   - if the shard is busy matching a batch (its mutex is held by match
+//     workers, or a batch is mid-fan-out — see matching_active_), the
+//     command is pushed onto the shard's lock-free MPSC queue and applied by
+//     whichever thread next drains the shard — the publishing thread at the
+//     start of the next batch, or quiesce(). Control threads never wait for
+//     the data plane, and the publisher never takes the control-plane lock.
+//     Commands are only ever applied *between* batches: all chunks of one
+//     shard in one batch match against the same engine state.
 //
 // Commands carry a broker-wide issue generation; each shard's
 // GenerationFence records how far it has applied. That gives unsubscribe an
@@ -62,6 +76,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string_view>
 #include <thread>
@@ -73,6 +88,8 @@
 #include "common/ids.h"
 #include "common/mpsc_queue.h"
 #include "common/thread_pool.h"
+#include "common/work_stealing_pool.h"
+#include "engine/engine.h"
 #include "delivery/delivery_plane.h"
 #include "engine/engine_factory.h"
 #include "event/event.h"
@@ -89,6 +106,17 @@ class Writer;
 class Reader;
 }  // namespace storage
 
+/// How publish_batch schedules match work across the worker pool.
+enum class MatchScheduler : std::uint8_t {
+  /// (shard × event-chunk) tasks on the work-stealing pool: chunk size
+  /// adapts to batch size and shard count, idle workers steal chunks from
+  /// loaded shards. The default.
+  kWorkStealing,
+  /// One task per shard (the pre-work-stealing design), kept as the
+  /// benchmark baseline for quantifying what stealing buys under skew.
+  kPerShard,
+};
+
 struct ShardedBrokerConfig {
   /// Independent engine shards. 1 reproduces the seed single-engine broker.
   std::size_t shard_count = 1;
@@ -96,10 +124,23 @@ struct ShardedBrokerConfig {
   /// Forest normalisation for EngineKind::NonCanonical shards
   /// (shared_forest.h); ignored by the other engine kinds.
   Normalisation normalisation = Normalisation::None;
-  /// Worker threads fanning published batches across shards; 0 picks
-  /// min(shard_count, hardware_concurrency). Ignored when shard_count is 1
-  /// (single-shard brokers never spawn threads).
+  /// Worker threads matching published batches. 0 picks
+  /// min(shard_count, hardware_concurrency). A pool is spawned when the
+  /// resolved count exceeds 1 *or* shard_count exceeds 1; a single-shard
+  /// single-worker broker never spawns threads (the seed publish path).
+  /// More workers than shards is meaningful: workers share one shard's
+  /// engine as concurrent readers, each with its own match context.
   std::size_t worker_threads = 0;
+  /// Subscription placement (broker/shard_router.h). kSubscriberAffine
+  /// colocates a subscriber's portfolio on one shard — deliberate skew,
+  /// which the work-stealing scheduler is built to absorb.
+  ShardPlacement placement = ShardPlacement::kSpread;
+  /// Match task scheduling policy (see MatchScheduler).
+  MatchScheduler scheduler = MatchScheduler::kWorkStealing;
+  /// Events per (shard × chunk) match task under kWorkStealing. 0 sizes
+  /// chunks adaptively: enough tasks per shard that stealing can level a
+  /// skewed load (~8 tasks per worker across the batch), but no more.
+  std::size_t match_chunk_events = 0;
   /// Delivery plane configuration. The default (DeliveryMode::Inline) runs
   /// callbacks on the publishing thread — the seed semantics; Async routes
   /// them through per-subscriber outboxes and the delivery executor
@@ -329,9 +370,12 @@ class ShardedBroker {
     std::uint64_t generation = 0;          // broker-wide issue generation
   };
 
-  /// One engine shard: exclusive table + engine + per-batch match buffer +
-  /// its command queue. `mutex` serialises every touch of the matching
-  /// stack; whoever holds it is "the shard's worker" for that moment.
+  /// One engine shard: exclusive table + engine + its command queue.
+  /// `mutex` is a reader/writer lock over the matching stack: match workers
+  /// hold it shared (the engines' const match path writes only to
+  /// per-worker contexts), while anything that mutates the engine or table —
+  /// control-command application, drains, bulk loads, snapshots — holds it
+  /// exclusive. Metrics sampling reads under a shared lock.
   struct Shard {
     PredicateTable table;
     std::unique_ptr<FilterEngine> engine;
@@ -342,14 +386,12 @@ class ShardedBroker {
     std::vector<SubscriberId> owner_of;
     /// Broker-global id value → engine-local id, for routing removals.
     std::unordered_map<std::uint32_t, SubscriptionId> local_of;
-    /// Matches from the current batch; only touched under `mutex`.
-    std::vector<ShardMatch> matches;
     MpscQueue<ShardCommand> commands;
     /// Commands pushed but not yet applied (telemetry only: MpscQueue has no
     /// size, and metrics() must not take the shard mutex to estimate one).
     std::atomic<std::uint64_t> queued_commands{0};
     GenerationFence fence;
-    std::mutex mutex;
+    std::shared_mutex mutex;
   };
 
   /// Where a live global subscription id points (control-plane only).
@@ -391,8 +433,59 @@ class ShardedBroker {
   /// (thread spin-up would cost more than it saves).
   static constexpr std::size_t kBulkBuildParallelThreshold = 512;
 
-  class ShardSink;
+  class ChunkSink;
   using CallbackMap = std::unordered_map<SubscriberId, NotifyFn>;
+
+  /// Per-shard match-work totals fed by concurrent match tasks (relaxed
+  /// fetch_adds, once per task — never per event). metrics() sums these
+  /// with the engine's own cumulative_stats(), which only the legacy
+  /// single-threaded publish path grows; the two sources are disjoint.
+  struct AtomicMatchStats {
+    std::atomic<std::uint64_t> events{0};
+    std::atomic<std::uint64_t> fulfilled_predicates{0};
+    std::atomic<std::uint64_t> candidates{0};
+    std::atomic<std::uint64_t> tree_evaluations{0};
+    std::atomic<std::uint64_t> node_evaluations{0};
+    std::atomic<std::uint64_t> truth_lookups{0};
+    std::atomic<std::uint64_t> hit_increments{0};
+    std::atomic<std::uint64_t> counter_comparisons{0};
+    std::atomic<std::uint64_t> covering_skips{0};
+    std::atomic<std::uint64_t> matches{0};
+
+    void add(const MatchStats& s) {
+      events.fetch_add(s.events, std::memory_order_relaxed);
+      fulfilled_predicates.fetch_add(s.fulfilled_predicates,
+                                     std::memory_order_relaxed);
+      candidates.fetch_add(s.candidates, std::memory_order_relaxed);
+      tree_evaluations.fetch_add(s.tree_evaluations,
+                                 std::memory_order_relaxed);
+      node_evaluations.fetch_add(s.node_evaluations,
+                                 std::memory_order_relaxed);
+      truth_lookups.fetch_add(s.truth_lookups, std::memory_order_relaxed);
+      hit_increments.fetch_add(s.hit_increments, std::memory_order_relaxed);
+      counter_comparisons.fetch_add(s.counter_comparisons,
+                                    std::memory_order_relaxed);
+      covering_skips.fetch_add(s.covering_skips, std::memory_order_relaxed);
+      matches.fetch_add(s.matches, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] MatchStats load() const {
+      MatchStats s;
+      s.events = events.load(std::memory_order_relaxed);
+      s.fulfilled_predicates =
+          fulfilled_predicates.load(std::memory_order_relaxed);
+      s.candidates = candidates.load(std::memory_order_relaxed);
+      s.tree_evaluations = tree_evaluations.load(std::memory_order_relaxed);
+      s.node_evaluations = node_evaluations.load(std::memory_order_relaxed);
+      s.truth_lookups = truth_lookups.load(std::memory_order_relaxed);
+      s.hit_increments = hit_increments.load(std::memory_order_relaxed);
+      s.counter_comparisons =
+          counter_comparisons.load(std::memory_order_relaxed);
+      s.covering_skips = covering_skips.load(std::memory_order_relaxed);
+      s.matches = matches.load(std::memory_order_relaxed);
+      return s;
+    }
+  };
 
   SubscriptionId allocate_global_locked();
   void issue_unsubscribe_locked(SubscriptionId global, const Route& route);
@@ -418,23 +511,40 @@ class ShardedBroker {
   void apply_unsubscribe(Shard& shard, SubscriptionId global);
   SubscriberId register_subscriber_impl(NotifyFn callback,
                                         BackpressurePolicy policy);
-  void run_shard_tasks(std::span<const Event> events);
+  /// Phases A+B of the publish path: exclusive per-shard drains, then the
+  /// (shard × chunk) match fan-out into match_buffers_ — on the
+  /// work-stealing pool when one exists, sequentially otherwise (the seed
+  /// single-shard path, which uses the engine's legacy match_batch so its
+  /// last/cumulative stats keep their single-threaded semantics).
+  void run_match_tasks(std::span<const Event> events);
+  /// Phase C part 1: merge match_buffers_ into merged_ / event_offsets_ —
+  /// per event, ascending global subscription id. The per-event-range merge
+  /// tasks run on the pool (an event is merged by exactly one task, into
+  /// its precomputed slice of merged_).
+  void merge_all(std::span<const Event> events);
+  /// Events [first, last): gather each event's matches from the buffers of
+  /// the chunks covering it and sort them into merged_'s slice.
+  void merge_event_range(std::size_t first, std::size_t last);
   std::size_t merge_and_deliver(std::span<const Event> events,
                                 const CallbackMap& callbacks,
                                 std::uint64_t publish_tick);
   std::size_t merge_and_enqueue(std::span<const Event> events,
                                 std::uint64_t publish_tick);
-  /// Per-event deterministic merge of the shard match buffers into
-  /// merge_scratch_ (ascending global subscription id); calls
-  /// per_event(event_index) for each event in batch order.
-  template <typename PerEvent>
-  void merge_matches(std::span<const Event> events, PerEvent&& per_event);
 
   AttributeRegistry* attrs_;
   ShardRouter router_;
   BackpressurePolicy delivery_default_policy_ = BackpressurePolicy::Block;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::unique_ptr<ThreadPool> pool_;  // null when shard_count == 1
+  /// Match scheduler pool; null only for single-shard single-worker brokers
+  /// (the seed sequential publish path).
+  std::unique_ptr<WorkStealingPool> pool_;
+  MatchScheduler scheduler_ = MatchScheduler::kWorkStealing;
+  std::size_t match_chunk_events_ = 0;  // config knob; 0 = adaptive
+  /// One reusable match context per pool worker (contexts of one engine
+  /// kind are interchangeable across shards). Index = worker id.
+  std::vector<std::unique_ptr<MatchContext>> worker_contexts_;
+  /// Per-shard concurrent match-work totals (see AtomicMatchStats).
+  std::vector<std::unique_ptr<AtomicMatchStats>> shard_match_stats_;
 
   // ---- persistence state (null / empty unless storage enabled) ----
   storage::StorageOptions storage_;
@@ -487,8 +597,31 @@ class ShardedBroker {
   /// the control plane, loaded once per batch by the publisher.
   std::atomic<std::shared_ptr<const CallbackMap>> callbacks_;
 
-  std::vector<ShardMatch> merge_scratch_;
-  std::vector<std::size_t> merge_cursor_;
+  /// True while a batch's match fan-out is in flight (set under
+  /// publish_mutex_ before the per-shard drains, cleared once every match
+  /// task has completed). The control plane's inline fast path re-checks it
+  /// *after* winning a shard's exclusive lock: a free lock no longer proves
+  /// the shard is between batches — all of a shard's chunk tasks may simply
+  /// not have started yet — and applying a command mid-fan-out would let
+  /// chunks of one batch see different engine states. The
+  /// unlock/lock ordering on the shard mutex makes the re-check sound: if
+  /// any chunk of the shard already ran, its unlock happens-before the
+  /// control thread's lock, and the flag's store(true) happens-before that
+  /// chunk — so the re-check observes true and the command is queued.
+  std::atomic<bool> matching_active_{false};
+
+  // ---- per-batch data-plane state (touched only under publish_mutex_,
+  //      plus by that batch's own match/merge tasks) ----
+  /// Events per chunk and chunks per shard for the in-flight batch.
+  std::size_t chunk_events_ = 0;
+  std::size_t chunk_count_ = 0;
+  /// One buffer per (shard × chunk) match task, indexed
+  /// shard * chunk_count_ + chunk; capacity persists across batches.
+  std::vector<std::vector<ShardMatch>> match_buffers_;
+  /// Merged batch output: merged_[event_offsets_[e] .. event_offsets_[e+1])
+  /// is event e's matches, ascending global subscription id.
+  std::vector<ShardMatch> merged_;
+  std::vector<std::size_t> event_offsets_;
 
   /// Telemetry plane. The registry owns every hot cell; cells_ bundles
   /// stable references for the instrumentation sites and doubles as the

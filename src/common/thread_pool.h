@@ -11,6 +11,7 @@
 // thread (first one wins); the pool itself stays usable afterwards.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -71,10 +72,22 @@ class ThreadPool {
   /// Run body(0), …, body(count-1) across the pool and block until all
   /// complete. The calling thread only coordinates (the pool sizes itself to
   /// the hardware; having the caller compete for shards adds nothing).
+  ///
+  /// Indices are submitted as contiguous chunks — about four per worker —
+  /// so large counts (PredicateIndex::bulk_load partitions, per-element
+  /// fan-outs) pay one std::function allocation and one queue round-trip
+  /// per chunk instead of per index, while small counts (one task per
+  /// shard) still get one index per task and full spread across workers.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body) {
-    for (std::size_t i = 0; i < count; ++i) {
-      submit([&body, i] { body(i); });
+    if (count == 0) return;
+    const std::size_t chunks = std::min(count, workers_.size() * 4);
+    const std::size_t per = (count + chunks - 1) / chunks;
+    for (std::size_t begin = 0; begin < count; begin += per) {
+      const std::size_t end = std::min(begin + per, count);
+      submit([&body, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      });
     }
     wait_idle();
   }

@@ -21,9 +21,12 @@ CountingBase::Tid CountingBase::allocate_tid() {
   }
   const Tid tid = static_cast<Tid>(required_.size());
   required_.push_back(kDeadTid);
-  hits_.push_back(0);
   owner_.push_back(0);
   return tid;
+}
+
+std::unique_ptr<MatchContext> CountingBase::make_context() const {
+  return std::make_unique<CountingContext>();
 }
 
 void CountingBase::validate(const ast::Node& expression,
@@ -55,7 +58,6 @@ SubscriptionId CountingBase::add(const ast::Node& expression) {
   for (Disjunct& d : dnf.disjuncts) {
     const Tid tid = allocate_tid();
     required_[tid] = static_cast<std::uint8_t>(d.size());
-    hits_[tid] = 0;
     owner_[tid] = id.value();
     for (const PredicateId pid : d) {
       acquire_predicate(pid);
@@ -77,9 +79,6 @@ SubscriptionId CountingBase::add(const ast::Node& expression) {
 
   record.live = true;
   ++live_count_;
-  if (matched_subs_.capacity() < subs_.size()) {
-    matched_subs_.resize(subs_.size());
-  }
   return id;
 }
 
@@ -99,7 +98,6 @@ bool CountingBase::remove(SubscriptionId id) {
       release_predicate(pid);
     }
     required_[tid] = kDeadTid;
-    hits_[tid] = 0;
     free_tids_.push_back(tid);
     --live_tids_;
   }
@@ -112,7 +110,6 @@ bool CountingBase::remove(SubscriptionId id) {
 void CountingBase::compact_storage() {
   FilterEngine::compact_storage();
   required_.shrink_to_fit();
-  hits_.shrink_to_fit();
   owner_.shrink_to_fit();
   assoc_.shrink_to_fit();
   subs_.shrink_to_fit();
@@ -123,13 +120,11 @@ void CountingBase::compact_storage() {
   }
   free_ids_.shrink_to_fit();
   free_tids_.shrink_to_fit();
-  matched_subs_.shrink_to_fit();
 }
 
 MemoryBreakdown CountingBase::memory() const {
   MemoryBreakdown mem;
   mem.add("required_count_vector", vector_bytes(required_));
-  mem.add("hit_vector", vector_bytes(hits_));
   mem.add("owner_table", vector_bytes(owner_));
   mem.add("association_table", assoc_.memory_bytes());
   std::size_t record_bytes = subs_.capacity() * sizeof(SubRecord);
@@ -138,7 +133,11 @@ MemoryBreakdown CountingBase::memory() const {
     record_bytes += nested_vector_bytes(r.disjuncts);
   }
   mem.add("unsub_support/subscription_disjuncts", record_bytes);
-  mem.add("scratch/matched_set", matched_subs_.memory_bytes());
+  // The hit vector and the match scratch are context-owned (one per
+  // matching thread); report the engine's own default context only.
+  if (const MatchContext* ctx = default_context_if_any()) {
+    ctx->add_memory(mem);
+  }
   mem.add("scratch/free_ids", vector_bytes(free_ids_));
   mem.add("scratch/free_tids", vector_bytes(free_tids_));
   mem.add_nested("index/", index_.memory());

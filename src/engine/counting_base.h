@@ -57,6 +57,7 @@ class CountingBase : public FilterEngine {
   bool remove(SubscriptionId id) override;
   void validate(const ast::Node& expression,
                 PredicateTable& scratch) const override;
+  [[nodiscard]] std::unique_ptr<MatchContext> make_context() const override;
 
   [[nodiscard]] std::size_t subscription_count() const override {
     return live_count_;
@@ -81,6 +82,33 @@ class CountingBase : public FilterEngine {
   using Tid = std::uint32_t;
   static constexpr std::uint8_t kDeadTid = 0;  // required_[tid]==0 ⇒ dead slot
 
+  /// Per-thread match scratch for both counting engines. The hit vector is
+  /// the paper's per-matcher working set — each matching thread owns one,
+  /// and the all-zero-between-events invariant holds per context. The
+  /// touched list/set are used by the variant engine only (empty otherwise).
+  struct CountingContext final : MatchContext {
+    std::vector<std::uint8_t> hits;  // hit vector, dense by tid
+    EpochSet matched_subs;           // output de-duplication across disjuncts
+    std::vector<Tid> touched;        // variant: tids bumped this event
+    EpochSet touched_set;
+
+    void compact() override {
+      MatchContext::compact();
+      hits.shrink_to_fit();
+      matched_subs.shrink_to_fit();
+      touched.shrink_to_fit();
+      touched_set.shrink_to_fit();
+    }
+
+    void add_memory(MemoryBreakdown& mem) const override {
+      MatchContext::add_memory(mem);
+      mem.add("hit_vector", vector_bytes(hits));
+      mem.add("scratch/matched_set", matched_subs.memory_bytes());
+      mem.add("scratch/touched_list", vector_bytes(touched));
+      mem.add("scratch/touched_set", touched_set.memory_bytes());
+    }
+  };
+
   Tid allocate_tid();
 
   struct SubRecord {
@@ -92,9 +120,9 @@ class CountingBase : public FilterEngine {
   DnfOptions options_;
   bool support_unsubscription_;
 
-  // Dense per-tid arrays (the counting algorithm's working set).
+  // Dense per-tid arrays (the counting algorithm's read-only working set;
+  // the per-event hit vector lives in the CountingContext).
   std::vector<std::uint8_t> required_;  // subscription-predicate count vector
-  std::vector<std::uint8_t> hits_;      // hit vector
   std::vector<std::uint32_t> owner_;    // tid → original subscription id
 
   // Association table: id(p) → {tid}, chunked posting lists (footnote 2).
@@ -106,8 +134,6 @@ class CountingBase : public FilterEngine {
   std::vector<Tid> free_tids_;
   std::size_t live_count_ = 0;
   std::size_t live_tids_ = 0;
-
-  EpochSet matched_subs_;  // output de-duplication across disjuncts
 
  private:
   SubscriptionId allocate_id();

@@ -6,43 +6,50 @@ namespace ncps {
 
 void CountingEngine::match_predicates_impl(
     std::span<const PredicateId> fulfilled, std::size_t event_index,
-    const Event& event, MatchSink& sink) {
-  match_impl(fulfilled, [&](SubscriptionId sid) {
-    sink.on_match(event_index, event, sid);
-  });
+    const Event& event, MatchSink& sink, MatchContext& ctx) const {
+  match_impl(fulfilled, static_cast<CountingContext&>(ctx),
+             [&](SubscriptionId sid) {
+               sink.on_match(event_index, event, sid);
+             });
 }
 
 template <typename Emit>
 void CountingEngine::match_impl(std::span<const PredicateId> fulfilled,
-                                Emit&& emit) {
-  matched_subs_.clear();
+                                CountingContext& ctx, Emit&& emit) const {
+  const std::size_t tid_count = required_.size();
+  // New tids since this context last matched start at zero, matching the
+  // all-zero-between-events invariant the existing entries already satisfy.
+  if (ctx.hits.size() < tid_count) ctx.hits.resize(tid_count, 0);
+  if (ctx.matched_subs.capacity() < subs_.size()) {
+    ctx.matched_subs.resize(subs_.size());
+  }
+  ctx.matched_subs.clear();
 
   // Step 1: increment hit counters along the association lists.
   for (const PredicateId pid : fulfilled) {
     if (pid.value() >= assoc_.list_count()) continue;
     assoc_.for_each(pid.value(), [&](Tid tid) {
-      ++hits_[tid];
-      ++stats_.hit_increments;
+      ++ctx.hits[tid];
+      ++ctx.stats.hit_increments;
     });
   }
 
   // Step 2: the defining full scan — compare every registered transformed
   // subscription's hit count against its required count.
-  const std::size_t tid_count = required_.size();
   for (Tid tid = 0; tid < tid_count; ++tid) {
-    ++stats_.counter_comparisons;
-    if (required_[tid] != kDeadTid && hits_[tid] == required_[tid]) {
-      if (matched_subs_.insert(owner_[tid])) {
+    ++ctx.stats.counter_comparisons;
+    if (required_[tid] != kDeadTid && ctx.hits[tid] == required_[tid]) {
+      if (ctx.matched_subs.insert(owner_[tid])) {
         emit(SubscriptionId(owner_[tid]));
-        ++stats_.matches;
+        ++ctx.stats.matches;
       }
     }
   }
-  stats_.candidates = tid_count;
+  ctx.stats.candidates += tid_count;
 
   // Reset the hit vector for the next event (also linear — part of why the
   // original algorithm cannot escape O(total transformed subscriptions)).
-  std::fill(hits_.begin(), hits_.end(), std::uint8_t{0});
+  std::fill(ctx.hits.begin(), ctx.hits.end(), std::uint8_t{0});
 }
 
 }  // namespace ncps

@@ -19,13 +19,14 @@ class CountingEngine final : public CountingBase {
 
   void match_predicates_impl(std::span<const PredicateId> fulfilled,
                              std::size_t event_index, const Event& event,
-                             MatchSink& sink) override;
+                             MatchSink& sink, MatchContext& ctx) const override;
 
   [[nodiscard]] std::string_view name() const override { return "counting"; }
 
  private:
   template <typename Emit>
-  void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);
+  void match_impl(std::span<const PredicateId> fulfilled, CountingContext& ctx,
+                  Emit&& emit) const;
 };
 
 }  // namespace ncps

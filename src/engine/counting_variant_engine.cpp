@@ -4,45 +4,52 @@ namespace ncps {
 
 void CountingVariantEngine::match_predicates_impl(
     std::span<const PredicateId> fulfilled, std::size_t event_index,
-    const Event& event, MatchSink& sink) {
-  match_impl(fulfilled, [&](SubscriptionId sid) {
-    sink.on_match(event_index, event, sid);
-  });
+    const Event& event, MatchSink& sink, MatchContext& ctx) const {
+  match_impl(fulfilled, static_cast<CountingContext&>(ctx),
+             [&](SubscriptionId sid) {
+               sink.on_match(event_index, event, sid);
+             });
 }
 
 template <typename Emit>
 void CountingVariantEngine::match_impl(std::span<const PredicateId> fulfilled,
-                                       Emit&& emit) {
-  matched_subs_.clear();
-  touched_.clear();
-  if (touched_set_.capacity() < required_.size()) {
-    touched_set_.resize(required_.size());
+                                       CountingContext& ctx,
+                                       Emit&& emit) const {
+  const std::size_t tid_count = required_.size();
+  if (ctx.hits.size() < tid_count) ctx.hits.resize(tid_count, 0);
+  if (ctx.matched_subs.capacity() < subs_.size()) {
+    ctx.matched_subs.resize(subs_.size());
   }
-  touched_set_.clear();
+  ctx.matched_subs.clear();
+  ctx.touched.clear();
+  if (ctx.touched_set.capacity() < tid_count) {
+    ctx.touched_set.resize(tid_count);
+  }
+  ctx.touched_set.clear();
 
   // Step 1: increment hit counters, recording each touched transformed
   // subscription once — the candidate list.
   for (const PredicateId pid : fulfilled) {
     if (pid.value() >= assoc_.list_count()) continue;
     assoc_.for_each(pid.value(), [&](Tid tid) {
-      ++hits_[tid];
-      ++stats_.hit_increments;
-      if (touched_set_.insert(tid)) touched_.push_back(tid);
+      ++ctx.hits[tid];
+      ++ctx.stats.hit_increments;
+      if (ctx.touched_set.insert(tid)) ctx.touched.push_back(tid);
     });
   }
 
   // Step 2: compare candidates only; reset exactly what was touched.
-  for (const Tid tid : touched_) {
-    ++stats_.counter_comparisons;
-    if (hits_[tid] == required_[tid]) {
-      if (matched_subs_.insert(owner_[tid])) {
+  for (const Tid tid : ctx.touched) {
+    ++ctx.stats.counter_comparisons;
+    if (ctx.hits[tid] == required_[tid]) {
+      if (ctx.matched_subs.insert(owner_[tid])) {
         emit(SubscriptionId(owner_[tid]));
-        ++stats_.matches;
+        ++ctx.stats.matches;
       }
     }
-    hits_[tid] = 0;
+    ctx.hits[tid] = 0;
   }
-  stats_.candidates = touched_.size();
+  ctx.stats.candidates += ctx.touched.size();
 }
 
 }  // namespace ncps

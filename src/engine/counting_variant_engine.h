@@ -23,25 +23,16 @@ class CountingVariantEngine final : public CountingBase {
 
   void match_predicates_impl(std::span<const PredicateId> fulfilled,
                              std::size_t event_index, const Event& event,
-                             MatchSink& sink) override;
+                             MatchSink& sink, MatchContext& ctx) const override;
 
   [[nodiscard]] std::string_view name() const override {
     return "counting-variant";
   }
 
-  [[nodiscard]] MemoryBreakdown memory() const override {
-    MemoryBreakdown mem = CountingBase::memory();
-    mem.add("scratch/touched_list", vector_bytes(touched_));
-    mem.add("scratch/touched_set", touched_set_.memory_bytes());
-    return mem;
-  }
-
  private:
   template <typename Emit>
-  void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);
-
-  std::vector<Tid> touched_;  // tids whose counters were bumped this event
-  EpochSet touched_set_;
+  void match_impl(std::span<const PredicateId> fulfilled, CountingContext& ctx,
+                  Emit&& emit) const;
 };
 
 }  // namespace ncps

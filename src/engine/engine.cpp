@@ -38,6 +38,25 @@ void FilterEngine::finish_bulk_load(ThreadPool* pool) {
   index_.bulk_load(entries, pool);
 }
 
+void FilterEngine::match_range(std::span<const Event> events,
+                               std::size_t first, std::size_t last,
+                               MatchSink& sink, MatchContext& ctx) const {
+  NCPS_EXPECTS(first <= last && last <= events.size());
+  if (first == last) return;
+  const std::span<const Event> range = events.subspan(first, last - first);
+  ctx.fulfilled.clear();
+  ctx.offsets.clear();
+  index_.match_batch(range, *table_, ctx.fulfilled, ctx.offsets);
+  for (std::size_t i = 0; i < range.size(); ++i) {
+    const std::span<const PredicateId> fulfilled(
+        ctx.fulfilled.data() + ctx.offsets[i],
+        ctx.offsets[i + 1] - ctx.offsets[i]);
+    // Event indexes reported to the sink are batch-global: chunked tasks on
+    // different workers all address the same per-event merge buffers.
+    match_predicates(fulfilled, first + i, range[i], sink, ctx);
+  }
+}
+
 void FilterEngine::match_predicates(std::span<const PredicateId> fulfilled,
                                     std::vector<SubscriptionId>& out) {
   VectorSink sink(out);
@@ -47,21 +66,27 @@ void FilterEngine::match_predicates(std::span<const PredicateId> fulfilled,
 
 void FilterEngine::match(const Event& event,
                          std::vector<SubscriptionId>& out) {
-  fulfilled_scratch_.clear();
-  index_.match(event, *table_, fulfilled_scratch_);
+  MatchContext& ctx = default_context();
+  ctx.fulfilled.clear();
+  ctx.offsets.clear();
+  index_.match(event, *table_, ctx.fulfilled);
   VectorSink sink(out);
-  match_predicates(fulfilled_scratch_, 0, event, sink);
+  match_predicates(ctx.fulfilled, 0, event, sink);
 }
 
 void FilterEngine::match_batch(std::span<const Event> events,
                                MatchSink& sink) {
-  batch_fulfilled_.clear();
-  batch_offsets_.clear();
-  index_.match_batch(events, *table_, batch_fulfilled_, batch_offsets_);
+  MatchContext& ctx = default_context();
+  ctx.fulfilled.clear();
+  ctx.offsets.clear();
+  index_.match_batch(events, *table_, ctx.fulfilled, ctx.offsets);
   for (std::size_t i = 0; i < events.size(); ++i) {
     const std::span<const PredicateId> fulfilled(
-        batch_fulfilled_.data() + batch_offsets_[i],
-        batch_offsets_[i + 1] - batch_offsets_[i]);
+        ctx.fulfilled.data() + ctx.offsets[i],
+        ctx.offsets[i + 1] - ctx.offsets[i]);
+    // Route through the legacy per-event wrapper so last_stats() stays
+    // per-event and cumulative_stats() grows — metrics() on the
+    // single-threaded path reads engine cumulative totals only.
     match_predicates(fulfilled, i, events[i], sink);
   }
 }

@@ -19,13 +19,21 @@
 //
 // Engines own their predicate references: add() takes one PredicateTable
 // reference per unique predicate stored, remove() releases them, and index
-// registration follows the 0→1/1→0 refcount transitions. Engines are
-// single-threaded by design (the paper's prototype is too); the broker layer
-// serialises access — in the sharded broker, one shard = one engine = at
-// most one worker thread at a time.
+// registration follows the 0→1/1→0 refcount transitions.
+//
+// Threading: mutation (add/remove/bulk load/snapshots) is single-threaded —
+// the broker layer serialises it per shard. Matching is read-mostly: the
+// const entry points (match_predicates with a MatchContext, match_range)
+// touch no mutable engine state — every scratch array and every counter
+// lives in the caller-supplied MatchContext — so any number of threads may
+// match against one engine concurrently, provided mutation is excluded for
+// the duration (the sharded broker enforces this with a per-shard
+// shared_mutex: matchers take it shared, control-plane appliers exclusive).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -86,6 +94,43 @@ class MatchSink {
                         SubscriptionId subscription) = 0;
 };
 
+/// Caller-owned match state: per-task MatchStats plus every scratch
+/// structure one matching thread needs. Engines subclass it (make_context())
+/// with their phase-2 scratch arrays — memoized truth, hit vectors,
+/// frontier buffers — which is what makes the const match path safe to run
+/// from several threads at once: all mutation lands in the context, all
+/// engine state is read-only. One context serves one thread at a time; a
+/// worker reuses its context across tasks and batches so the scratch
+/// allocations amortise exactly as the old engine-owned scratch did.
+///
+/// stats accumulates across calls (the broker folds a worker's context into
+/// per-shard totals after each task); callers wanting per-call numbers
+/// reset it themselves — the legacy non-const FilterEngine entry points do,
+/// preserving last_stats() semantics.
+class MatchContext {
+ public:
+  virtual ~MatchContext() = default;
+
+  MatchStats stats;
+  /// Phase-1 batch scratch for match_range: all events' fulfilled sets
+  /// concatenated + slice bounds.
+  std::vector<PredicateId> fulfilled;
+  std::vector<std::uint32_t> offsets;
+
+  /// Release scratch growth slack (engine compact_storage forwards here).
+  virtual void compact() {
+    fulfilled.shrink_to_fit();
+    offsets.shrink_to_fit();
+  }
+
+  /// Report scratch footprint under "scratch/..." labels (engine memory()
+  /// forwards its default context here).
+  virtual void add_memory(MemoryBreakdown& mem) const {
+    mem.add("scratch/phase1_batch",
+            vector_bytes(fulfilled) + vector_bytes(offsets));
+  }
+};
+
 class FilterEngine {
  public:
   explicit FilterEngine(PredicateTable& table) : table_(&table) {}
@@ -115,19 +160,47 @@ class FilterEngine {
   /// Unregister. Returns false if the id is unknown or already removed.
   virtual bool remove(SubscriptionId id) = 0;
 
-  /// Phase 2, streaming form: report subscriptions satisfied when exactly
-  /// the given predicates are fulfilled, emitting each match (once, in
-  /// unspecified order) to `sink` with the event context. Non-virtual: the
-  /// base class owns the stats lifecycle (reset per-call stats, dispatch to
-  /// match_predicates_impl, fold into the cumulative totals) so no engine
-  /// can forget half of it.
+  /// Build a match context sized for this engine (scratch grows lazily as
+  /// the context is used). Contexts from engines of the same kind are
+  /// interchangeable; the broker builds one per worker and reuses it across
+  /// shards and batches.
+  [[nodiscard]] virtual std::unique_ptr<MatchContext> make_context() const {
+    return std::make_unique<MatchContext>();
+  }
+
+  /// Phase 2, streaming form, concurrent-safe: report subscriptions
+  /// satisfied when exactly the given predicates are fulfilled, emitting
+  /// each match (once, in unspecified order) to `sink` with the event
+  /// context. Const — every write lands in `ctx`, so any number of threads
+  /// may call this on one engine as long as each brings its own context
+  /// and no thread concurrently mutates the engine (the broker's
+  /// shared-mutex reader path enforces exactly that). ctx.stats
+  /// accumulates; the caller resets or folds it on its own schedule.
+  void match_predicates(std::span<const PredicateId> fulfilled,
+                        std::size_t event_index, const Event& event,
+                        MatchSink& sink, MatchContext& ctx) const {
+    ctx.stats.events += 1;
+    ctx.stats.fulfilled_predicates += fulfilled.size();
+    match_predicates_impl(fulfilled, event_index, event, sink, ctx);
+  }
+
+  /// Full pipeline over events[first, last), concurrent-safe: phase 1 once
+  /// over the sub-range through this engine's index, then phase 2 per event
+  /// streamed into `sink` with *batch-global* event indexes. This is the
+  /// unit of work a (shard × event-chunk) match task executes.
+  void match_range(std::span<const Event> events, std::size_t first,
+                   std::size_t last, MatchSink& sink, MatchContext& ctx) const;
+
+  /// Phase 2, legacy single-threaded form: dispatches through the engine's
+  /// own default context, with per-call stats semantics — last_stats()
+  /// covers exactly this call, cumulative_stats() grows by it.
   void match_predicates(std::span<const PredicateId> fulfilled,
                         std::size_t event_index, const Event& event,
                         MatchSink& sink) {
-    stats_.reset();
-    stats_.events = 1;
-    stats_.fulfilled_predicates = fulfilled.size();
-    match_predicates_impl(fulfilled, event_index, event, sink);
+    MatchContext& ctx = default_context();
+    ctx.stats.reset();
+    match_predicates(fulfilled, event_index, event, sink, ctx);
+    stats_ = ctx.stats;
     cumulative_stats_.accumulate(stats_);
   }
 
@@ -142,7 +215,7 @@ class FilterEngine {
 
   /// Batched full pipeline: phase 1 once over the whole batch (one index
   /// traversal, shared fulfilled-set buffers), then phase 2 per event with
-  /// results streamed into `sink`.
+  /// results streamed into `sink`. Single-threaded (default-context) form.
   virtual void match_batch(std::span<const Event> events, MatchSink& sink);
 
   /// Enter bulk-load mode: until finish_bulk_load(), predicates newly
@@ -168,7 +241,10 @@ class FilterEngine {
   /// Release allocator growth slack so memory() reflects the steady-state
   /// footprint (what a long-running broker converges to, and what the
   /// memory benchmarks measure). Matching behaviour is unchanged.
-  virtual void compact_storage() { use_count_.shrink_to_fit(); }
+  virtual void compact_storage() {
+    use_count_.shrink_to_fit();
+    if (default_context_) default_context_->compact();
+  }
 
   /// Work counters for the most recent match_predicates call only.
   ///
@@ -235,12 +311,28 @@ class FilterEngine {
   }
 
  protected:
-  /// Phase-2 body — what engines actually implement. Called by the public
-  /// match_predicates wrapper with stats_ freshly reset; implementations
-  /// add to stats_ and must NOT reset it.
+  /// Phase-2 body — what engines actually implement. Const: all scratch and
+  /// all counters live in `ctx` (engines downcast to the type their
+  /// make_context() built); implementations add to ctx.stats and must NOT
+  /// reset it. Any engine state touched here must be read-only or the
+  /// concurrent-reader contract of the public const overload breaks.
   virtual void match_predicates_impl(std::span<const PredicateId> fulfilled,
                                      std::size_t event_index,
-                                     const Event& event, MatchSink& sink) = 0;
+                                     const Event& event, MatchSink& sink,
+                                     MatchContext& ctx) const = 0;
+
+  /// The engine-owned context backing the legacy single-threaded entry
+  /// points (match, match_batch, non-const match_predicates). Lazily built
+  /// via make_context() — it cannot exist before the derived class does.
+  [[nodiscard]] MatchContext& default_context() {
+    if (!default_context_) default_context_ = make_context();
+    return *default_context_;
+  }
+
+  /// The default context if one was ever built (memory accounting only).
+  [[nodiscard]] const MatchContext* default_context_if_any() const {
+    return default_context_.get();
+  }
 
   /// Take an engine-owned reference to a live predicate; the first
   /// engine-local use registers it with the phase-1 index. Index membership
@@ -301,10 +393,7 @@ class FilterEngine {
   std::vector<PredicateId> pending_ids_;
   std::vector<std::uint8_t> pending_index_add_;  // dense by predicate id
 
-  std::vector<PredicateId> fulfilled_scratch_;
-  // Batch scratch: all events' fulfilled sets concatenated + slice bounds.
-  std::vector<PredicateId> batch_fulfilled_;
-  std::vector<std::uint32_t> batch_offsets_;
+  std::unique_ptr<MatchContext> default_context_;
 };
 
 }  // namespace ncps

@@ -86,10 +86,6 @@ SubscriptionId NonCanonicalEngine::add(const ast::Node& expression) {
     roots_by_pred_[pred_scratch_.front().value()].push_back(root);
   }
   ++live_count_;
-
-  if (touched_.capacity() < forest_.node_bound()) {
-    touched_.resize(forest_.node_bound());
-  }
   return id;
 }
 
@@ -303,32 +299,41 @@ bool NonCanonicalEngine::remove(SubscriptionId id) {
   return true;
 }
 
+std::unique_ptr<MatchContext> NonCanonicalEngine::make_context() const {
+  return std::make_unique<ForestContext>();
+}
+
+void NonCanonicalEngine::force_scratch_epoch_wrap() {
+  static_cast<ForestContext&>(default_context())
+      .touched.jump_epoch_for_test(~0u);
+}
+
 void NonCanonicalEngine::match_predicates_impl(
     std::span<const PredicateId> fulfilled, std::size_t event_index,
-    const Event& event, MatchSink& sink) {
-  match_impl(fulfilled, [&](SubscriptionId sid) {
-    sink.on_match(event_index, event, sid);
-  });
+    const Event& event, MatchSink& sink, MatchContext& ctx) const {
+  match_impl(fulfilled, static_cast<ForestContext&>(ctx),
+             [&](SubscriptionId sid) {
+               sink.on_match(event_index, event, sid);
+             });
 }
 
 template <typename Emit>
 void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
-                                    Emit&& emit) {
+                                    ForestContext& ctx, Emit&& emit) const {
   const std::size_t bound = forest_.node_bound();
-  if (touched_.capacity() < bound) touched_.resize(bound);
-  if (value_.size() < bound) value_.resize(bound);
-  if (is_root_.size() < bound) is_root_.resize(bound, 0);
-  touched_.clear();
-  frontier_.clear();
-  max_rank_touched_ = 0;
+  if (ctx.touched.capacity() < bound) ctx.touched.resize(bound);
+  if (ctx.value.size() < bound) ctx.value.resize(bound);
+  ctx.touched.clear();
+  ctx.frontier.clear();
+  ctx.max_rank_touched = 0;
 #ifndef NDEBUG
   // Scratch-reset invariant: the previous event must have drained every
   // rank bucket it filled, whatever shape it had (a tall tree followed by
   // a leaf-only event must not replay stale high-rank nodes).
-  for (const auto& bucket : rank_buckets_) NCPS_DASSERT(bucket.empty());
+  for (const auto& bucket : ctx.rank_buckets) NCPS_DASSERT(bucket.empty());
 #endif
 
-  // Per-event truth states in value_ (valid only while touched): 0/1 are
+  // Per-event truth states in ctx.value (valid only while touched): 0/1 are
   // memoized results, kDeferred marks a borrower root whose evaluation
   // waits on its donor's truth at emit time.
   constexpr std::uint8_t kDeferred = 2;
@@ -337,9 +342,9 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
   for (const PredicateId pid : fulfilled) {
     const NodeId leaf = forest_.leaf_of(pid);
     if (leaf == SharedForest::kNoNode) continue;
-    if (touched_.insert(leaf)) {
-      value_[leaf] = 1;
-      frontier_.push_back(leaf);
+    if (ctx.touched.insert(leaf)) {
+      ctx.value[leaf] = 1;
+      ctx.frontier.push_back(leaf);
     }
   }
   // ...and flood upward along parent edges: the candidate-reachable
@@ -347,20 +352,20 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
   // however many subscriptions share it. A borrower root nothing consumes
   // from above defers: its donor's truth decides at emit time whether it
   // is evaluated at all.
-  for (std::size_t i = 0; i < frontier_.size(); ++i) {
-    forest_.for_each_parent(frontier_[i], [&](NodeId parent) {
-      if (touched_.insert(parent)) {
-        frontier_.push_back(parent);
+  for (std::size_t i = 0; i < ctx.frontier.size(); ++i) {
+    forest_.for_each_parent(ctx.frontier[i], [&](NodeId parent) {
+      if (ctx.touched.insert(parent)) {
+        ctx.frontier.push_back(parent);
         if (parent < donor_of_.size() &&
             donor_of_[parent] != SharedForest::kNoNode &&
             !forest_.has_parents(parent)) {
-          value_[parent] = kDeferred;
+          ctx.value[parent] = kDeferred;
           return;
         }
         const std::uint32_t r = forest_.rank(parent);
-        if (r >= rank_buckets_.size()) rank_buckets_.resize(r + 1);
-        rank_buckets_[r].push_back(parent);
-        max_rank_touched_ = std::max(max_rank_touched_, r);
+        if (r >= ctx.rank_buckets.size()) ctx.rank_buckets.resize(r + 1);
+        ctx.rank_buckets[r].push_back(parent);
+        ctx.max_rank_touched = std::max(ctx.max_rank_touched, r);
       }
     });
   }
@@ -370,14 +375,14 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
   // outside the frontier contains no fulfilled predicate, so its value is
   // its precomputed all-false truth.
   const auto value_of = [&](NodeId n) {
-    ++stats_.truth_lookups;
-    if (!touched_.contains(n)) return forest_.static_truth(n);
+    ++ctx.stats.truth_lookups;
+    if (!ctx.touched.contains(n)) return forest_.static_truth(n);
     // Deferred nodes have no DAG parents, so no evaluation reads them.
-    NCPS_DASSERT(value_[n] != kDeferred);
-    return value_[n] != 0;
+    NCPS_DASSERT(ctx.value[n] != kDeferred);
+    return ctx.value[n] != 0;
   };
   const auto eval_node = [&](NodeId n) {
-    ++stats_.node_evaluations;
+    ++ctx.stats.node_evaluations;
     const std::span<const NodeId> kids = forest_.children(n);
     bool v = false;
     switch (forest_.kind(n)) {
@@ -406,11 +411,11 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
     }
     return v;
   };
-  for (std::uint32_t r = 1; r <= max_rank_touched_; ++r) {
-    for (const NodeId n : rank_buckets_[r]) {
-      value_[n] = eval_node(n) ? 1 : 0;
+  for (std::uint32_t r = 1; r <= ctx.max_rank_touched; ++r) {
+    for (const NodeId n : ctx.rank_buckets[r]) {
+      ctx.value[n] = eval_node(n) ? 1 : 0;
     }
-    rank_buckets_[r].clear();
+    ctx.rank_buckets[r].clear();
   }
 
   // Emit: every touched result root whose memoized value is true notifies
@@ -418,9 +423,9 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
   const auto emit_root = [&](NodeId root) {
     for (std::uint32_t s = root_head_.find(root)->second; s != kNoSub;
          s = subs_[s].next) {
-      ++stats_.candidates;
+      ++ctx.stats.candidates;
       emit(SubscriptionId(s));
-      ++stats_.matches;
+      ++ctx.stats.matches;
     }
   };
   // Donor truth for a borrower root. kDeferred can only appear here if a
@@ -431,38 +436,44 @@ void NonCanonicalEngine::match_impl(std::span<const PredicateId> fulfilled,
     if (root >= donor_of_.size()) return true;
     const NodeId donor = donor_of_[root];
     if (donor == SharedForest::kNoNode) return true;
-    const bool donor_true = touched_.contains(donor)
-                                ? value_[donor] != 0
+    const bool donor_true = ctx.touched.contains(donor)
+                                ? ctx.value[donor] != 0
                                 : forest_.static_truth(donor);
-    if (!donor_true) ++stats_.covering_skips;
+    if (!donor_true) ++ctx.stats.covering_skips;
     return donor_true;
   };
-  for (const NodeId n : frontier_) {
-    if (is_root_[n] == 0) continue;
+  // is_root_ is sized by attach(): nodes above the highest root id (fresh
+  // interior nodes) simply are not roots. Read, never resize — the match
+  // path must not mutate engine state.
+  const auto is_result_root = [&](NodeId n) {
+    return n < is_root_.size() && is_root_[n] != 0;
+  };
+  for (const NodeId n : ctx.frontier) {
+    if (!is_result_root(n)) continue;
     if (!donor_allows(n)) {
       // The covering donor refuted the event: the borrower cannot match,
       // so its subscription chain is never even scanned as candidates.
       continue;
     }
-    if (value_[n] == kDeferred) {
+    if (ctx.value[n] == kDeferred) {
       // Donor truth admitted the borrower: evaluate it now — children are
       // already memoized (or static), ranks strictly below.
-      value_[n] = eval_node(n) ? 1 : 0;
+      ctx.value[n] = eval_node(n) ? 1 : 0;
     }
-    if (value_[n] != 0) {
+    if (ctx.value[n] != 0) {
       emit_root(n);
     } else {
       // Candidates examined but refuted.
       for (std::uint32_t s = root_head_.find(n)->second; s != kNoSub;
            s = subs_[s].next) {
-        ++stats_.candidates;
+        ++ctx.stats.candidates;
       }
     }
   }
   // ...plus the always-candidate roots the frontier never reached: with no
   // fulfilled predicate below them their static truth (true) stands.
   for (const NodeId root : always_roots_) {
-    if (touched_.contains(root)) continue;  // evaluated above
+    if (ctx.touched.contains(root)) continue;  // evaluated above
     if (!donor_allows(root)) continue;  // donor refuted: cannot match
     emit_root(root);
   }
@@ -699,8 +710,6 @@ void NonCanonicalEngine::load_state(storage::Reader& r,
       throw StorageError("forest ownership ledger mismatch");
     }
   }
-
-  if (touched_.capacity() < node_bound) touched_.resize(node_bound);
 }
 
 void NonCanonicalEngine::compact_storage() {
@@ -714,11 +723,6 @@ void NonCanonicalEngine::compact_storage() {
   donor_of_.shrink_to_fit();
   for (auto& entry : roots_by_pred_) entry.second.shrink_to_fit();
   perm_scratch_.shrink_to_fit();
-  touched_.shrink_to_fit();
-  value_.shrink_to_fit();
-  frontier_.shrink_to_fit();
-  for (auto& bucket : rank_buckets_) bucket.shrink_to_fit();
-  rank_buckets_.shrink_to_fit();
   pred_scratch_.shrink_to_fit();
   for (auto& entry : roots_by_sig_) entry.second.shrink_to_fit();
 }
@@ -747,10 +751,12 @@ MemoryBreakdown NonCanonicalEngine::memory() const {
     partial += vector_bytes(entry.second);
   }
   mem.add("partial_sharing", partial);
-  mem.add("scratch/touched_set", touched_.memory_bytes());
-  mem.add("scratch/node_values", vector_bytes(value_));
-  mem.add("scratch/frontier",
-          vector_bytes(frontier_) + nested_vector_bytes(rank_buckets_));
+  // Match scratch is context-owned now; the engine accounts only for its
+  // own (legacy-path) default context. Per-worker contexts belong to the
+  // broker layer.
+  if (const MatchContext* ctx = default_context_if_any()) {
+    ctx->add_memory(mem);
+  }
   mem.add("scratch/free_ids", vector_bytes(free_ids_));
   mem.add_nested("index/", index_.memory());
   return mem;

@@ -95,9 +95,10 @@ class NonCanonicalEngine final : public FilterEngine {
   bool remove(SubscriptionId id) override;
   void validate(const ast::Node& expression,
                 PredicateTable& scratch) const override;
+  [[nodiscard]] std::unique_ptr<MatchContext> make_context() const override;
   void match_predicates_impl(std::span<const PredicateId> fulfilled,
                              std::size_t event_index, const Event& event,
-                             MatchSink& sink) override;
+                             MatchSink& sink, MatchContext& ctx) const override;
 
   [[nodiscard]] std::size_t subscription_count() const override {
     return live_count_;
@@ -140,13 +141,44 @@ class NonCanonicalEngine final : public FilterEngine {
   [[nodiscard]] ast::NodePtr subscription_ast(SubscriptionId id) const;
 
   /// Test hook: jump the per-event scratch epoch to its maximum so the next
-  /// match wraps the epoch counter (regression surface for stale-truth
-  /// leaks across the wrap).
-  void force_scratch_epoch_wrap() { touched_.jump_epoch_for_test(~0u); }
+  /// match (through the legacy default-context entry points) wraps the epoch
+  /// counter (regression surface for stale-truth leaks across the wrap).
+  void force_scratch_epoch_wrap();
 
  private:
   using NodeId = SharedForest::NodeId;
   static constexpr std::uint32_t kNoSub = 0xffffffffu;
+
+  /// Per-thread match scratch (epoch-cleared / rank-bucketed,
+  /// allocation-free once warm). One per matching thread; the const match
+  /// path touches nothing outside its context.
+  struct ForestContext final : MatchContext {
+    EpochSet touched;                 // frontier membership, by node id
+    std::vector<std::uint8_t> value;  // node truth, valid iff touched
+    std::vector<NodeId> frontier;     // touched nodes, discovery order
+    // Topological order by counting sort: interior frontier nodes bucketed
+    // by rank (ranks are tree heights — single digits on real workloads,
+    // so this beats sorting (rank, node) keys per event).
+    std::vector<std::vector<NodeId>> rank_buckets;
+    std::uint32_t max_rank_touched = 0;
+
+    void compact() override {
+      MatchContext::compact();
+      touched.shrink_to_fit();
+      value.shrink_to_fit();
+      frontier.shrink_to_fit();
+      for (auto& bucket : rank_buckets) bucket.shrink_to_fit();
+      rank_buckets.shrink_to_fit();
+    }
+
+    void add_memory(MemoryBreakdown& mem) const override {
+      MatchContext::add_memory(mem);
+      mem.add("scratch/touched_set", touched.memory_bytes());
+      mem.add("scratch/node_values", vector_bytes(value));
+      mem.add("scratch/frontier",
+              vector_bytes(frontier) + nested_vector_bytes(rank_buckets));
+    }
+  };
 
   struct SubRecord {
     NodeId root = SharedForest::kNoNode;
@@ -177,7 +209,8 @@ class NonCanonicalEngine final : public FilterEngine {
                                        std::size_t& cursor) const;
 
   template <typename Emit>
-  void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);
+  void match_impl(std::span<const PredicateId> fulfilled, ForestContext& ctx,
+                  Emit&& emit) const;
 
   Options options_;
   SharedForest forest_;
@@ -206,17 +239,7 @@ class NonCanonicalEngine final : public FilterEngine {
   std::unordered_map<std::uint32_t, std::vector<NodeId>> roots_by_pred_;
   std::size_t live_borrowers_ = 0;
 
-  // Per-event scratch (epoch-cleared / rank-bucketed, allocation-free once
-  // warm).
-  EpochSet touched_;                    // frontier membership, by node id
-  std::vector<std::uint8_t> value_;     // node truth, valid iff touched
-  std::vector<NodeId> frontier_;        // touched nodes, discovery order
-  // Topological order by counting sort: interior frontier nodes bucketed
-  // by rank (ranks are tree heights — single digits on real workloads, so
-  // this beats sorting (rank, node) keys per event).
-  std::vector<std::vector<NodeId>> rank_buckets_;
-  std::uint32_t max_rank_touched_ = 0;
-
+  // Add-path scratch only — never touched by the (concurrent) match path.
   std::vector<PredicateId> pred_scratch_;
   std::vector<std::uint32_t> perm_scratch_;
 };

@@ -70,11 +70,6 @@ SubscriptionId NonCanonicalTreeEngine::add(const ast::Node& expression) {
 
   record.live = true;
   ++live_count_;
-
-  if (truth_.capacity() < table_->id_bound()) {
-    truth_.resize(table_->id_bound());
-  }
-  if (seen_subs_.capacity() < subs_.size()) seen_subs_.resize(subs_.size());
   return id;
 }
 
@@ -100,28 +95,40 @@ bool NonCanonicalTreeEngine::remove(SubscriptionId id) {
   return true;
 }
 
+std::unique_ptr<MatchContext> NonCanonicalTreeEngine::make_context() const {
+  return std::make_unique<TreeContext>();
+}
+
 void NonCanonicalTreeEngine::match_predicates_impl(
     std::span<const PredicateId> fulfilled, std::size_t event_index,
-    const Event& event, MatchSink& sink) {
-  match_impl(fulfilled, [&](SubscriptionId sid) {
-    sink.on_match(event_index, event, sid);
-  });
+    const Event& event, MatchSink& sink, MatchContext& ctx) const {
+  match_impl(fulfilled, static_cast<TreeContext&>(ctx),
+             [&](SubscriptionId sid) {
+               sink.on_match(event_index, event, sid);
+             });
 }
 
 template <typename Emit>
 void NonCanonicalTreeEngine::match_impl(std::span<const PredicateId> fulfilled,
-                                    Emit&& emit) {
-  truth_.clear();
-  seen_subs_.clear();
+                                        TreeContext& ctx, Emit&& emit) const {
+  if (ctx.truth.capacity() < table_->id_bound()) {
+    ctx.truth.resize(table_->id_bound());
+  }
+  if (ctx.seen_subs.capacity() < subs_.size()) {
+    ctx.seen_subs.resize(subs_.size());
+  }
+  ctx.truth.clear();
+  ctx.seen_subs.clear();
 
   // Mark fulfilled predicates for O(1) truth lookups during evaluation.
   for (const PredicateId pid : fulfilled) {
-    if (pid.value() < truth_.capacity()) truth_.insert(pid.value());
+    if (pid.value() < ctx.truth.capacity()) ctx.truth.insert(pid.value());
   }
   if (stats_enabled_) {
+    // Bench-only selectivity statistics (engine state, single-threaded).
     ++events_seen_;
-    if (fulfilled_count_.size() < truth_.capacity()) {
-      fulfilled_count_.resize(truth_.capacity(), 0);
+    if (fulfilled_count_.size() < ctx.truth.capacity()) {
+      fulfilled_count_.resize(ctx.truth.capacity(), 0);
     }
     for (const PredicateId pid : fulfilled) {
       if (pid.value() < fulfilled_count_.size()) {
@@ -131,28 +138,28 @@ void NonCanonicalTreeEngine::match_impl(std::span<const PredicateId> fulfilled,
   }
 
   // Leaf ids inside this engine's encoded trees are always within the truth
-  // array (sized to the table's id bound at registration), so the per-leaf
+  // array (sized to the table's id bound at match start), so the per-leaf
   // lookup can skip bounds checks — it is the innermost operation of
   // subscription matching.
-  const EpochSet::View truth_view = truth_.view();
-  const auto truth = [truth_view, this](PredicateId pid) {
-    ++stats_.truth_lookups;
+  const EpochSet::View truth_view = ctx.truth.view();
+  const auto truth = [truth_view, &ctx](PredicateId pid) {
+    ++ctx.stats.truth_lookups;
     return truth_view.contains(pid.value());
   };
 
   const bool v2 = encoding_ == TreeEncoding::kV2Varint;
   const auto evaluate_candidate = [&](SubscriptionId sid) {
-    if (!seen_subs_.insert(sid.value())) return;  // already examined
-    ++stats_.candidates;
+    if (!ctx.seen_subs.insert(sid.value())) return;  // already examined
+    ++ctx.stats.candidates;
     const Location loc = locations_[sid.value()];
     const std::span<const std::byte> tree(tree_bytes_.data() + loc.offset,
                                           loc.length);
-    ++stats_.tree_evaluations;
+    ++ctx.stats.tree_evaluations;
     const bool matched =
         v2 ? evaluate_encoded_v2(tree, truth) : evaluate_encoded(tree, truth);
     if (matched) {
       emit(sid);
-      ++stats_.matches;
+      ++ctx.stats.matches;
     }
   };
 
@@ -284,8 +291,6 @@ void NonCanonicalTreeEngine::compact_storage() {
   free_ids_.shrink_to_fit();
   assoc_.shrink_to_fit();
   always_candidates_.shrink_to_fit();
-  truth_.shrink_to_fit();
-  seen_subs_.shrink_to_fit();
   pred_scratch_.shrink_to_fit();
 }
 
@@ -302,8 +307,10 @@ MemoryBreakdown NonCanonicalTreeEngine::memory() const {
     record_bytes += r.unique_predicates.capacity() * sizeof(PredicateId);
   }
   mem.add("unsub_support/subscription_predicates", record_bytes);
-  mem.add("scratch/truth_set", truth_.memory_bytes());
-  mem.add("scratch/candidate_set", seen_subs_.memory_bytes());
+  // Match scratch is context-owned; report the legacy-path default context.
+  if (const MatchContext* ctx = default_context_if_any()) {
+    ctx->add_memory(mem);
+  }
   mem.add("scratch/free_ids", vector_bytes(free_ids_));
   mem.add_nested("index/", index_.memory());
   return mem;

@@ -58,9 +58,10 @@ class NonCanonicalTreeEngine final : public FilterEngine {
   /// queued command cannot fail at application time.
   void validate(const ast::Node& expression,
                 PredicateTable& scratch) const override;
+  [[nodiscard]] std::unique_ptr<MatchContext> make_context() const override;
   void match_predicates_impl(std::span<const PredicateId> fulfilled,
                              std::size_t event_index, const Event& event,
-                             MatchSink& sink) override;
+                             MatchSink& sink, MatchContext& ctx) const override;
 
   [[nodiscard]] std::size_t subscription_count() const override {
     return live_count_;
@@ -81,7 +82,9 @@ class NonCanonicalTreeEngine final : public FilterEngine {
   void compact_storage() override;
 
   /// Start/stop recording per-predicate fulfilment frequencies (off by
-  /// default; a small per-event cost on the fulfilled set).
+  /// default; a small per-event cost on the fulfilled set). Single-threaded
+  /// bench facility: the frequency counters are engine state written on the
+  /// match path, so statistics must stay off while matching concurrently.
   void enable_statistics(bool on) { stats_enabled_ = on; }
 
   /// Re-encode every live subscription tree ordered by observed predicate
@@ -102,9 +105,29 @@ class NonCanonicalTreeEngine final : public FilterEngine {
   }
 
  private:
+  /// Per-thread match scratch (epoch-cleared, allocation-free on the hot
+  /// path).
+  struct TreeContext final : MatchContext {
+    EpochSet truth;      // fulfilled predicates
+    EpochSet seen_subs;  // candidate de-duplication
+
+    void compact() override {
+      MatchContext::compact();
+      truth.shrink_to_fit();
+      seen_subs.shrink_to_fit();
+    }
+
+    void add_memory(MemoryBreakdown& mem) const override {
+      MatchContext::add_memory(mem);
+      mem.add("scratch/truth_set", truth.memory_bytes());
+      mem.add("scratch/candidate_set", seen_subs.memory_bytes());
+    }
+  };
+
   /// The one phase-2 matching loop, emitting into the sink adapter.
   template <typename Emit>
-  void match_impl(std::span<const PredicateId> fulfilled, Emit&& emit);
+  void match_impl(std::span<const PredicateId> fulfilled, TreeContext& ctx,
+                  Emit&& emit) const;
 
   struct Location {
     std::uint32_t offset = 0;
@@ -134,14 +157,12 @@ class NonCanonicalTreeEngine final : public FilterEngine {
   PostingStore assoc_;
   std::vector<SubscriptionId> always_candidates_;
 
-  // Per-event scratch (epoch-cleared, allocation-free on the hot path).
-  EpochSet truth_;      // fulfilled predicates
-  EpochSet seen_subs_;  // candidate de-duplication
-
-  // Selectivity statistics (enable_statistics).
+  // Selectivity statistics (enable_statistics). Written on the (const)
+  // match path when enabled, hence mutable — a documented single-threaded
+  // bench facility, never on under concurrent matching.
   bool stats_enabled_ = false;
-  std::uint64_t events_seen_ = 0;
-  std::vector<std::uint32_t> fulfilled_count_;  // per predicate id
+  mutable std::uint64_t events_seen_ = 0;
+  mutable std::vector<std::uint32_t> fulfilled_count_;  // per predicate id
 
   std::vector<PredicateId> pred_scratch_;
 };

@@ -146,7 +146,7 @@ void AttributeIndex::stab(const Value& value, const PredicateTable& table,
     for (auto it = between_.begin(); it != between_.end(); ++it) {
       if (it.key() > v) break;
       for (const IntervalEntry& entry : it.value().entries) {
-        ++interval_probes_;
+        interval_probes_.value.fetch_add(1, std::memory_order_relaxed);
         if (entry.hi < v) break;
         out.push_back(PredicateId(entry.id));
       }

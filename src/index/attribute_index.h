@@ -29,6 +29,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -68,9 +69,11 @@ class AttributeIndex {
   /// counts one). The nested-interval regression test asserts this stays
   /// ~matches+1 per stab instead of linear in the lo-matches.
   [[nodiscard]] std::uint64_t interval_probe_count() const {
-    return interval_probes_;
+    return interval_probes_.value.load(std::memory_order_relaxed);
   }
-  void reset_interval_probe_count() { interval_probes_ = 0; }
+  void reset_interval_probe_count() {
+    interval_probes_.value.store(0, std::memory_order_relaxed);
+  }
 
   /// Aggregate the compressed-posting accounting for BENCH_memory.
   void observe_postings(PostingList::Stats& stats) const;
@@ -133,9 +136,23 @@ class AttributeIndex {
   PostingList exists_;
   PostingList scan_;
   std::size_t indexed_count_ = 0;
-  // Engines are single-threaded (one shard = one worker at a time), so a
-  // mutable counter on the const stab path is safe.
-  mutable std::uint64_t interval_probes_ = 0;
+  // The const stab path runs concurrently from match workers, so this
+  // mutable instrumentation counter must be atomic (relaxed: it is a
+  // telemetry total, not a synchronisation point). The wrapper restores
+  // copy/move — AttributeIndex lives in a vector, and relocation only
+  // happens on the (exclusive) control path.
+  struct ProbeCounter {
+    std::atomic<std::uint64_t> value{0};
+    ProbeCounter() = default;
+    ProbeCounter(const ProbeCounter& other)
+        : value(other.value.load(std::memory_order_relaxed)) {}
+    ProbeCounter& operator=(const ProbeCounter& other) {
+      value.store(other.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  mutable ProbeCounter interval_probes_;
 };
 
 }  // namespace ncps

@@ -98,7 +98,13 @@ class PostingList {
 
   /// Append every live id to `out` as PredicateIds (the stab output form).
   void append_to(std::vector<PredicateId>& out) const {
-    out.reserve(out.size() + count_);
+    // Grow geometrically, never to the exact fit: reserve(size + count_)
+    // would cap capacity at the request, and a stab that appends thousands
+    // of small lists into one output vector would then copy the whole
+    // vector once per list — quadratic in the fulfilled-set size.
+    if (out.capacity() < out.size() + count_) {
+      out.reserve(std::max(out.size() + count_, out.capacity() * 2));
+    }
     for_each([&](std::uint32_t v) { out.push_back(PredicateId(v)); });
   }
 

@@ -58,6 +58,8 @@ struct BrokerMetrics {
             registry.counter("ncps_notifications_total", {{"path", "inline"}})),
         inline_latency(registry.histogram(
             "ncps_publish_notify_latency_seconds", {{"path", "inline"}})),
+        match_tasks(registry.counter("ncps_match_tasks_total")),
+        steals(registry.counter("ncps_steals_total")),
         subscribe_ops(
             registry.counter("ncps_control_ops_total", {{"op", "subscribe"}})),
         unsubscribe_ops(registry.counter("ncps_control_ops_total",
@@ -79,6 +81,9 @@ struct BrokerMetrics {
   Counter& publish_events;
   Counter& inline_notifications;  ///< callbacks run on the publishing thread
   Histogram& inline_latency;      ///< publish tick → inline callback emit
+
+  Counter& match_tasks;  ///< (shard × chunk) match tasks executed
+  Counter& steals;       ///< match tasks taken from another worker's deque
 
   Counter& subscribe_ops;
   Counter& unsubscribe_ops;
