@@ -88,10 +88,38 @@ ChurnScript generate_script(AttributeRegistry& attrs, const ChurnScale& scale,
   return script;
 }
 
+/// Remove `before`'s recordings from `after` (same bucket layout; `after`
+/// is a superset since histograms only grow). Leaves the churn-phase-only
+/// distribution behind.
+void subtract_histogram(obs::HistogramData& after,
+                        const obs::HistogramData& before) {
+  after.count -= before.count;
+  after.sum_ns -= before.sum_ns;
+  for (const auto& [idx, count] : before.buckets) {
+    for (auto& [after_idx, after_count] : after.buckets) {
+      if (after_idx == idx) {
+        after_count -= count;
+        break;
+      }
+    }
+  }
+  std::erase_if(after.buckets,
+                [](const auto& bucket) { return bucket.second == 0; });
+}
+
 struct RunResult {
   double seconds;
   std::size_t notifications;
   std::size_t control_ops;
+  // Control-op apply latency (issue tick → generation-fence advance past
+  // the op) from the broker's ncps_control_apply_latency_seconds histogram.
+  // Covers every control op: inline applies record the in-call interval,
+  // queued ops their queue residency — the tail (p99) is therefore the
+  // queued population, the one the epoch refactor decouples from batch
+  // size.
+  double apply_p50_us;
+  double apply_p99_us;
+  std::size_t apply_ops;
 };
 
 RunResult run_cell(AttributeRegistry& attrs, std::size_t shards,
@@ -113,6 +141,11 @@ RunResult run_cell(AttributeRegistry& attrs, std::size_t shards,
     by_handle.emplace(op.handle,
                       broker.subscribe(sessions[op.subscriber], op.text));
   }
+  // Warm-up subscribes land in the apply-latency histogram too (every
+  // control op records); snapshot here so the reported percentiles cover
+  // only the churn phase, the population racing the publisher.
+  const obs::HistogramData warmup_latency =
+      broker.metrics().histogram_merged("ncps_control_apply_latency_seconds");
 
   std::atomic<std::uint64_t> published{0};
   std::atomic<bool> done{false};
@@ -152,10 +185,17 @@ RunResult run_cell(AttributeRegistry& attrs, std::size_t shards,
   control.join();
   broker.quiesce();
 
+  obs::HistogramData apply_latency =
+      broker.metrics().histogram_merged("ncps_control_apply_latency_seconds");
+  subtract_histogram(apply_latency, warmup_latency);
   return RunResult{
       std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
           .count(),
-      notifications.load(), control_ops};
+      notifications.load(),
+      control_ops,
+      apply_latency.empty() ? 0.0 : apply_latency.quantile_ns(0.50) / 1e3,
+      apply_latency.empty() ? 0.0 : apply_latency.quantile_ns(0.99) / 1e3,
+      apply_latency.count};
 }
 
 }  // namespace
@@ -189,6 +229,9 @@ int main() {
           .field("events", sizes.events)
           .field("batch_size", sizes.batch_size)
           .field("control_ops", result.control_ops)
+          .field("apply_ops", result.apply_ops)
+          .field("apply_p50_us", result.apply_p50_us)
+          .field("apply_p99_us", result.apply_p99_us)
           .field("seconds", result.seconds)
           .field("events_per_sec", events_per_sec)
           .field("notifications", result.notifications)

@@ -118,6 +118,19 @@ if [ -s "$sharded_json" ]; then
   done
 fi
 
+# Schema guard: bench_churn rows must carry the queued-control-op apply
+# latency percentiles — the epoch refactor's acceptance claim (apply latency
+# decoupled from batch size) is scraped from these.
+churn_json="$repo_root/BENCH_churn.json"
+if [ -s "$churn_json" ]; then
+  for col in '"apply_p50_us"' '"apply_p99_us"' '"apply_ops"'; do
+    if ! grep -q "$col" "$churn_json"; then
+      echo "error: BENCH_churn.json lacks the $col column" >&2
+      status=1
+    fi
+  done
+fi
+
 # Schema guard: bench_obs rows must carry the metrics-on/off overhead and
 # the scrape cost — the telemetry plane's <= 2% budget is scraped from
 # overhead_pct (and enforced by the bench's own exit code above).

@@ -430,7 +430,10 @@ void ShardedBroker::checkpoint() {
   std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
   shard_locks.reserve(shards_.size());
   for (auto& shard : shards_) shard_locks.emplace_back(shard->mutex);
-  for (auto& shard : shards_) drain_shard(*shard);
+  for (auto& shard : shards_) {
+    ShardWriteGuard gate(*shard);
+    drain_shard(*shard, gate);
+  }
 
   // With every mutex held there is nothing left to issue or apply; if a
   // fence still lags the issue generation, some command escaped the drains
@@ -440,6 +443,14 @@ void ShardedBroker::checkpoint() {
   for (const auto& shard : shards_) {
     NCPS_ASSERT(shard->fence.applied() >= issued &&
                 "snapshot fence violated: shard lags issue generation");
+  }
+
+  // Run every deferred reclamation now: no batch is in flight and no reader
+  // is pinned (the publish lock is held), so the epoch domains may free
+  // unconditionally. prepare_snapshot/compact below then see the canonical
+  // quarantine-free shape save_state() expects.
+  for (auto& shard : shards_) {
+    if (shard->epochs != nullptr) shard->epochs->flush_reclaim();
   }
 
   storage::Writer payload;

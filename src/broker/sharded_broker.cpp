@@ -25,14 +25,22 @@ constexpr std::size_t kMatchTasksPerWorker = 8;
 /// event, so fewer, larger ranges than the match fan-out.
 constexpr std::size_t kMergeTasksPerWorker = 4;
 
+/// Hard ceiling on adaptively sized chunks. A mutator's epoch grace period
+/// waits out at most the chunks currently pinned, so this cap — not the
+/// batch size — bounds control-op apply latency: a 1M-event batch still
+/// yields the write gate every <= 512 events per worker. Explicit
+/// match_chunk_events and the kPerShard baseline are exempt (callers who
+/// pin the chunking own the latency consequence).
+constexpr std::size_t kMaxChunkEvents = 512;
+
 }  // namespace
 
 /// Streams one (shard × chunk) task's matches into that task's buffer,
 /// translating engine-local subscription ids to broker-global ids and
 /// attaching the owning subscriber (so delivery never reads control-plane
-/// maps). Runs under the shard's shared lock: to_global/owner_of are only
-/// mutated under the exclusive lock, and the buffer belongs to this task
-/// alone.
+/// maps). Runs inside the task's epoch pin (EngineView): to_global and
+/// owner_of are only mutated inside the shard's write gate, which waits out
+/// every pin first, and the buffer belongs to this task alone.
 class ShardedBroker::ChunkSink final : public MatchSink {
  public:
   ChunkSink(Shard& shard, std::vector<ShardMatch>& out)
@@ -84,6 +92,14 @@ ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
     for (std::size_t w = 0; w < pool_->thread_count(); ++w) {
       worker_contexts_.push_back(shards_[0]->engine->make_context());
     }
+    // One epoch domain per shard, one reader slot per pool worker: match
+    // tasks pin their worker's slot, mutators close the write gate. The
+    // engines route their internal deferred frees (forest quarantine,
+    // posting-block collapse) onto it.
+    for (auto& shard : shards_) {
+      shard->epochs = std::make_unique<EpochDomain>(pool_->thread_count());
+      shard->engine->set_epoch_domain(shard->epochs.get());
+    }
   }
   shard_match_stats_.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -98,9 +114,24 @@ ShardedBroker::ShardedBroker(AttributeRegistry& attrs,
     NCPS_EXPECTS(!storage_.directory.empty());
     recover_from_storage();
   }
+  // Last, so it never observes a half-constructed broker: the dedicated
+  // apply thread keeps control commands flowing while batches match. Seed
+  // brokers (no pool) skip it — their commands always apply inline.
+  if (pool_ != nullptr) {
+    apply_thread_ = std::thread([this] { apply_loop(); });
+  }
 }
 
-ShardedBroker::~ShardedBroker() = default;
+ShardedBroker::~ShardedBroker() {
+  if (apply_thread_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(apply_cv_mutex_);
+      apply_stop_ = true;
+    }
+    apply_cv_.notify_one();
+    apply_thread_.join();
+  }
+}
 
 std::unique_ptr<ShardedBroker> ShardedBroker::create(
     AttributeRegistry& attrs, ShardedBrokerConfig config) {
@@ -246,22 +277,18 @@ SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
   SubscriptionId global;
   const std::uint64_t generation =
       issue_generation_.load(std::memory_order_relaxed) + 1;
+  const std::uint64_t issue_tick = cells_ == nullptr ? 0 : obs::now_ticks();
   std::unique_lock<std::shared_mutex> shard_lock(shard.mutex,
                                                  std::try_to_lock);
-  if (shard_lock.owns_lock() &&
-      matching_active_.load(std::memory_order_acquire)) {
-    // Won the lock mid-fan-out: the shard's chunk tasks simply haven't
-    // started (or have all finished) — applying now could let chunks of one
-    // batch see different engine states. Queue instead (see
-    // matching_active_ in the header for why this re-check is sound).
-    shard_lock.unlock();
-  }
   if (shard_lock.owns_lock()) {
-    // Shard idle: apply inline (after anything already queued, preserving
-    // command order). The engine's add() validates as it registers, so a
-    // failure (e.g. DNF explosion in a counting engine) propagates here
-    // with no broker state change — the seed broker's exact semantics.
-    drain_shard(shard);
+    // No other mutator holds the shard: apply inline (after anything
+    // already queued, preserving command order). The write gate is entered
+    // only around the actual mutations — a wait bounded by the in-flight
+    // chunks, not the batch. The engine's add() validates as it registers,
+    // so a failure (e.g. DNF explosion in a counting engine) propagates
+    // here with no broker state change — the seed broker's exact semantics.
+    ShardWriteGuard gate(shard);
+    drain_shard(shard, gate);
     if (journal_ != nullptr) {
       // Journal-commit-before-apply requires the apply to be infallible
       // once the record is durable, so run the queued branch's
@@ -285,6 +312,7 @@ SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
       }
     }
     try {
+      gate.enter();
       apply_subscribe(shard, global, subscriber, *raw);
     } catch (...) {
       free_globals_.push_back(global);  // nothing was registered
@@ -292,6 +320,7 @@ SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
     }
     issue_generation_.store(generation, std::memory_order_release);
     shard.fence.advance(generation);
+    record_apply_latency(issue_tick);
   } else {
     // Shard busy with a batch: pre-validate everything that could fail at
     // application time, then hand the command to the shard's queue. The
@@ -325,12 +354,14 @@ SubscriptionId ShardedBroker::subscribe(SubscriberId subscriber,
     command.owner = subscriber;
     command.raw = std::move(raw);
     command.generation = generation;
+    command.enqueue_tick = issue_tick;
     shard.queued_commands.fetch_add(1, std::memory_order_relaxed);
     shard.commands.push(std::move(command));
     // Publish the generation only after the push: a drain that snapshots
     // issue_generation_ must find every command at or below its snapshot
     // already linked in the queue.
     issue_generation_.store(generation, std::memory_order_release);
+    signal_apply();
   }
 
   ++subscribe_sequence_;
@@ -429,14 +460,13 @@ std::vector<SubscriptionId> ShardedBroker::subscribe_bulk(
     Shard& shard = *shards_[s];
     const std::uint64_t generation =
         issue_generation_.load(std::memory_order_relaxed) + 1;
+    const std::uint64_t issue_tick = cells_ == nullptr ? 0 : obs::now_ticks();
     std::unique_lock<std::shared_mutex> shard_lock(shard.mutex,
                                                    std::try_to_lock);
-    if (shard_lock.owns_lock() &&
-        matching_active_.load(std::memory_order_acquire)) {
-      shard_lock.unlock();  // mid-fan-out: queue, do not apply (see header)
-    }
     if (shard_lock.owns_lock()) {
-      drain_shard(shard);
+      ShardWriteGuard gate(shard);
+      drain_shard(shard, gate);
+      gate.enter();
       // Pre-size the shard's predicate table for the incoming batch (a few
       // predicates per subscription; over-reserving only rounds up to what
       // vector growth would have allocated anyway).
@@ -448,17 +478,21 @@ std::vector<SubscriptionId> ShardedBroker::subscribe_bulk(
       shard.engine->finish_bulk_load(build_pool_for(per_shard[s].size()));
       issue_generation_.store(generation, std::memory_order_release);
       shard.fence.advance(generation);
+      record_apply_latency(issue_tick);
     } else {
-      // Shard busy matching: one command carries the whole batch; the next
-      // drain applies it with the same bulk-load window (sequential build —
-      // the drainer may be a pool worker, and nesting pool joins deadlocks).
+      // Another mutator holds the shard: one command carries the whole
+      // batch; the next drain applies it with the same bulk-load window
+      // (sequential build — the drainer may be the apply thread or a pool
+      // worker, and nesting pool joins deadlocks).
       ShardCommand command;
       command.kind = ShardCommand::Kind::BulkSubscribe;
       command.bulk = std::move(per_shard[s]);
       command.generation = generation;
+      command.enqueue_tick = issue_tick;
       shard.queued_commands.fetch_add(1, std::memory_order_relaxed);
       shard.commands.push(std::move(command));
       issue_generation_.store(generation, std::memory_order_release);
+      signal_apply();
     }
   }
   if (cells_ != nullptr) cells_->subscribe_ops.add(out.size());
@@ -474,17 +508,17 @@ void ShardedBroker::issue_unsubscribe_locked(SubscriptionId global,
   Shard& shard = *shards_[route.shard];
   const std::uint64_t generation =
       issue_generation_.load(std::memory_order_relaxed) + 1;
+  const std::uint64_t issue_tick = cells_ == nullptr ? 0 : obs::now_ticks();
   std::unique_lock<std::shared_mutex> shard_lock(shard.mutex,
                                                  std::try_to_lock);
-  if (shard_lock.owns_lock() &&
-      matching_active_.load(std::memory_order_acquire)) {
-    shard_lock.unlock();  // mid-fan-out: queue, do not apply (see header)
-  }
   if (shard_lock.owns_lock()) {
-    drain_shard(shard);
+    ShardWriteGuard gate(shard);
+    drain_shard(shard, gate);
+    gate.enter();
     apply_unsubscribe(shard, global);
     issue_generation_.store(generation, std::memory_order_release);
     shard.fence.advance(generation);
+    record_apply_latency(issue_tick);
     // The engine no longer knows the id — but a batch mid-delivery may
     // still hold it in buffered match records (or, async mode, in pending
     // outbox batches), and immediate reuse would relabel those stale
@@ -503,9 +537,11 @@ void ShardedBroker::issue_unsubscribe_locked(SubscriptionId global,
     command.kind = ShardCommand::Kind::Unsubscribe;
     command.global = global;
     command.generation = generation;
+    command.enqueue_tick = issue_tick;
     shard.queued_commands.fetch_add(1, std::memory_order_relaxed);
     shard.commands.push(std::move(command));
     issue_generation_.store(generation, std::memory_order_release);
+    signal_apply();
     retired_globals_.push_back(
         RetiredGlobal{global, route.shard, route.owner, generation});
   }
@@ -540,17 +576,24 @@ bool ShardedBroker::unsubscribe(SubscriptionId subscription) {
   return true;
 }
 
-void ShardedBroker::drain_shard(Shard& shard) {
+std::size_t ShardedBroker::drain_shard(Shard& shard, ShardWriteGuard& gate) {
   // Snapshot before popping: every command issued at or below the snapshot
   // is already fully linked in the queue (generations are published after
-  // the push), so after draining we may advance the fence to it.
+  // the push), so after draining we may advance the fence to it. Advancing
+  // on an empty queue needs no write gate: the caller's shard mutex
+  // excludes other appliers, and a not-yet-linked command cannot be covered
+  // by the snapshot.
   const std::uint64_t cover =
       issue_generation_.load(std::memory_order_acquire);
+  std::size_t applied = 0;
   while (auto command = shard.commands.pop()) {
     shard.queued_commands.fetch_sub(1, std::memory_order_relaxed);
+    gate.enter();  // first command pays the grace period; the rest ride it
     apply_command(shard, std::move(*command));
+    ++applied;
   }
   shard.fence.advance(cover);
+  return applied;
 }
 
 void ShardedBroker::apply_command(Shard& shard, ShardCommand&& command) {
@@ -570,6 +613,18 @@ void ShardedBroker::apply_command(Shard& shard, ShardCommand&& command) {
       break;
   }
   shard.fence.advance(command.generation);
+  // Queue-residency latency (issue → applied): the recorded distribution
+  // is exactly what the epoch refactor is meant to shrink — a command used
+  // to sit behind the whole in-flight batch, now at most behind the chunks
+  // in flight plus apply-thread wakeup.
+  record_apply_latency(command.enqueue_tick);
+}
+
+void ShardedBroker::record_apply_latency(std::uint64_t issue_tick) {
+  if (cells_ == nullptr || issue_tick == 0) return;
+  const std::uint64_t now = obs::now_ticks();
+  cells_->control_apply_latency.record(now > issue_tick ? now - issue_tick
+                                                        : 0);
 }
 
 SubscriptionId ShardedBroker::apply_subscribe(
@@ -606,37 +661,40 @@ void ShardedBroker::run_match_tasks(std::span<const Event> events) {
     // Seed path (one shard, one thread): drain and match under one
     // continuous exclusive lock through the engine's legacy match_batch, so
     // its last_stats()/cumulative_stats() keep their single-threaded
-    // per-publish semantics.
+    // per-publish semantics. No epoch domain exists here; the guard is a
+    // no-op and frees stay immediate.
     chunk_events_ = events.size();
     chunk_count_ = 1;
     if (match_buffers_.empty()) match_buffers_.resize(1);
     match_buffers_[0].clear();
     Shard& shard = *shards_[0];
     const std::lock_guard<std::shared_mutex> lock(shard.mutex);
-    drain_shard(shard);
+    ShardWriteGuard gate(shard);
+    drain_shard(shard, gate);
     ChunkSink sink(shard, match_buffers_[0]);
     shard.engine->match_batch(events, sink);
     return;
   }
 
-  // Phase A — control window: apply queued commands shard by shard under
-  // the exclusive lock. matching_active_ is raised first so a control
-  // thread that wins a shard lock after its drain still queues rather than
-  // mutating an engine some chunks of this batch have already read (all
-  // chunks of a shard in a batch must see one engine state).
-  matching_active_.store(true, std::memory_order_release);
-  struct ActiveGuard {
-    std::atomic<bool>& flag;
-    ~ActiveGuard() { flag.store(false, std::memory_order_release); }
-  } active_guard{matching_active_};
+  // Phase A — batch-start barrier: apply queued commands shard by shard, so
+  // every command issued before this batch started is visible to all of it
+  // (the "matched by every batch that starts after subscribe() returns"
+  // contract). The apply thread usually leaves these queues empty; an empty
+  // drain is a mutex round-trip plus a fence advance, no grace period.
+  // Commands arriving *after* this point may still land mid-batch — the
+  // apply thread or an inline control op takes the write gate between
+  // chunks — which is the design: apply latency is bounded by the chunk
+  // cap, not the batch.
   for (auto& shard : shards_) {
     const std::lock_guard<std::shared_mutex> lock(shard->mutex);
-    drain_shard(*shard);
+    ShardWriteGuard gate(*shard);
+    drain_shard(*shard, gate);
   }
 
   // Chunking: enough (shard × chunk) tasks that stealing can level a
-  // skewed shard, but no more — per-task cost is one shared-lock round
-  // trip plus one stats fold.
+  // skewed shard, but no more — per-task cost is one epoch pin plus one
+  // stats fold. The kMaxChunkEvents cap bounds how long a chunk can hold
+  // its pin, which is what bounds every mutator's grace-period wait.
   const std::size_t workers = pool_->thread_count();
   std::size_t chunk = match_chunk_events_;
   if (scheduler_ == MatchScheduler::kPerShard) {
@@ -647,6 +705,7 @@ void ShardedBroker::run_match_tasks(std::span<const Event> events) {
     const std::size_t per_shard =
         std::max<std::size_t>(1, target_tasks / shard_count);
     chunk = (events.size() + per_shard - 1) / per_shard;
+    chunk = std::min(chunk, kMaxChunkEvents);
   }
   chunk_events_ = std::max<std::size_t>(1, std::min(chunk, events.size()));
   chunk_count_ = (events.size() + chunk_events_ - 1) / chunk_events_;
@@ -658,8 +717,9 @@ void ShardedBroker::run_match_tasks(std::span<const Event> events) {
   // Phase B — concurrent matching: task t is chunk (t % chunk_count_) of
   // shard (t / chunk_count_). Shard-major, so the contiguous slices the
   // pool deals keep a worker on one shard's engine until it runs dry and
-  // steals. Workers match under the shard's *shared* lock with their own
-  // context; a shard's engine may be read by many workers at once.
+  // steals. Workers match lock-free inside an epoch-pinned EngineView on
+  // their own slot; a shard's engine may be read by many workers at once,
+  // and a mutator slips in whenever no chunk of that shard is pinned.
   const auto fn = [&](std::size_t task, std::size_t worker) {
     const std::size_t s = task / chunk_count_;
     const std::size_t first = (task % chunk_count_) * chunk_events_;
@@ -669,9 +729,9 @@ void ShardedBroker::run_match_tasks(std::span<const Event> events) {
     MatchContext& ctx = *worker_contexts_[worker];
     ctx.stats.reset();
     {
-      const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      const EngineView view(*shard.engine, shard.epochs.get(), worker);
       ChunkSink sink(shard, match_buffers_[task]);
-      shard.engine->match_range(events, first, last, sink, ctx);
+      view.match_range(events, first, last, sink, ctx);
     }
     shard_match_stats_[s]->add(ctx.stats);
   };
@@ -866,7 +926,65 @@ bool ShardedBroker::publish_idle_probe() {
 }
 
 void ShardedBroker::wait_applied(std::uint64_t generation) {
+  // Kick the apply thread first: an inline-applied command advances only
+  // its own shard's fence, so idle shards may sit below `generation` with
+  // nothing queued and no batch coming to drain them. One drain pass
+  // advances every fence to the issued generation. Seed brokers (single
+  // shard, no pool) have no apply thread and no lag either: every command
+  // applies inline and advances the only fence before returning.
+  signal_apply();
   for (auto& shard : shards_) shard->fence.wait_until(generation);
+}
+
+bool ShardedBroker::apply_pending() const {
+  for (const auto& shard : shards_) {
+    if (shard->queued_commands.load(std::memory_order_acquire) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ShardedBroker::signal_apply() {
+  if (!apply_thread_.joinable()) return;
+  // The kick is level-triggered state under the CV mutex, so the apply
+  // thread cannot check its predicate, lose the CPU, miss this notify and
+  // sleep through a request it has not yet served.
+  {
+    const std::lock_guard<std::mutex> lock(apply_cv_mutex_);
+    apply_kick_ = true;
+  }
+  apply_cv_.notify_one();
+}
+
+void ShardedBroker::apply_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(apply_cv_mutex_);
+      apply_cv_.wait(lock, [this] {
+        return apply_stop_ || apply_kick_ || apply_pending();
+      });
+      if (apply_stop_) return;
+      apply_kick_ = false;  // consumed by the drain pass below
+    }
+    // Drain every shard, not just those with queued commands: fences must
+    // advance everywhere for wait_applied (which waits on the max over all
+    // shards) to be self-driving, and an empty drain is nearly free — the
+    // write gate is entered lazily, so idle shards pay a mutex round-trip
+    // and a fence advance, never a grace period.
+    std::size_t applied = 0;
+    for (auto& shard : shards_) {
+      const std::lock_guard<std::shared_mutex> lock(shard->mutex);
+      ShardWriteGuard gate(*shard);
+      applied += drain_shard(*shard, gate);
+    }
+    if (applied == 0 && apply_pending()) {
+      // A producer is mid-push (queued_commands incremented, node not yet
+      // linked — the MPSC queue's benign window). Yield rather than spin
+      // through the CV, whose predicate would stay true.
+      std::this_thread::yield();
+    }
+  }
 }
 
 void ShardedBroker::quiesce() {
@@ -887,7 +1005,8 @@ void ShardedBroker::quiesce() {
   const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   for (auto& shard : shards_) {
     const std::lock_guard<std::shared_mutex> shard_lock(shard->mutex);
-    drain_shard(*shard);
+    ShardWriteGuard gate(*shard);
+    drain_shard(*shard, gate);
   }
   // Async mode: the in-flight batch only *enqueued* its notifications;
   // the delivery flush completes the barrier (closed outboxes discard, so
@@ -976,6 +1095,13 @@ obs::MetricsSnapshot ShardedBroker::metrics() const {
         "ncps_control_queue_depth", labels,
         static_cast<double>(
             shard.queued_commands.load(std::memory_order_relaxed)));
+    // Epoch-reclaim backlog: retired entries (forest nodes, posting blocks)
+    // whose grace period has not yet passed. Persistent growth here means a
+    // reader is pinning an epoch far longer than one chunk should take.
+    if (shard.epochs != nullptr) {
+      snap.add_gauge("ncps_epoch_reclaim_deferred", labels,
+                     static_cast<double>(shard.epochs->deferred_count()));
+    }
     snap.add_gauge("ncps_shard_subscriptions", labels,
                    static_cast<double>(subs));
   }

@@ -17,8 +17,14 @@
 // shard, the previous design, made it exactly that). Matching inside a
 // shard is read-mostly concurrent: any number of workers may match one
 // engine at once because every write lands in a per-worker MatchContext
-// (engine/engine.h); the shard's shared_mutex admits them as readers while
-// control-plane mutation takes it exclusively. Each task streams matches
+// (engine/engine.h). Match tasks take no lock at all — each runs as an
+// epoch-pinned EngineView read-side section on the shard's EpochDomain
+// (common/epoch_domain.h), and control-plane mutation closes that domain's
+// write gate (waiting out the pinned chunks, never a whole batch) for
+// exactly the duration of the mutation. The shard mutex survives only to
+// serialise *mutators* against each other — drains, inline applies, bulk
+// loads, checkpoint, metrics sampling — never to admit readers. Each task
+// streams matches
 // into its own (shard, chunk) buffer via the engines' MatchSink interface,
 // and the buffers are merged deterministically (per event, ascending global
 // subscription id — byte-identical regardless of shard count, chunking or
@@ -35,18 +41,30 @@
 // number of threads concurrently with publishing. Every control operation is
 // turned into a command for the owning shard:
 //
-//   - if the shard is idle (its mutex is free), the command — after any
-//     commands already queued for the shard — is applied inline, so
-//     single-threaded callers observe the exact seed-broker semantics:
-//     a subscription is matchable the instant subscribe() returns;
-//   - if the shard is busy matching a batch (its mutex is held by match
-//     workers, or a batch is mid-fan-out — see matching_active_), the
-//     command is pushed onto the shard's lock-free MPSC queue and applied by
-//     whichever thread next drains the shard — the publishing thread at the
-//     start of the next batch, or quiesce(). Control threads never wait for
-//     the data plane, and the publisher never takes the control-plane lock.
-//     Commands are only ever applied *between* batches: all chunks of one
-//     shard in one batch match against the same engine state.
+//   - if no other mutator holds the shard's mutex, the command — after any
+//     commands already queued for the shard — is applied inline: the
+//     applier enters the shard's epoch write gate, waits out the chunks
+//     currently pinned (bounded by the chunk cap, NOT by the batch), and
+//     mutates. Single-threaded callers observe the exact seed-broker
+//     semantics: a subscription is matchable the instant subscribe()
+//     returns;
+//   - if another mutator holds the mutex, the command is pushed onto the
+//     shard's lock-free MPSC queue and applied by whichever mutator next
+//     drains the shard — the dedicated apply thread (woken by the push),
+//     the publishing thread at the start of the next batch, or quiesce().
+//     The publisher never takes the control-plane lock.
+//
+// Commands therefore apply *concurrently with matching*: a long batch no
+// longer gates the control plane (the old design parked commands until the
+// batch's fan-out finished — see git history for matching_active_). Batch
+// determinism is unaffected where it is promised: the merged notification
+// order for a fixed engine state is byte-identical regardless of shard
+// count, chunking or stealing, and without concurrent control threads the
+// publish lock means every command still lands between batches. With
+// concurrent churn, *which* chunk boundary a command lands on is timing-
+// dependent — exactly as which *batch* boundary it landed on was before —
+// and the post-quiesce state is identical either way (churn_fuzz proves
+// both).
 //
 // Commands carry a broker-wide issue generation; each shard's
 // GenerationFence records how far it has applied. That gives unsubscribe an
@@ -71,6 +89,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -84,6 +103,7 @@
 #include <vector>
 
 #include "broker/shard_router.h"
+#include "common/epoch_domain.h"
 #include "common/generation_fence.h"
 #include "common/ids.h"
 #include "common/mpsc_queue.h"
@@ -270,9 +290,12 @@ class ShardedBroker {
   }
 
   /// Block until every shard has applied all control commands issued at or
-  /// before `generation`. Purely passive: some thread must be driving
-  /// batches (or quiesce) forward, otherwise this waits indefinitely — use
-  /// quiesce() for a self-draining barrier.
+  /// before `generation`. Multi-shard (or multi-worker) brokers run a
+  /// dedicated apply thread, so this is self-driving: queued commands apply
+  /// concurrently with any in-flight batch and the wait is bounded by the
+  /// grace period of the chunks in flight, not by batch size. Only on a
+  /// seed broker (one shard, one worker, no threads) is it passive — some
+  /// thread must drive batches (or quiesce) forward, as before.
   void wait_applied(std::uint64_t generation);
 
   /// Full control-plane barrier: waits for the in-flight batch (deliveries
@@ -300,9 +323,10 @@ class ShardedBroker {
   [[nodiscard]] MemoryBreakdown memory() const;
 
   /// Point-in-time telemetry snapshot: every registry cell (publish/latency
-  /// counters and histograms, delivery and journal cells) plus values
-  /// sampled under the broker's locks — per-shard cumulative match stats,
-  /// control-plane apply lag and queue depth, outbox gauges. Thread-safe
+  /// counters and histograms, the control-apply-latency histogram, delivery
+  /// and journal cells) plus values sampled under the broker's locks —
+  /// per-shard cumulative match stats, control-plane apply lag and queue
+  /// depth, epoch-reclaim deferred counts, outbox gauges. Thread-safe
   /// and concurrent with publishing (it takes each shard mutex briefly, one
   /// at a time); never call it from a delivery callback, whose thread may
   /// hold a shard mutex through the publish path. Render with
@@ -368,14 +392,21 @@ class ShardedBroker {
     parser_detail::RawNodePtr raw;         // Subscribe: pre-parsed tree
     std::vector<BulkSubscribeItem> bulk;   // BulkSubscribe
     std::uint64_t generation = 0;          // broker-wide issue generation
+    /// obs::now_ticks() when the control call issued the op (0 when metrics
+    /// are off): the ncps_control_apply_latency histogram records
+    /// issue → applied, i.e. how long a command sat behind the data plane.
+    /// Inline applies record the same interval without a ShardCommand, so
+    /// the histogram covers every control op (record_apply_latency).
+    std::uint64_t enqueue_tick = 0;
   };
 
   /// One engine shard: exclusive table + engine + its command queue.
-  /// `mutex` is a reader/writer lock over the matching stack: match workers
-  /// hold it shared (the engines' const match path writes only to
-  /// per-worker contexts), while anything that mutates the engine or table —
-  /// control-command application, drains, bulk loads, snapshots — holds it
-  /// exclusive. Metrics sampling reads under a shared lock.
+  /// `mutex` serialises *mutators* — control-command application, drains,
+  /// bulk loads, snapshots hold it exclusive; metrics sampling and memory
+  /// accounting take it shared. Match workers take no lock: they read the
+  /// engine (and to_global/owner_of) inside an epoch-pinned EngineView on
+  /// `epochs`, and every mutator additionally closes that domain's write
+  /// gate (via ShardWriteGuard) around the actual mutation.
   struct Shard {
     PredicateTable table;
     std::unique_ptr<FilterEngine> engine;
@@ -392,6 +423,13 @@ class ShardedBroker {
     std::atomic<std::uint64_t> queued_commands{0};
     GenerationFence fence;
     std::shared_mutex mutex;
+    /// Epoch read-gate + deferred reclamation over this shard's
+    /// reader-visible state (engine structures, to_global/owner_of). One
+    /// reader slot per pool worker; null for seed brokers (no pool — the
+    /// publish path is sequential and exclusive anyway). Declared last so
+    /// its destructor — which runs every deferred deleter — executes while
+    /// the engine, forest and table those deleters touch are still alive.
+    std::unique_ptr<EpochDomain> epochs;
   };
 
   /// Where a live global subscription id points (control-plane only).
@@ -435,6 +473,42 @@ class ShardedBroker {
 
   class ChunkSink;
   using CallbackMap = std::unordered_map<SubscriberId, NotifyFn>;
+
+  /// Write-side section over one shard's reader-visible state. The caller
+  /// already holds shard.mutex (exclusive against other mutators); enter()
+  /// additionally closes the shard's epoch gate — blocking new match
+  /// readers and waiting out pinned ones, a wait bounded by one in-flight
+  /// chunk — and installs the domain as the thread's reclamation target so
+  /// engine-internal free sites defer instead of deleting. Lazy: a drain
+  /// that finds nothing queued never calls enter() and never pays a grace
+  /// period. A no-op throughout on shards without a domain (seed broker).
+  /// Destruction reopens the gate and reclaims what the grace period
+  /// proved unreachable.
+  class ShardWriteGuard {
+   public:
+    explicit ShardWriteGuard(Shard& shard) : shard_(&shard) {}
+    ~ShardWriteGuard() {
+      if (entered_) {
+        scope_.reset();  // restore the previous TLS reclaim target first
+        shard_->epochs->writer_exit();
+      }
+    }
+    ShardWriteGuard(const ShardWriteGuard&) = delete;
+    ShardWriteGuard& operator=(const ShardWriteGuard&) = delete;
+
+    /// Idempotent. Call immediately before the first actual mutation.
+    void enter() {
+      if (entered_ || shard_->epochs == nullptr) return;
+      shard_->epochs->writer_enter();
+      scope_.emplace(*shard_->epochs);
+      entered_ = true;
+    }
+
+   private:
+    Shard* shard_;
+    std::optional<ReclaimScope> scope_;
+    bool entered_ = false;
+  };
 
   /// Per-shard match-work totals fed by concurrent match tasks (relaxed
   /// fetch_adds, once per task — never per event). metrics() sums these
@@ -502,9 +576,17 @@ class ShardedBroker {
   void replay_journal_record(const storage::JournalRecord& record);
   void record_text_locked(SubscriptionId global, std::string_view text);
   /// Apply every queued command on `shard` and advance its fence. Caller
-  /// holds shard.mutex.
-  void drain_shard(Shard& shard);
+  /// holds shard.mutex and supplies the write guard; the gate is entered
+  /// lazily before the first command applies, so an empty drain is just a
+  /// fence advance. Returns the number of commands applied.
+  std::size_t drain_shard(Shard& shard, ShardWriteGuard& gate);
   void apply_command(Shard& shard, ShardCommand&& command);
+  /// Record issue tick → applied into ncps_control_apply_latency_seconds
+  /// (no-op when metrics are off / the tick is 0). Called for queued
+  /// commands at fence advance and for inline applies before the control
+  /// call returns, so the histogram covers every control op and its
+  /// percentiles do not jump between populations as contention varies.
+  void record_apply_latency(std::uint64_t issue_tick);
   SubscriptionId apply_subscribe(Shard& shard, SubscriptionId global,
                                  SubscriberId owner,
                                  const parser_detail::RawNode& raw);
@@ -597,18 +679,27 @@ class ShardedBroker {
   /// the control plane, loaded once per batch by the publisher.
   std::atomic<std::shared_ptr<const CallbackMap>> callbacks_;
 
-  /// True while a batch's match fan-out is in flight (set under
-  /// publish_mutex_ before the per-shard drains, cleared once every match
-  /// task has completed). The control plane's inline fast path re-checks it
-  /// *after* winning a shard's exclusive lock: a free lock no longer proves
-  /// the shard is between batches — all of a shard's chunk tasks may simply
-  /// not have started yet — and applying a command mid-fan-out would let
-  /// chunks of one batch see different engine states. The
-  /// unlock/lock ordering on the shard mutex makes the re-check sound: if
-  /// any chunk of the shard already ran, its unlock happens-before the
-  /// control thread's lock, and the flag's store(true) happens-before that
-  /// chunk — so the re-check observes true and the command is queued.
-  std::atomic<bool> matching_active_{false};
+  // ---- apply thread (pool brokers only; see apply_loop in the .cpp) ----
+  /// Drains every shard whenever a control command is queued, concurrently
+  /// with match tasks: this is what decouples control-op apply latency from
+  /// batch size. Joined first in the destructor; never started for seed
+  /// brokers, whose commands always apply inline.
+  std::thread apply_thread_;
+  std::mutex apply_cv_mutex_;
+  std::condition_variable apply_cv_;
+  bool apply_stop_ = false;  // guarded by apply_cv_mutex_
+  /// Level-triggered wake request, guarded by apply_cv_mutex_. Set by
+  /// signal_apply(), cleared by the apply loop before each drain pass.
+  /// Needed beyond apply_pending() because wait_applied() kicks the loop to
+  /// advance *idle* shards' fences past an inline-applied generation — a
+  /// state with nothing queued anywhere.
+  bool apply_kick_ = false;
+  void apply_loop();
+  /// Request one apply-loop drain pass (no-op without an apply thread):
+  /// after pushing a command, and from wait_applied() so passive fences
+  /// catch up without a publish.
+  void signal_apply();
+  [[nodiscard]] bool apply_pending() const;
 
   // ---- per-batch data-plane state (touched only under publish_mutex_,
   //      plus by that batch's own match/merge tasks) ----

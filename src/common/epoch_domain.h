@@ -1,0 +1,362 @@
+// Epoch-based read-mostly synchronisation for the matching stack.
+//
+// The broker's data plane is read-mostly: match tasks only *read* a shard's
+// engine (every write lands in a per-worker MatchContext), while control
+// commands mutate it rarely. PR 9 expressed that with a shared_mutex —
+// readers shared, appliers exclusive — which puts a lock acquisition on
+// every match task and, worse, makes exclusive acquisition mid-batch
+// subject to the platform rwlock's fairness policy (glibc's default
+// reader-preferring pthread_rwlock can starve a writer indefinitely under a
+// steady reader stream). EpochDomain replaces it with an epoch read-gate in
+// the percpu-rwsem / RCU lineage:
+//
+//   - Readers pin a *slot* (one per pool worker, no registration, no TLS)
+//     by storing the current epoch into it. Entry is two uncontended
+//     seq_cst accesses on a cache line the reader owns — no shared lock
+//     word, so concurrent readers never bounce a line between cores.
+//   - A writer raises a flag (blocking new readers), waits for every slot
+//     to unpin — the grace period, bounded by the longest in-flight read
+//     section (one event chunk in the broker) — then mutates with genuine
+//     exclusivity, and finally drops the flag. Writer preference is
+//     structural: readers that lose the entry race retreat and wait.
+//   - retire() defers destruction of unlinked nodes/blocks: an object
+//     retired at epoch R is destroyed only once no reader pins an epoch
+//     <= R (writer_exit and try_reclaim check). Today's appliers mutate
+//     under the writer gate, so retirement is belt-and-braces for the
+//     structures themselves — what it buys is (a) shorter writer critical
+//     sections (frees happen after readers resume) and (b) a forest node
+//     slot / posting block lifecycle that stays correct even for reads
+//     that run outside any pin (see shared_forest.h's quarantine reroute).
+//
+// The store-then-load entry/gate protocol is the classic Dekker/store-buffer
+// pattern and needs seq_cst on both sides: the reader's pin store and flag
+// load, and the writer's flag store and first pin load, must belong to the
+// single total order — otherwise both can miss each other and a reader
+// traverses structures mid-mutation. Every other access is acquire/release,
+// which is also exactly what lets ThreadSanitizer see the happens-before
+// edges (reader exit -> writer mutation -> next reader entry) natively.
+//
+// Threading contract: any number of concurrent readers, each on its own
+// slot (one thread per slot at a time — the broker indexes by pool worker
+// id). Writers must be externally serialised (the broker's per-shard mutex
+// does this); retire()/try_reclaim() are internally locked and callable
+// from writers and tests alike.
+//
+// EpochSet (epoch_set.h) is unrelated per-context *scratch* versioning;
+// GenerationFence (generation_fence.h) tracks *command* application. This
+// class is about memory: who may read a structure, and when memory that
+// left it may be freed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace ncps {
+
+class EpochDomain {
+ public:
+  /// `reader_slots` fixes the reader concurrency: slot indices are
+  /// [0, reader_slots). The broker sizes this to the worker-pool width.
+  explicit EpochDomain(std::size_t reader_slots) : slots_(reader_slots) {
+    NCPS_EXPECTS(reader_slots >= 1);
+  }
+
+  /// Runs every pending deleter. Callers guarantee no reader is pinned and
+  /// no writer is active (the broker destroys the domain only after all
+  /// threads have been joined).
+  ~EpochDomain() { flush_reclaim(); }
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // ---- reader side ----
+
+  /// Enter a read-side section on `slot`. Blocks only while a writer is in
+  /// (or entering) its critical section; otherwise two seq_cst accesses.
+  void reader_enter(std::size_t slot) {
+    NCPS_DASSERT(slot < slots_.size());
+    std::atomic<std::uint64_t>& pin = slots_[slot].pinned;
+    NCPS_DASSERT(pin.load(std::memory_order_relaxed) == 0);
+    for (;;) {
+      // Writer preference: never start (or re-start) a section while a
+      // writer holds or wants the gate, so a steady reader stream cannot
+      // starve the apply path the way a reader-preferring rwlock can.
+      std::uint32_t w = writer_.load(std::memory_order_acquire);
+      if (w != 0) {
+        wait_u32(writer_, w);
+        continue;
+      }
+      pin.store(current_epoch(), std::memory_order_seq_cst);
+      if (writer_.load(std::memory_order_seq_cst) == 0) return;
+      // Dekker race lost: a writer set the flag between our load and our
+      // pin. Retreat (it may already be waiting on this very slot), let it
+      // run, try again.
+      pin.store(0, std::memory_order_seq_cst);
+      notify_u64(pin);
+    }
+  }
+
+  /// Leave the read-side section on `slot`. The release store is the edge a
+  /// waiting writer's acquire load pairs with: everything this reader read
+  /// is ordered before the writer's mutation.
+  void reader_exit(std::size_t slot) {
+    NCPS_DASSERT(slot < slots_.size());
+    std::atomic<std::uint64_t>& pin = slots_[slot].pinned;
+    NCPS_DASSERT(pin.load(std::memory_order_relaxed) != 0);
+    pin.store(0, std::memory_order_release);
+    notify_u64(pin);
+  }
+
+  /// RAII read-side section; unpins on scope exit, exceptions included.
+  class ReaderPin {
+   public:
+    ReaderPin(EpochDomain& domain, std::size_t slot)
+        : domain_(&domain), slot_(slot) {
+      domain_->reader_enter(slot_);
+    }
+    ~ReaderPin() { domain_->reader_exit(slot_); }
+    ReaderPin(const ReaderPin&) = delete;
+    ReaderPin& operator=(const ReaderPin&) = delete;
+
+   private:
+    EpochDomain* domain_;
+    std::size_t slot_;
+  };
+
+  // ---- writer side (externally serialised: at most one at a time) ----
+
+  /// Block new readers, advance the epoch, then wait out every in-flight
+  /// reader (the grace period). On return the caller mutates with genuine
+  /// exclusivity until writer_exit().
+  void writer_enter() {
+    NCPS_DASSERT(writer_.load(std::memory_order_relaxed) == 0 &&
+                 "writers must be externally serialised");
+    writer_.store(1, std::memory_order_seq_cst);
+    // Advance before waiting: anything retired during (or before) this
+    // critical section is stamped strictly below any epoch a post-exit
+    // reader can pin, so the `retired < min pinned` reclamation rule holds
+    // with plain integer comparison.
+    epoch_.fetch_add(2, std::memory_order_acq_rel);
+    for (Slot& slot : slots_) {
+      std::uint64_t v;
+      // seq_cst pin loads: the first observation pairs with the reader's
+      // seq_cst pin store in the Dekker total order (see header comment).
+      while ((v = slot.pinned.load(std::memory_order_seq_cst)) != 0) {
+        wait_u64(slot.pinned, v);
+      }
+    }
+  }
+
+  /// Reopen the gate to readers, then reclaim whatever the grace period
+  /// proved unreachable.
+  void writer_exit() {
+    NCPS_DASSERT(writer_.load(std::memory_order_relaxed) == 1);
+    writer_.store(0, std::memory_order_release);
+    notify_u32(writer_);
+    try_reclaim();
+  }
+
+  // ---- deferred reclamation ----
+
+  /// Defer `delete p` (via `deleter`) until no reader pins an epoch at or
+  /// below the current one. Callable with or without the writer gate held.
+  void retire(void* p, void (*deleter)(void*)) {
+    retire_fn([p, deleter] { deleter(p); });
+  }
+
+  template <typename T>
+  void retire(T* p) {
+    retire(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// General form: run `fn` once the grace condition holds (used where the
+  /// deferred action is not a plain delete — e.g. returning a forest node
+  /// slot to its free list).
+  void retire_fn(std::function<void()> fn) {
+    const std::uint64_t epoch = current_epoch();
+    const std::lock_guard<std::mutex> lock(retired_mutex_);
+    retired_.push_back(Retired{epoch, std::move(fn)});
+    deferred_.store(retired_.size(), std::memory_order_relaxed);
+  }
+
+  /// Run the deleters of every entry retired strictly before the oldest
+  /// pinned epoch (all of them when nothing is pinned). Returns how many
+  /// ran. Safe concurrently with readers; serialise against other
+  /// reclaimers the same way as writers.
+  std::size_t try_reclaim() {
+    std::uint64_t min_pinned = ~std::uint64_t{0};
+    for (const Slot& slot : slots_) {
+      const std::uint64_t v = slot.pinned.load(std::memory_order_acquire);
+      if (v != 0 && v < min_pinned) min_pinned = v;
+    }
+    std::vector<Retired> ready;
+    {
+      const std::lock_guard<std::mutex> lock(retired_mutex_);
+      std::size_t kept = 0;
+      for (Retired& r : retired_) {
+        if (r.epoch < min_pinned) {
+          ready.push_back(std::move(r));
+        } else {
+          retired_[kept++] = std::move(r);
+        }
+      }
+      retired_.resize(kept);
+      deferred_.store(retired_.size(), std::memory_order_relaxed);
+    }
+    // Deleters run outside the list lock: they may touch arbitrary
+    // structures (forest free lists) and must not deadlock against a
+    // concurrent retire() from the same callback chain.
+    for (Retired& r : ready) r.fn();
+    return ready.size();
+  }
+
+  /// Run every pending deleter unconditionally. Only legal when no reader
+  /// is pinned (asserted) — checkpoint holds every broker lock with no
+  /// batch in flight, which is exactly that state.
+  std::size_t flush_reclaim() {
+    NCPS_DASSERT(pinned_readers() == 0);
+    std::vector<Retired> ready;
+    {
+      const std::lock_guard<std::mutex> lock(retired_mutex_);
+      ready.swap(retired_);
+      deferred_.store(0, std::memory_order_relaxed);
+    }
+    for (Retired& r : ready) r.fn();
+    return ready.size();
+  }
+
+  // ---- introspection (telemetry, tests) ----
+
+  /// Entries retired but not yet reclaimed (the
+  /// ncps_epoch_reclaim_deferred gauge).
+  [[nodiscard]] std::size_t deferred_count() const {
+    return deferred_.load(std::memory_order_relaxed);
+  }
+
+  /// Currently pinned reader slots (racy snapshot; exact when quiescent).
+  [[nodiscard]] std::size_t pinned_readers() const {
+    std::size_t n = 0;
+    for (const Slot& slot : slots_) {
+      if (slot.pinned.load(std::memory_order_acquire) != 0) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const { return current_epoch(); }
+  [[nodiscard]] std::size_t reader_slots() const { return slots_.size(); }
+
+ private:
+  // One cache line per slot: a reader's pin/unpin touches memory no other
+  // reader writes, so entry costs no coherence traffic between workers.
+#ifdef __cpp_lib_hardware_interference_size
+  static constexpr std::size_t kSlotAlign =
+      std::hardware_destructive_interference_size;
+#else
+  static constexpr std::size_t kSlotAlign = 64;
+#endif
+  struct alignas(kSlotAlign) Slot {
+    /// 0 = unpinned; otherwise the (even, non-zero) epoch pinned at entry.
+    std::atomic<std::uint64_t> pinned{0};
+  };
+
+  struct Retired {
+    std::uint64_t epoch = 0;
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] std::uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  // C++20 atomic wait/notify with a yield fallback for toolchains that
+  // predate it. The notify side is unconditional and cheap (a waiter-count
+  // check); the wait side only runs on gate contention, never on the
+  // uncontended reader path.
+#if defined(__cpp_lib_atomic_wait)
+  static void wait_u32(const std::atomic<std::uint32_t>& a,
+                       std::uint32_t old) {
+    a.wait(old, std::memory_order_acquire);
+  }
+  static void wait_u64(const std::atomic<std::uint64_t>& a,
+                       std::uint64_t old) {
+    a.wait(old, std::memory_order_acquire);
+  }
+  static void notify_u32(std::atomic<std::uint32_t>& a) { a.notify_all(); }
+  static void notify_u64(std::atomic<std::uint64_t>& a) { a.notify_all(); }
+#else
+  static void wait_u32(const std::atomic<std::uint32_t>& a,
+                       std::uint32_t old) {
+    if (a.load(std::memory_order_acquire) == old) std::this_thread::yield();
+  }
+  static void wait_u64(const std::atomic<std::uint64_t>& a,
+                       std::uint64_t old) {
+    if (a.load(std::memory_order_acquire) == old) std::this_thread::yield();
+  }
+  static void notify_u32(std::atomic<std::uint32_t>&) {}
+  static void notify_u64(std::atomic<std::uint64_t>&) {}
+#endif
+
+  /// Starts even and non-zero, advances by 2 per writer generation, so a
+  /// slot's 0 ("unpinned") is never a legal epoch value.
+  std::atomic<std::uint64_t> epoch_{2};
+  std::atomic<std::uint32_t> writer_{0};
+  std::vector<Slot> slots_;
+
+  mutable std::mutex retired_mutex_;
+  std::vector<Retired> retired_;
+  std::atomic<std::size_t> deferred_{0};
+};
+
+namespace epoch_detail {
+/// Thread-local reclamation target installed by ReclaimScope. A raw
+/// pointer, not ownership: the scope's lifetime is bounded by the writer
+/// critical section that installed it.
+inline thread_local EpochDomain* tls_reclaim_domain = nullptr;
+}  // namespace epoch_detail
+
+/// Installs `domain` as the calling thread's deferred-reclamation target
+/// for the scope's lifetime. Deep structures (posting lists, forest
+/// internals) call retire_or_delete() at their free sites without any
+/// plumbing: under an apply-path writer section the free is deferred past
+/// the grace period; anywhere else (teardown, standalone engines, tests)
+/// it degrades to an immediate delete.
+class ReclaimScope {
+ public:
+  explicit ReclaimScope(EpochDomain& domain)
+      : previous_(epoch_detail::tls_reclaim_domain) {
+    epoch_detail::tls_reclaim_domain = &domain;
+  }
+  ~ReclaimScope() { epoch_detail::tls_reclaim_domain = previous_; }
+  ReclaimScope(const ReclaimScope&) = delete;
+  ReclaimScope& operator=(const ReclaimScope&) = delete;
+
+ private:
+  EpochDomain* previous_;
+};
+
+[[nodiscard]] inline EpochDomain* current_reclaim_domain() {
+  return epoch_detail::tls_reclaim_domain;
+}
+
+/// Free `p` through the thread's reclaim domain when one is installed,
+/// immediately otherwise. The deferred path keeps the memory valid for any
+/// reader whose pin predates the retire.
+template <typename T>
+void retire_or_delete(T* p) {
+  if (p == nullptr) return;
+  if (EpochDomain* domain = current_reclaim_domain()) {
+    domain->retire(p);
+  } else {
+    delete p;
+  }
+}
+
+}  // namespace ncps

@@ -27,8 +27,22 @@
 // touch no mutable engine state — every scratch array and every counter
 // lives in the caller-supplied MatchContext — so any number of threads may
 // match against one engine concurrently, provided mutation is excluded for
-// the duration (the sharded broker enforces this with a per-shard
-// shared_mutex: matchers take it shared, control-plane appliers exclusive).
+// the duration. The sharded broker enforces that exclusion with an epoch
+// read-gate (common/epoch_domain.h): each match task runs inside an
+// EngineView — an epoch-pinned read-side section — and an applier closes
+// the gate (waiting out pinned readers) only for the actual mutation, so
+// lock-free readers and mid-batch mutation interleave at chunk granularity.
+// An engine's state therefore splits into two classes:
+//   - reader-visible: everything the const match path traverses — the
+//     phase-1 index, predicate table entries, the forest/tree/counting
+//     structures, per-subscription records. Mutated only inside the write
+//     gate; memory leaving these structures is retired to the engine's
+//     EpochDomain (retire_or_delete), never freed in place.
+//   - apply-side: bookkeeping only mutators touch (use counts, free lists,
+//     bulk-load queues, cumulative stats, the default context). Guarded by
+//     the broker's per-shard mutex alone; readers never look at it.
+// Engines that cache the domain (set_epoch_domain) route deferred frees
+// onto it; engines without one keep the legacy free-immediately behaviour.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +52,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/epoch_domain.h"
 #include "common/ids.h"
 #include "common/memory_tracker.h"
 #include "event/event.h"
@@ -248,15 +263,18 @@ class FilterEngine {
 
   /// Work counters for the most recent match_predicates call only.
   ///
-  /// Migration note (PR 8): last_stats() used to be the only stats surface,
-  /// and engines reset it at the top of their own match bodies — fine for
-  /// the single-threaded figure benchmarks it was built for, but racy and
-  /// meaningless under ShardedBroker, where N shards overwrite their
-  /// engines' stats on every publish and a reader can never sample all N
-  /// between two batches. It remains per-call (same semantics, now reset by
-  /// the base-class wrapper instead of each engine) for the benchmarks;
-  /// anything observability-shaped should use cumulative_stats(), which
-  /// only grows and is sampled per shard under the shard mutex by
+  /// Migration note (PR 8, updated PR 10): last_stats() used to be the only
+  /// stats surface, and engines reset it at the top of their own match
+  /// bodies — fine for the single-threaded figure benchmarks it was built
+  /// for, but racy and meaningless under ShardedBroker, where N shards
+  /// overwrite their engines' stats on every publish and a reader can never
+  /// sample all N between two batches. It remains per-call (same semantics,
+  /// now reset by the base-class wrapper instead of each engine) for the
+  /// benchmarks, and is apply-side state: only the legacy non-const entry
+  /// points grow it, never the epoch-pinned EngineView path the sharded
+  /// broker matches through. Anything observability-shaped should use
+  /// cumulative_stats(), which only grows and is sampled per shard (under
+  /// the shard mutex, which still excludes mutation from sampling) by
   /// ShardedBroker::metrics() into ncps_match_* counters.
   [[nodiscard]] const MatchStats& last_stats() const { return stats_; }
 
@@ -310,6 +328,25 @@ class FilterEngine {
     return false;
   }
 
+  // ---- epoch domain (concurrent-reader reclamation; see header comment) --
+
+  /// Attach (or detach, with nullptr) the epoch domain governing this
+  /// engine's reader-visible state. The broker installs its shard's domain
+  /// right after construction; appliers then wrap mutations in the domain's
+  /// writer gate plus a ReclaimScope, so the engine's internal free sites
+  /// (retire_or_delete) defer reclamation past every pinned reader.
+  /// Engines with their own deferred-free machinery (the shared forest's
+  /// node quarantine) reroute it in on_epoch_domain_changed. Call only
+  /// under the same exclusivity add() requires.
+  void set_epoch_domain(EpochDomain* domain) {
+    epoch_domain_ = domain;
+    on_epoch_domain_changed(domain);
+  }
+
+  /// The attached domain, or nullptr for standalone engines (every free is
+  /// then immediate — the pre-epoch behaviour).
+  [[nodiscard]] EpochDomain* epoch_domain() const { return epoch_domain_; }
+
  protected:
   /// Phase-2 body — what engines actually implement. Const: all scratch and
   /// all counters live in `ctx` (engines downcast to the type their
@@ -320,6 +357,11 @@ class FilterEngine {
                                      std::size_t event_index,
                                      const Event& event, MatchSink& sink,
                                      MatchContext& ctx) const = 0;
+
+  /// Hook for engines whose internals hold their own deferred-free lists:
+  /// called from set_epoch_domain so they can reroute those lists onto the
+  /// domain (NonCanonicalEngine points its forest's quarantine at it).
+  virtual void on_epoch_domain_changed(EpochDomain* domain) { (void)domain; }
 
   /// The engine-owned context backing the legacy single-threaded entry
   /// points (match, match_batch, non-const match_predicates). Lazily built
@@ -386,6 +428,7 @@ class FilterEngine {
 
  private:
   MatchStats cumulative_stats_;
+  EpochDomain* epoch_domain_ = nullptr;
 
   // Bulk-load state: predicates whose first engine-local use happened while
   // bulk_loading_ (index registration deferred to finish_bulk_load).
@@ -394,6 +437,53 @@ class FilterEngine {
   std::vector<std::uint8_t> pending_index_add_;  // dense by predicate id
 
   std::unique_ptr<MatchContext> default_context_;
+};
+
+/// An epoch-pinned read-side view of one engine — the formal shape of a
+/// match task. Construction pins a reader slot on the engine's domain
+/// (blocking only while an applier is inside its write gate); destruction
+/// unpins, exceptions included. While the view lives, every reader-visible
+/// structure the const match path traverses is guaranteed stable: appliers
+/// wait out the pin before mutating, and memory unlinked before the pin was
+/// taken is retired — not freed — until the pin drops. Only the const,
+/// context-taking entry points are exposed; the legacy mutable-stats
+/// overloads stay off the concurrent path by construction.
+///
+/// With no domain (standalone engines, the seed broker) the view is a
+/// zero-cost pass-through — same call shape, no pin.
+class EngineView {
+ public:
+  /// `slot` identifies the reader (one live view per slot at a time); the
+  /// broker uses the pool worker id.
+  EngineView(const FilterEngine& engine, EpochDomain* domain,
+             std::size_t slot)
+      : engine_(&engine), domain_(domain), slot_(slot) {
+    if (domain_ != nullptr) domain_->reader_enter(slot_);
+  }
+  ~EngineView() {
+    if (domain_ != nullptr) domain_->reader_exit(slot_);
+  }
+  EngineView(const EngineView&) = delete;
+  EngineView& operator=(const EngineView&) = delete;
+
+  void match_range(std::span<const Event> events, std::size_t first,
+                   std::size_t last, MatchSink& sink,
+                   MatchContext& ctx) const {
+    engine_->match_range(events, first, last, sink, ctx);
+  }
+
+  void match_predicates(std::span<const PredicateId> fulfilled,
+                        std::size_t event_index, const Event& event,
+                        MatchSink& sink, MatchContext& ctx) const {
+    engine_->match_predicates(fulfilled, event_index, event, sink, ctx);
+  }
+
+  [[nodiscard]] const FilterEngine& engine() const { return *engine_; }
+
+ private:
+  const FilterEngine* engine_;
+  EpochDomain* domain_;
+  std::size_t slot_;
 };
 
 }  // namespace ncps

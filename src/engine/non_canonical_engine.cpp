@@ -296,6 +296,11 @@ bool NonCanonicalEngine::remove(SubscriptionId id) {
   subs_[id.value()] = SubRecord{};
   free_ids_.push_back(id);
   --live_count_;
+  // Hand freshly quarantined nodes to the epoch domain now rather than
+  // waiting for the next add(): under churn-during-match the retire path is
+  // what makes slot reuse grace-safe, and deferring it to the next add would
+  // let the quarantine grow unboundedly on unsubscribe-heavy workloads.
+  forest_.reclaim_quarantine();
   return true;
 }
 

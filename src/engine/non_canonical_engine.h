@@ -145,6 +145,14 @@ class NonCanonicalEngine final : public FilterEngine {
   /// counter (regression surface for stale-truth leaks across the wrap).
   void force_scratch_epoch_wrap();
 
+ protected:
+  /// Route the forest's quarantine through the broker's epoch domain: node
+  /// slots retired by remove() re-enter the free list only after every
+  /// reader pinned at retirement time has unpinned (shared_forest.h).
+  void on_epoch_domain_changed(EpochDomain* domain) override {
+    forest_.set_reclaim_domain(domain);
+  }
+
  private:
   using NodeId = SharedForest::NodeId;
   static constexpr std::uint32_t kNoSub = 0xffffffffu;

@@ -30,12 +30,22 @@ ValueDictionary::InternResult ValueDictionary::intern(const Value& v) {
     id = static_cast<ValueId>(slots_.size());
     slots_.emplace_back();
   }
+  // Initialise the slot completely — including its chain link, which may
+  // hold a stale value from a previous occupancy of a recycled slot — before
+  // linking it as the chain head. Readers are excluded by the broker's write
+  // gate while intern() runs, so this ordering is apply-side publication
+  // hygiene rather than a synchronisation protocol, but it keeps the chain
+  // well-formed at every step.
   Slot& slot = slots_[id];
   slot.value = v;
   slot.refs = 1;
-  auto [it, inserted] = heads_.try_emplace(hash, id);
-  slot.next_same_hash = inserted ? kInvalidId : it->second;
-  it->second = id;
+  const auto head_it = heads_.find(hash);
+  slot.next_same_hash = head_it == heads_.end() ? kInvalidId : head_it->second;
+  if (head_it == heads_.end()) {
+    heads_.emplace(hash, id);
+  } else {
+    head_it->second = id;
+  }
   ++live_;
   return {id, true};
 }

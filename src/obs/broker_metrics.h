@@ -68,6 +68,8 @@ struct BrokerMetrics {
                                       {{"op", "register_subscriber"}})),
         unregister_ops(registry.counter("ncps_control_ops_total",
                                         {{"op", "unregister_subscriber"}})),
+        control_apply_latency(
+            registry.histogram("ncps_control_apply_latency_seconds")),
         journal_commits(registry.counter("ncps_journal_commits_total")),
         journal_bytes(registry.counter("ncps_journal_bytes_total")),
         journal_commit_latency(
@@ -89,6 +91,10 @@ struct BrokerMetrics {
   Counter& unsubscribe_ops;
   Counter& register_ops;
   Counter& unregister_ops;
+  /// Queued control op enqueue tick → fence advance past it (the window in
+  /// which a caller blocked in wait_applied would sit). Inline-applied ops
+  /// are not recorded — their apply latency is the call itself.
+  Histogram& control_apply_latency;
 
   Counter& journal_commits;
   Counter& journal_bytes;            ///< payload bytes appended

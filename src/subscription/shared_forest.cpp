@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/epoch_domain.h"
 #include "common/hash.h"
 #include "storage/serializer.h"
 
@@ -354,9 +355,26 @@ ast::NodePtr SharedForest::to_ast_permuted(
 }
 
 void SharedForest::reclaim_quarantine() {
+  if (quarantine_.empty()) return;
+  if (reclaim_domain_ != nullptr) {
+    // Epoch mode: slots become allocatable only after the grace period.
+    // The callback runs from the domain's reclaim passes, which execute on
+    // threads holding the shard's write side — the same exclusivity every
+    // other free_nodes_ mutation has.
+    retire_quarantine_batch(*reclaim_domain_, std::move(quarantine_));
+    quarantine_.clear();  // moved-from: restore a definite empty state
+    return;
+  }
   free_nodes_.insert(free_nodes_.end(), quarantine_.begin(),
                      quarantine_.end());
   quarantine_.clear();
+}
+
+void SharedForest::retire_quarantine_batch(EpochDomain& domain,
+                                           std::vector<NodeId> batch) {
+  domain.retire_fn([this, batch = std::move(batch)]() mutable {
+    free_nodes_.insert(free_nodes_.end(), batch.begin(), batch.end());
+  });
 }
 
 void SharedForest::compact_storage() {

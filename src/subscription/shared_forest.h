@@ -39,15 +39,24 @@
 // Lifecycle: intern() returns a root holding one caller-owned reference;
 // every interior node owns one reference per child occurrence. release()
 // drops a reference and, at zero, unlinks the node and cascades to its
-// children. Fully released node slots are *quarantined*, not reused: a slot
-// only returns to the free list at the next reclaim_quarantine() call —
-// the engines call it at the top of add(), so within one control command
-// (and, through the broker's shard mutex + generation fence, within
-// anything ordered against one) a released NodeId is never re-interned as a
-// different subtree. Concurrent matching therefore can never observe a
-// recycled node: engine operations are serialised per shard, and the
-// broker-level quarantine of retired global ids (sharded_broker.h) already
-// fences match records that outlive the removal.
+// children. Fully released node slots are *quarantined*, not reused
+// immediately: a slot only returns to the free list via
+// reclaim_quarantine() — the engines call it around add()/remove(), so
+// within one control command a released NodeId is never re-interned as a
+// different subtree. How the quarantine empties depends on
+// set_reclaim_domain():
+//   - with an epoch domain attached (the sharded broker's concurrent-reader
+//     regime), reclaim_quarantine() *retires* the batch to the domain, and
+//     the slots reach the free list only once no reader pins an epoch from
+//     before the release — the grace period. Slot reuse is thereby ordered
+//     after every read-side section that could have held the node, by the
+//     domain itself rather than by command ordering;
+//   - without one (standalone engines, the seed broker), slots move to the
+//     free list immediately — the legacy quarantine-until-next-add
+//     behaviour, correct because matching and mutation are then strictly
+//     serialised.
+// The broker-level quarantine of retired global ids (sharded_broker.h)
+// additionally fences match records that outlive the removal.
 //
 // Limits: child count <= 32767 per node, tree depth <= 4095 (both far above
 // the paper's 256-predicate assumption); validate_limits() checks them
@@ -69,6 +78,8 @@
 #include "subscription/ast.h"
 
 namespace ncps {
+
+class EpochDomain;
 
 namespace storage {
 class Writer;
@@ -239,9 +250,19 @@ class SharedForest {
     return quarantine_.size();
   }
 
-  /// Move fully released node slots to the free list. Call only from a
-  /// context ordered after any matching that could still walk the released
-  /// nodes (the engines call it at the top of add()).
+  /// Route quarantined slots through `domain`: reclaim_quarantine() then
+  /// retires them (free-list insertion deferred past every pinned reader)
+  /// instead of freeing in place. nullptr restores the immediate mode.
+  /// The owning engine wires this from on_epoch_domain_changed.
+  void set_reclaim_domain(EpochDomain* domain) { reclaim_domain_ = domain; }
+
+  /// Empty the quarantine. Without a reclaim domain, slots move to the free
+  /// list now — call only from a context ordered after any matching that
+  /// could still walk the released nodes (the engines call it around
+  /// add()/remove() under the broker's write gate). With a domain, the
+  /// batch is retired and the free-list insertion happens at the first
+  /// reclaim pass whose grace period covers the release — safe to call
+  /// whenever the caller holds the write side.
   void reclaim_quarantine();
 
   /// Rewrite the child arena without dead slices, resize the intern table
@@ -298,6 +319,10 @@ class SharedForest {
   void add_parent(NodeId child, NodeId parent);
   void remove_parent(NodeId child, NodeId parent);
 
+  /// Out-of-line so this header needs only a forward declaration of
+  /// EpochDomain (the .cpp includes it).
+  void retire_quarantine_batch(EpochDomain& domain, std::vector<NodeId> batch);
+
   [[nodiscard]] std::uint64_t leaf_hash(PredicateId pred) const;
   [[nodiscard]] std::uint64_t interior_hash(
       ast::NodeKind kind, std::span<const NodeId> kids) const;
@@ -321,6 +346,9 @@ class SharedForest {
   std::unordered_map<NodeId, std::vector<NodeId>> extra_parents_;
   std::vector<NodeId> free_nodes_;      // reusable slots
   std::vector<NodeId> quarantine_;      // released, not yet reusable
+  /// Deferred-reclamation target for quarantined slots (see
+  /// set_reclaim_domain); not owned. Null = immediate reclaim.
+  EpochDomain* reclaim_domain_ = nullptr;
   std::size_t live_count_ = 0;
 };
 

@@ -10,9 +10,10 @@
 // because the deterministic merge promises order independent of steal
 // interleaving. A churn variant interleaves control ops with batches.
 // (3) A TSan-targeted concurrent-reader test: several workers match one
-// shard's engine as shared_mutex readers while a control thread churns
-// subscriptions between batches; run under the sanitizer CI job this
-// certifies the const match path plus the matching_active_ gate.
+// shard's engine as epoch-pinned lock-free readers while a control thread
+// churns subscriptions concurrently; run under the sanitizer CI job this
+// certifies the const match path plus the epoch write gate
+// (epoch_churn_test covers the churn-during-match races in depth).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -401,10 +402,11 @@ TEST(WorkStealingChurnTest, BatchedChurnStaysInLockstep) {
 
 // ---- Concurrent shard readers (TSan target) ----------------------------
 
-// Four workers match ONE shard's engine concurrently (shared_mutex readers,
-// per-worker contexts) while a control thread churns subscriptions — every
-// control command must land between batches (the matching_active_ gate), so
-// under TSan this test certifies the whole read-mostly match path. The
+// Four workers match ONE shard's engine concurrently (epoch-pinned
+// readers, per-worker contexts) while a control thread churns
+// subscriptions — commands apply concurrently with matching, excluded
+// from the pinned readers only by the epoch write gate, so under TSan
+// this test certifies the whole read-mostly match path. The
 // post-quiesce probe then checks the broker is still observationally
 // correct against a sequentially built reference.
 TEST(WorkStealingConcurrencyTest, ConcurrentReadersWithControlChurn) {
